@@ -1,0 +1,40 @@
+// Ablation of the transform strategy (Section III-A): UDC's on-the-fly
+// device transform vs Tigr's out-of-core VST preprocessing. Quantifies the
+// paper's two claims: (1) VST needs a host-side preprocessing pass whose
+// wall time grows with the graph, while UDC needs none; (2) VST transfers
+// |E| + 2|N| + 2|V| words where UDC ships raw CSR (|E| + |V|).
+#include "baselines/tigr.hpp"
+#include "bench_common.hpp"
+#include "core/udc.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+
+using namespace eta;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> all;
+  for (const auto& info : graph::AllDatasets()) all.push_back(info.name);
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, all);
+
+  util::Table table({"Dataset", "VST preprocess (host ms)", "VST transfer",
+                     "UDC transfer (raw CSR)", "Transfer ratio"});
+  for (const std::string& name : env.datasets) {
+    graph::Csr csr = bench::Load(env, name);
+
+    util::WallTimer timer;
+    auto vst = baselines::Tigr::BuildVst(csr, /*split_degree=*/16);
+    double vst_ms = timer.ElapsedMs();
+
+    uint64_t vst_bytes = 4 * (csr.NumEdges() + 2 * vst.NumVirtual() +
+                              2 * uint64_t{csr.NumVertices()});
+    uint64_t udc_bytes = csr.TopologyBytes();
+    table.AddRow({graph::FindDataset(name)->paper_name, util::FormatDouble(vst_ms, 1),
+                  util::FormatBytes(vst_bytes), util::FormatBytes(udc_bytes),
+                  util::FormatDouble(double(vst_bytes) / udc_bytes, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render("Ablation - transform cost: out-of-core VST vs "
+                                   "on-the-fly UDC (UDC preprocessing is zero by "
+                                   "construction)")
+                          .c_str());
+  return 0;
+}

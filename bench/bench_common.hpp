@@ -1,0 +1,72 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --datasets=a,b,c   restrict to named datasets (default: the bench's set)
+//   --scale=0.25       shrink stand-ins for a quick pass (default 1.0)
+//   --cache=DIR        dataset cache directory (default ./eta_dataset_cache)
+// Output is a plain-text table on stdout mirroring the paper's table or
+// figure, plus a short "paper vs measured" note. The simulator is
+// deterministic, so a single run replaces the paper's average-of-five.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace eta::bench {
+
+struct BenchEnv {
+  util::CommandLine cl;
+  std::vector<std::string> datasets;
+  double scale = 1.0;
+  std::string cache_dir;
+};
+
+/// Parses flags; exits on malformed or unknown-dataset input.
+inline BenchEnv ParseBenchArgs(int argc, char** argv,
+                               std::vector<std::string> default_datasets) {
+  std::string error;
+  auto cl = util::CommandLine::Parse(argc, argv, &error);
+  if (!cl) {
+    std::fprintf(stderr, "bad arguments: %s\n", error.c_str());
+    std::exit(2);
+  }
+  BenchEnv env{.cl = *cl, .datasets = {}, .scale = 1.0, .cache_dir = {}};
+  env.scale = cl->GetDouble("scale", 1.0);
+  env.cache_dir = cl->GetString("cache", "eta_dataset_cache");
+  std::string list = cl->GetString("datasets", "");
+  if (list.empty()) {
+    env.datasets = std::move(default_datasets);
+  } else {
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      size_t comma = list.find(',', pos);
+      std::string name = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!graph::FindDataset(name)) {
+        std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+        std::exit(2);
+      }
+      env.datasets.push_back(name);
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+  return env;
+}
+
+inline graph::Csr Load(const BenchEnv& env, const std::string& name) {
+  return graph::BuildDatasetCached(name, env.cache_dir, env.scale);
+}
+
+/// "12.3/45.6" — the t_kernel/t_total cell format of Table III.
+inline std::string KernelTotalCell(double kernel_ms, double total_ms) {
+  return util::FormatDouble(kernel_ms, kernel_ms < 10 ? 2 : 1) + "/" +
+         util::FormatDouble(total_ms, total_ms < 10 ? 2 : 1);
+}
+
+}  // namespace eta::bench

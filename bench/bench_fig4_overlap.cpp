@@ -1,0 +1,34 @@
+// Fig 4 reproduction: execution status (data transfer vs computation) over
+// time while EtaGraph w/o UMP runs SSSP — rendered as an ASCII strip chart
+// of the simulated timeline, plus the overlap fraction. The paper reports
+// transfer and compute overlapping for 60-80% of the run, with uk-2005
+// showing several distinct transfer bursts.
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+
+using namespace eta;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env =
+      bench::ParseBenchArgs(argc, argv, {"livejournal", "orkut", "rmat", "uk2005"});
+
+  std::printf("Fig 4 - EtaGraph w/o UMP running SSSP ('#' compute, '=' transfer, "
+              "'%%' overlapped)\n\n");
+  for (const std::string& name : env.datasets) {
+    graph::Csr csr = bench::Load(env, name);
+    core::EtaGraphOptions options;
+    options.memory_mode = core::MemoryMode::kUnifiedOnDemand;
+    auto report = core::EtaGraph(options).Run(csr, core::Algo::kSssp,
+                                              graph::kQuerySource);
+    double transfer = report.timeline.TotalMs(sim::SpanKind::kTransferH2D);
+    double overlap = report.timeline.OverlapMs();
+    std::printf("%-12s total=%8.3fms transfer=%8.3fms overlap=%5.1f%% of transfer\n",
+                graph::FindDataset(name)->paper_name.c_str(), report.total_ms, transfer,
+                transfer > 0 ? 100.0 * overlap / transfer : 0.0);
+    std::printf("  %s\n\n", report.timeline.RenderAscii(report.total_ms, 96).c_str());
+  }
+  std::printf("shape: most transfer time overlaps compute (paper: 60-80%% of the run);\n"
+              "uk-2005 shows multiple transfer bursts because later regions of the CSR\n"
+              "only fault in when the traversal reaches them.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig 7 reproduction: microarchitectural effect of Shared Memory Prefetch
+// on BFS over LiveJournal, via the simulator's nvprof-equivalent counters.
+// Paper ratios (SMP vs no SMP): IPC 1.42x, Unified-cache hit rate 1.02x,
+// L2 hit rate 1.19x, ~2.2x read throughput at L2/Unified/global, and 0.48x
+// global memory read transactions.
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+
+using namespace eta;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, {"livejournal"});
+
+  for (const std::string& name : env.datasets) {
+    graph::Csr csr = bench::Load(env, name);
+    auto run = [&](bool smp) {
+      core::EtaGraphOptions options;
+      options.use_smp = smp;
+      return core::EtaGraph(options).Run(csr, core::Algo::kBfs, graph::kQuerySource);
+    };
+    auto with = run(true);
+    auto without = run(false);
+    const sim::Counters& a = with.counters;
+    const sim::Counters& b = without.counters;
+
+    auto ratio = [](double x, double y) {
+      return y > 0 ? util::FormatDouble(x / y, 2) + "x" : std::string("-");
+    };
+    util::Table table({"Metric (nvprof analog)", "SMP", "no SMP", "SMP/noSMP",
+                       "paper"});
+    table.AddRow({"ipc (per SM)", util::FormatDouble(a.IpcPerSm(28), 3),
+                  util::FormatDouble(b.IpcPerSm(28), 3),
+                  ratio(a.IpcPerSm(28), b.IpcPerSm(28)), "1.42x"});
+    table.AddRow({"unified cache hit rate", util::FormatDouble(a.L1HitRate(), 3),
+                  util::FormatDouble(b.L1HitRate(), 3),
+                  ratio(a.L1HitRate(), b.L1HitRate()), "1.02x"});
+    table.AddRow({"l2 read hit rate", util::FormatDouble(a.L2HitRate(), 3),
+                  util::FormatDouble(b.L2HitRate(), 3),
+                  ratio(a.L2HitRate(), b.L2HitRate()), "1.19x"});
+    table.AddRow({"unified cache throughput (B/cyc)",
+                  util::FormatDouble(a.L1Throughput(), 1),
+                  util::FormatDouble(b.L1Throughput(), 1),
+                  ratio(a.L1Throughput(), b.L1Throughput()), "~2.2x"});
+    table.AddRow({"l2 read throughput (B/cyc)", util::FormatDouble(a.L2Throughput(), 1),
+                  util::FormatDouble(b.L2Throughput(), 1),
+                  ratio(a.L2Throughput(), b.L2Throughput()), "~2.2x"});
+    table.AddRow({"dram read throughput (B/cyc)",
+                  util::FormatDouble(a.DramThroughput(), 1),
+                  util::FormatDouble(b.DramThroughput(), 1),
+                  ratio(a.DramThroughput(), b.DramThroughput()), "~2.2x"});
+    table.AddRow({"global load transactions", std::to_string(a.l1_accesses),
+                  std::to_string(b.l1_accesses),
+                  ratio(double(a.l1_accesses), double(b.l1_accesses)), "0.48x"});
+    table.AddRow({"kernel time (ms)", util::FormatDouble(with.kernel_ms, 3),
+                  util::FormatDouble(without.kernel_ms, 3),
+                  ratio(with.kernel_ms, without.kernel_ms), "<1x"});
+    std::printf("%s\n", table.Render("Fig 7 - SMP counters, BFS on " +
+                                     graph::FindDataset(name)->paper_name)
+                            .c_str());
+  }
+  std::printf("Known deviation: the sequential-warp cache model understates the IPC\n"
+              "gain and inverts the small L2-hit-rate delta; transaction reduction and\n"
+              "throughput direction match the paper. See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself —
+// host-side performance of the pieces every experiment leans on (cache
+// probes, coalesced vs scattered gathers, UDC transform, R-MAT generation,
+// CSR construction). These track the *simulator's* speed, not simulated
+// GPU time; they exist so regressions in the hot paths show up.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/udc.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "sim/cache.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eta;
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::SectorCache cache(48 * util::kKiB, 4);
+  util::SplitMix64 rng(1);
+  uint64_t sector = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(sector));
+    sector = rng.NextBounded(1 << 16);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_GatherContiguous(benchmark::State& state) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(1 << 20, sim::MemKind::kDevice, "data");
+  for (auto _ : state) {
+    device.Launch("k", {1 << 14}, [&](sim::WarpCtx& w) {
+      sim::LaneArray<uint32_t> out{};
+      w.GatherContiguous(buf, w.WarpId() * 32, w.ActiveMask(), out);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(BM_GatherContiguous);
+
+void BM_GatherScattered(benchmark::State& state) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(1 << 20, sim::MemKind::kDevice, "data");
+  for (auto _ : state) {
+    device.Launch("k", {1 << 14}, [&](sim::WarpCtx& w) {
+      sim::LaneArray<uint64_t> idx{};
+      for (uint32_t lane = 0; lane < 32; ++lane) {
+        idx[lane] = (w.GlobalThread(lane) * 2654435761u) & ((1 << 20) - 1);
+      }
+      sim::LaneArray<uint32_t> out{};
+      w.Gather(buf, idx, w.ActiveMask(), out);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(BM_GatherScattered);
+
+void BM_GatherBulkK16(benchmark::State& state) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(1 << 20, sim::MemKind::kDevice, "data");
+  for (auto _ : state) {
+    device.Launch("k", {1 << 12}, [&](sim::WarpCtx& w) {
+      sim::LaneArray<uint64_t> start{};
+      sim::LaneArray<uint32_t> count{};
+      for (uint32_t lane = 0; lane < 32; ++lane) {
+        start[lane] = (w.GlobalThread(lane) * 16) & ((1 << 20) - 1 - 16);
+        count[lane] = 16;
+      }
+      uint32_t out[32 * 16];
+      w.GatherBulk(buf, start, count, w.ActiveMask(), out, 16);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 12) * 16);
+}
+BENCHMARK(BM_GatherBulkK16);
+
+void BM_UdcTransform(benchmark::State& state) {
+  graph::RmatParams params;
+  params.scale = 16;
+  params.num_edges = 1 << 20;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  std::vector<graph::VertexId> active(csr.NumVertices());
+  std::iota(active.begin(), active.end(), 0u);
+  for (auto _ : state) {
+    auto shadows = core::TransformActiveSet(csr, active, 16);
+    benchmark::DoNotOptimize(shadows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csr.NumVertices());
+}
+BENCHMARK(BM_UdcTransform);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::RmatParams params;
+    params.scale = 16;
+    params.num_edges = 1 << 18;
+    auto edges = graph::GenerateRmat(params);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_RmatGenerate);
+
+void BM_BuildCsr(benchmark::State& state) {
+  graph::RmatParams params;
+  params.scale = 16;
+  params.num_edges = 1 << 18;
+  auto edges = graph::GenerateRmat(params);
+  for (auto _ : state) {
+    auto copy = edges;
+    auto csr = graph::BuildCsr(std::move(copy));
+    benchmark::DoNotOptimize(csr.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_BuildCsr);
+
+void BM_UnifiedMemoryTouch(benchmark::State& state) {
+  sim::DeviceSpec spec;
+  sim::UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  um.Register(1 << 22, 64 * util::kMiB);
+  util::SplitMix64 rng(3);
+  for (auto _ : state) {
+    uint64_t addr = (1 << 22) + rng.NextBounded(64 * util::kMiB);
+    benchmark::DoNotOptimize(um.Touch(addr, false, 0.0));
+  }
+}
+BENCHMARK(BM_UnifiedMemoryTouch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Table II reproduction: dataset statistics for the seven stand-ins, side
+// by side with the paper's numbers for the original graphs. Absolute sizes
+// differ by the documented ~1/30 scale; shape columns (avg degree, %LCC)
+// should track the paper.
+#include "bench_common.hpp"
+#include "graph/stats.hpp"
+#include "util/units.hpp"
+
+using namespace eta;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> all;
+  for (const auto& info : graph::AllDatasets()) all.push_back(info.name);
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, all);
+
+  util::Table table({"Dataset", "#vertices", "#edges", "Avg.Deg (paper)", "MaxDeg",
+                     "Size", "%LCC (paper)"});
+  for (const std::string& name : env.datasets) {
+    auto info = *graph::FindDataset(name);
+    graph::Csr csr = bench::Load(env, name);
+    graph::GraphStats s = graph::ComputeStats(csr);
+    char avg[48], lcc[48];
+    std::snprintf(avg, sizeof(avg), "%.1f (%.1f)", s.avg_degree, info.paper.avg_degree);
+    std::snprintf(lcc, sizeof(lcc), "%.1f (%.1f)", s.lcc_fraction * 100,
+                  info.paper.lcc_percent);
+    table.AddRow({info.paper_name, std::to_string(s.num_vertices),
+                  std::to_string(s.num_edges), avg, std::to_string(s.max_out_degree),
+                  util::FormatBytes(s.text_size_bytes), lcc});
+  }
+  std::printf("%s\n", table.Render("Table II - datasets (stand-ins at ~1/30 scale; "
+                                   "paper values in parentheses)")
+                          .c_str());
+  return 0;
+}

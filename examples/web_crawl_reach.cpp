@@ -1,0 +1,76 @@
+// Web-crawl reachability on a larger-than-device-memory graph — the
+// paper's uk-2006 scenario. Builds a web graph whose CSR exceeds the
+// simulated GPU's memory, then contrasts the two Unified Memory policies:
+// whole-graph prefetch (pays the full transfer, thrashes under
+// oversubscription) vs fault-driven on-demand migration (only the touched
+// pages ever move). When the query source reaches a small component, the
+// on-demand policy wins by orders of magnitude.
+//
+//   $ ./web_crawl_reach
+//
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/units.hpp"
+
+using namespace eta;
+
+int main() {
+  // A crawl with a long chain of site clusters, plus a tiny isolated
+  // cluster containing the query URL (vertex 0).
+  graph::WebGraphParams params;
+  params.num_vertices = 400'000;
+  params.num_edges = 12'000'000;
+  params.num_communities = 24;
+  params.lcc_fraction = 0.7;
+  params.seed = 99;
+  auto edges = graph::GenerateWebGraph(params);
+  edges = graph::PlantTinySourceComponent(std::move(edges), /*component_size=*/80,
+                                          /*depth=*/4, 100);
+  graph::Csr csr = graph::BuildCsr(std::move(edges));
+  csr.DeriveWeights(1);
+
+  // A device too small for the whole topology.
+  sim::DeviceSpec spec;
+  spec.device_memory_bytes = 40 * util::kMiB;
+  std::printf("crawl graph: %u pages, %u links, CSR topology %s; device memory %s\n",
+              csr.NumVertices(), csr.NumEdges(),
+              util::FormatBytes(csr.TopologyBytes()).c_str(),
+              util::FormatBytes(spec.device_memory_bytes).c_str());
+
+  auto run = [&](core::MemoryMode mode) {
+    core::EtaGraphOptions options;
+    options.memory_mode = mode;
+    options.spec = spec;
+    return core::EtaGraph(options).Run(csr, core::Algo::kBfs, 0);
+  };
+
+  auto explicit_copy = run(core::MemoryMode::kExplicitCopy);
+  std::printf("\ncudaMalloc + cudaMemcpy:      %s\n",
+              explicit_copy.oom ? "O.O.M - graph does not fit device memory"
+                                : "unexpectedly fit");
+
+  auto prefetch = run(core::MemoryMode::kUnifiedPrefetch);
+  std::printf("UM + whole-graph prefetch:    %.3f ms, migrated %s\n", prefetch.total_ms,
+              util::FormatBytes(prefetch.migrated_bytes == 0
+                                    ? uint64_t(csr.TopologyBytes())
+                                    : prefetch.migrated_bytes)
+                  .c_str());
+
+  auto on_demand = run(core::MemoryMode::kUnifiedOnDemand);
+  std::printf("UM on-demand (fault-driven):  %.3f ms, migrated %s (%.4f%% of topology)\n",
+              on_demand.total_ms, util::FormatBytes(on_demand.migrated_bytes).c_str(),
+              100.0 * on_demand.migrated_bytes / csr.TopologyBytes());
+
+  std::printf("\nquery reached %llu of %u pages (%u iterations); on-demand migration\n"
+              "was %.0fx faster because only the touched pages ever crossed PCIe —\n"
+              "the paper's uk-2006 result.\n",
+              static_cast<unsigned long long>(on_demand.activated), csr.NumVertices(),
+              on_demand.iterations, prefetch.total_ms / on_demand.total_ms);
+
+  bool ok = on_demand.labels == core::CpuReference(csr, core::Algo::kBfs, 0);
+  std::printf("verified against CPU BFS: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

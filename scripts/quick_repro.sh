@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Quick reproduction pass: every table/figure bench at 1/10 scale with a
+# throwaway dataset cache. Finishes in a few minutes on one core; shapes
+# (orderings, OOM pattern at proportional device scale) are preserved,
+# absolute numbers shrink further. For the calibrated results use the
+# binaries without --scale.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${SCALE:-0.1}"
+CACHE="$(mktemp -d)/cache"
+trap 'rm -rf "$(dirname "$CACHE")"' EXIT
+
+for b in "$BUILD_DIR"/bench/bench_*; do
+  name="$(basename "$b")"
+  case "$name" in
+    bench_sim_micro)
+      # Host microbenches: keep them short.
+      "$b" --benchmark_min_time=0.05s
+      ;;
+    *)
+      echo "==== $name (scale=$SCALE)"
+      "$b" --scale="$SCALE" --cache="$CACHE"
+      ;;
+  esac
+done

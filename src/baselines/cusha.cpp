@@ -1,0 +1,235 @@
+#include "baselines/cusha.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/device.hpp"
+#include "util/check.hpp"
+
+namespace eta::baselines {
+
+namespace {
+
+using core::Algo;
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+using sim::Buffer;
+using sim::kWarpSize;
+using sim::LaneArray;
+using sim::WarpCtx;
+
+struct DeviceState {
+  // Shard-ordered, |E|-sized arrays (the G-Shards layout).
+  Buffer<VertexId> shard_src;
+  Buffer<VertexId> shard_dst;
+  Buffer<Weight> shard_w;
+  Buffer<Weight> src_val;   // per-edge source-value snapshot
+  Buffer<Weight> dst_val;   // per-edge update slot (reduced into windows)
+  Buffer<VertexId> cw_map;  // concatenated-windows refresh mapping
+  // Update staging: CuSha's shards emit (window index, value) update pairs
+  // that the apply phase reduces; both arrays are |E|-sized.
+  Buffer<VertexId> update_idx;
+  Buffer<Weight> update_val;
+  Buffer<Weight> labels;
+  Buffer<uint32_t> changed;
+};
+
+}  // namespace
+
+Cusha::Shards Cusha::BuildShards(const graph::Csr& csr, uint32_t window_vertices) {
+  ETA_CHECK(window_vertices >= 1);
+  Shards shards;
+  const EdgeId m = csr.NumEdges();
+  const VertexId n = csr.NumVertices();
+  std::vector<VertexId> src(m), dst(m);
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId e = csr.RowStart(v); e < csr.RowEnd(v); ++e) {
+      src[e] = v;
+      dst[e] = csr.ColIndices()[e];
+    }
+  }
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    uint32_t wa = dst[a] / window_vertices, wb = dst[b] / window_vertices;
+    if (wa != wb) return wa < wb;
+    if (src[a] != src[b]) return src[a] < src[b];
+    return dst[a] < dst[b];
+  });
+  shards.src.resize(m);
+  shards.dst.resize(m);
+  if (csr.HasWeights()) shards.weight.resize(m);
+  const uint32_t num_windows = (n + window_vertices - 1) / window_vertices;
+  shards.shard_start.assign(num_windows + 1, 0);
+  for (EdgeId i = 0; i < m; ++i) {
+    EdgeId e = order[i];
+    shards.src[i] = src[e];
+    shards.dst[i] = dst[e];
+    if (csr.HasWeights()) shards.weight[i] = csr.Weights()[e];
+    ++shards.shard_start[dst[e] / window_vertices + 1];
+  }
+  for (uint32_t win = 0; win < num_windows; ++win) {
+    shards.shard_start[win + 1] += shards.shard_start[win];
+  }
+  return shards;
+}
+
+core::RunReport Cusha::Run(const graph::Csr& csr, Algo algo, VertexId source) const {
+  ETA_CHECK(source < csr.NumVertices());
+  ETA_CHECK(!core::IsWeighted(algo) || csr.HasWeights());
+
+  core::RunReport report;
+  report.framework = "CuSha";
+  report.algo = algo;
+
+  const VertexId n = csr.NumVertices();
+  const EdgeId m = csr.NumEdges();
+  const bool weighted = core::IsWeighted(algo);
+
+  Shards shards = BuildShards(csr, options_.window_vertices);  // preprocessing
+
+  sim::Device device(options_.spec);
+  DeviceState d;
+  try {
+    d.shard_src = device.Alloc<VertexId>(m, sim::MemKind::kDevice, "shard_src");
+    d.shard_dst = device.Alloc<VertexId>(m, sim::MemKind::kDevice, "shard_dst");
+    if (weighted) d.shard_w = device.Alloc<Weight>(m, sim::MemKind::kDevice, "shard_w");
+    d.src_val = device.Alloc<Weight>(m, sim::MemKind::kDevice, "src_val");
+    d.dst_val = device.Alloc<Weight>(m, sim::MemKind::kDevice, "dst_val");
+    d.cw_map = device.Alloc<VertexId>(m, sim::MemKind::kDevice, "cw_map");
+    d.update_idx = device.Alloc<VertexId>(m, sim::MemKind::kDevice, "update_idx");
+    d.update_val = device.Alloc<Weight>(m, sim::MemKind::kDevice, "update_val");
+    d.labels = device.Alloc<Weight>(n, sim::MemKind::kDevice, "labels");
+    d.changed = device.Alloc<uint32_t>(1, sim::MemKind::kDevice, "changed");
+  } catch (const sim::OomError& e) {
+    report.oom = true;
+    report.oom_request_bytes = e.requested_bytes;
+    return report;
+  }
+  report.device_bytes_peak = device.Mem().DeviceBytesUsed();
+
+  device.CopyToDevice(d.shard_src, std::span<const VertexId>(shards.src));
+  device.CopyToDevice(d.shard_dst, std::span<const VertexId>(shards.dst));
+  if (weighted) device.CopyToDevice(d.shard_w, std::span<const Weight>(shards.weight));
+  device.CopyToDevice(d.cw_map, std::span<const VertexId>(shards.src));  // CW order
+
+  std::vector<Weight> init_labels(n, core::InitLabel(algo, false));
+  init_labels[source] = core::InitLabel(algo, true);
+  device.CopyToDevice(d.labels, std::span<const Weight>(init_labels));
+
+  std::span<Weight> labels_host = d.labels.HostSpan();
+  double kernel_ms = 0;
+  uint64_t activated_cum = 1;
+  uint32_t changed = 1;
+  const uint32_t zero[1] = {0};
+
+  for (uint32_t iter = 1; changed > 0 && iter <= options_.max_iterations; ++iter) {
+    device.CopyToDevice(d.changed, std::span<const uint32_t>(zero, 1), false);
+
+    // ---- CW refresh: snapshot source values into the shards --------------
+    // The concatenated-windows layout makes both the read of the vertex
+    // values and the write into the shard-local array coalesced.
+    auto refresh = device.Launch(
+        "cusha_refresh", {m, options_.block_size}, [&](WarpCtx& w) {
+          uint32_t mask = w.ActiveMask();
+          if (!mask) return;
+          uint64_t base = w.WarpId() * kWarpSize;
+          LaneArray<Weight> vals{};
+          // Coalesced read through the CW window (modeled as a contiguous
+          // stream over the remapped value array).
+          w.GatherContiguous(d.cw_map, base, mask, vals);
+          w.ChargeAlu(1, mask);
+          LaneArray<uint64_t> slot{};
+          WarpCtx::ForActive(mask, [&](uint32_t lane) {
+            slot[lane] = base + lane;
+            vals[lane] = labels_host[shards.src[base + lane]];  // functional
+          });
+          w.Scatter(d.src_val, slot, vals, mask);
+        });
+    kernel_ms += refresh.compute_ms;
+
+    // ---- Shard relaxation: stream every edge ------------------------------
+    uint64_t improvements = 0;
+    auto relax = device.Launch(
+        "cusha_relax", {m, options_.block_size}, [&](WarpCtx& w) {
+          uint32_t mask = w.ActiveMask();
+          if (!mask) return;
+          uint64_t base = w.WarpId() * kWarpSize;
+          LaneArray<Weight> sval{};
+          w.GatherContiguous(d.src_val, base, mask, sval);
+          LaneArray<VertexId> dst{};
+          w.GatherContiguous(d.shard_dst, base, mask, dst);
+          LaneArray<Weight> ew{};
+          if (weighted) w.GatherContiguous(d.shard_w, base, mask, ew);
+          w.ChargeAlu(2, mask);
+
+          // Compare/update against the shard's destination window, which
+          // the block holds in shared memory.
+          uint32_t imask = 0;
+          LaneArray<Weight> cand{};
+          WarpCtx::ForActive(mask, [&](uint32_t lane) {
+            bool reached = core::IsWidest(algo) ? sval[lane] > 0 : sval[lane] != core::kInf;
+            if (!reached) return;
+            cand[lane] = core::Propagate(algo, sval[lane], ew[lane]);
+            if (core::Improves(algo, cand[lane], labels_host[dst[lane]])) {
+              imask |= 1u << lane;
+            }
+          });
+          w.ChargeShared(1, mask);
+          if (!imask) return;
+          w.ChargeShared(1, imask);
+          WarpCtx::ForActive(imask, [&](uint32_t lane) {
+            labels_host[dst[lane]] = cand[lane];  // shared-memory reduction
+            ++improvements;
+          });
+          // One flag store per warp that saw an improvement.
+          LaneArray<uint64_t> zero_idx{};
+          LaneArray<uint32_t> one{};
+          one.fill(1);
+          LaneArray<uint32_t> dummy{};
+          uint32_t first = static_cast<uint32_t>(std::countr_zero(imask));
+          w.AtomicAdd(d.changed, zero_idx, one, 1u << first, dummy);
+        });
+    kernel_ms += relax.compute_ms;
+
+    // ---- Window apply: write reduced windows back to global values -------
+    // Labels were already updated functionally through the shared-memory
+    // model above, so this kernel only charges the read-window /
+    // write-back traffic (one contiguous pass each way over the vertex
+    // values) against a staging buffer.
+    auto apply = device.Launch(
+        "cusha_apply", {n, options_.block_size}, [&](WarpCtx& w) {
+          uint32_t mask = w.ActiveMask();
+          if (!mask) return;
+          uint64_t base = w.WarpId() * kWarpSize;
+          LaneArray<Weight> vals{};
+          w.GatherContiguous(d.labels, base, mask, vals);
+          LaneArray<uint64_t> slot{};
+          WarpCtx::ForActive(mask, [&](uint32_t lane) { slot[lane] = base + lane; });
+          w.Scatter(d.dst_val, slot, vals, mask);
+        });
+    kernel_ms += apply.compute_ms;
+
+    device.CopyToHost(std::span<uint32_t>(&changed, 1), d.changed, false);
+    activated_cum += improvements;
+    report.iteration_stats.push_back(
+        {iter, improvements, 0, device.NowMs(), activated_cum});
+  }
+
+  report.labels.resize(n);
+  device.CopyToHost(std::span<Weight>(report.labels), d.labels);
+
+  report.kernel_ms = kernel_ms;
+  report.total_ms = device.NowMs();
+  report.iterations = static_cast<uint32_t>(report.iteration_stats.size());
+  for (Weight label : report.labels) {
+    if (core::Reached(algo, label)) ++report.activated;
+  }
+  report.activated_fraction = n ? static_cast<double>(report.activated) / n : 0;
+  report.counters = device.TotalCounters();
+  report.timeline = device.GetTimeline();
+  return report;
+}
+
+}  // namespace eta::baselines

@@ -1,0 +1,41 @@
+// Gunrock baseline (Wang et al., PPoPP'16) — frontier-centric framework
+// with load-balanced advance + filter operators.
+//
+// Modeled fidelity:
+//   - each iteration is an advance kernel (edge-parallel over the
+//     frontier's out-edges, owner located via a sorted-search over the
+//     scanned degree array) followed by a filter kernel that deduplicates
+//     and compacts the raw output frontier — two launches plus an extra
+//     pass over the expanded frontier, Gunrock's characteristic
+//     per-iteration overhead;
+//   - the edge frontier is double-buffered at |E| capacity, the footprint
+//     that makes Gunrock the second framework to run out of memory in
+//     Table III (sk-2005 onward);
+//   - topology is cudaMalloc'd and memcpy'd up front (pageable).
+#pragma once
+
+#include "core/run_report.hpp"
+#include "core/traversal.hpp"
+#include "graph/csr.hpp"
+#include "sim/spec.hpp"
+
+namespace eta::baselines {
+
+struct GunrockOptions {
+  sim::DeviceSpec spec{};
+  uint32_t block_size = 256;
+  uint32_t max_iterations = 100000;
+};
+
+class Gunrock {
+ public:
+  explicit Gunrock(GunrockOptions options = {}) : options_(options) {}
+
+  core::RunReport Run(const graph::Csr& csr, core::Algo algo,
+                      graph::VertexId source) const;
+
+ private:
+  GunrockOptions options_;
+};
+
+}  // namespace eta::baselines

@@ -1,0 +1,53 @@
+// Tigr baseline (Nodehi Sabet et al., ASPLOS'18) — vertex-centric framework
+// with the Virtual Split Transformation the paper compares UDC against
+// (Section III-A).
+//
+// Differences from EtaGraph that this model preserves:
+//   - VST is an *out-of-core preprocessing* pass on the host that builds a
+//     transformed copy of the topology (|E| + 2|N| + 2|V| words, Table I)
+//     which must then be transferred — more PCIe bytes than raw CSR;
+//   - kernels launch one thread per *virtual* node every iteration and
+//     check an activity flag, rather than compacting an active set — cheap
+//     per iteration on low-diameter graphs, expensive on uk-2005-like
+//     graphs with hundreds of iterations;
+//   - neighbors are loaded one by one from global memory (no shared-memory
+//     prefetch);
+//   - topology lives in cudaMalloc memory: graphs that do not fit OOM.
+#pragma once
+
+#include "core/run_report.hpp"
+#include "core/traversal.hpp"
+#include "graph/csr.hpp"
+#include "sim/spec.hpp"
+
+namespace eta::baselines {
+
+struct TigrOptions {
+  /// VST split bound (Tigr's "virtual node" max degree).
+  uint32_t split_degree = 16;
+  sim::DeviceSpec spec{};
+  uint32_t block_size = 256;
+  uint32_t max_iterations = 100000;
+};
+
+class Tigr {
+ public:
+  explicit Tigr(TigrOptions options = {}) : options_(options) {}
+
+  core::RunReport Run(const graph::Csr& csr, core::Algo algo,
+                      graph::VertexId source) const;
+
+  /// Host-side VST: virtual-node offset and owner arrays. Exposed for the
+  /// transform-cost ablation bench and tests.
+  struct Vst {
+    std::vector<graph::EdgeId> offsets;     // size N+1, into the column array
+    std::vector<graph::VertexId> owner;     // size N
+    uint64_t NumVirtual() const { return owner.size(); }
+  };
+  static Vst BuildVst(const graph::Csr& csr, uint32_t split_degree);
+
+ private:
+  TigrOptions options_;
+};
+
+}  // namespace eta::baselines

@@ -1,0 +1,513 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+
+#include "core/udc.hpp"
+#include "sim/device.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace eta::core {
+
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+using sim::Buffer;
+using sim::kWarpSize;
+using sim::LaneArray;
+using sim::WarpCtx;
+
+const char* ModeNameImpl(MemoryMode mode) {
+  switch (mode) {
+    case MemoryMode::kUnifiedPrefetch: return "um+prefetch";
+    case MemoryMode::kUnifiedOnDemand: return "um";
+    case MemoryMode::kExplicitCopy: return "explicit";
+    case MemoryMode::kChunkedStream: return "chunked";
+  }
+  return "?";
+}
+
+/// GTS-style fixed-chunk streaming state: which chunks of the adjacency
+/// (and weight) arrays currently sit in the device-side window buffer.
+struct ChunkStream {
+  uint64_t chunk_bytes = 1 << 20;
+  uint64_t window_chunks = 0;           // capacity of the device buffer
+  std::vector<uint8_t> resident;        // per chunk of col[] (+ wts[] mirrored)
+  std::vector<uint32_t> fifo;           // eviction order
+  size_t fifo_head = 0;
+  uint64_t transferred_bytes = 0;
+
+  uint64_t ResidentCount() const { return fifo.size() - fifo_head; }
+};
+
+/// Maximum supported degree limit; bounds the per-warp scratch arrays that
+/// stand in for the shared-memory partition (256 threads x K x 4B must also
+/// fit the 48 KB scratchpad, which caps K at 48 for a weighted traversal).
+constexpr uint32_t kMaxDegreeLimit = 48;
+
+/// All device-side state of one EtaGraph run.
+struct DeviceState {
+  Buffer<EdgeId> row;
+  Buffer<VertexId> col;
+  Buffer<Weight> wts;
+  Buffer<Weight> labels;
+  Buffer<uint32_t> stamp;      // last iteration each vertex was appended
+  Buffer<VertexId> act_set;
+  Buffer<uint32_t> act_count;  // single counter
+  // Dual virtual active sets (Section V-B): shadows with degree == K and
+  // shadows with degree < K, so the K-degree kernel can unroll exactly K.
+  Buffer<VertexId> full_id;
+  Buffer<EdgeId> full_start;
+  Buffer<VertexId> part_id;
+  Buffer<EdgeId> part_start;
+  Buffer<EdgeId> part_end;
+  Buffer<uint32_t> virt_counts;  // [0]=full, [1]=partial
+};
+
+/// actSet2virtActSet — the on-device Unified Degree Cut of Procedure 1.
+/// One thread per active vertex; each emits ceil(deg/K) shadow tuples into
+/// the matching virtual active set via atomic cursors.
+void UdcKernel(WarpCtx& w, DeviceState& d, uint32_t k) {
+  uint32_t mask = w.ActiveMask();
+  if (!mask) return;
+  uint64_t base = w.WarpId() * kWarpSize;
+
+  LaneArray<VertexId> v{};
+  w.GatherContiguous(d.act_set, base, mask, v);
+
+  LaneArray<uint64_t> vidx{}, vidx1{};
+  WarpCtx::ForActive(mask, [&](uint32_t lane) {
+    vidx[lane] = v[lane];
+    vidx1[lane] = v[lane] + 1;
+  });
+  LaneArray<EdgeId> start{}, end{};
+  w.Gather(d.row, vidx, mask, start);
+  w.Gather(d.row, vidx1, mask, end);
+  w.ChargeAlu(4, mask);
+
+  uint32_t max_shadows = 0;
+  LaneArray<uint32_t> nshadow{};
+  WarpCtx::ForActive(mask, [&](uint32_t lane) {
+    nshadow[lane] = (end[lane] - start[lane] + k - 1) / k;
+    max_shadows = std::max(max_shadows, nshadow[lane]);
+  });
+
+  LaneArray<uint32_t> one{};
+  one.fill(1);
+  LaneArray<uint64_t> counter_idx{};
+  for (uint32_t s = 0; s < max_shadows; ++s) {
+    uint32_t submask = 0, fullmask = 0;
+    LaneArray<EdgeId> sstart{}, send{};
+    WarpCtx::ForActive(mask, [&](uint32_t lane) {
+      if (s >= nshadow[lane]) return;
+      submask |= 1u << lane;
+      sstart[lane] = start[lane] + s * k;
+      send[lane] = std::min<EdgeId>(sstart[lane] + k, end[lane]);
+      bool is_full = send[lane] - sstart[lane] == k;
+      if (is_full) fullmask |= 1u << lane;
+      counter_idx[lane] = is_full ? 0 : 1;
+    });
+    if (!submask) break;
+    uint32_t partmask = submask & ~fullmask;
+    w.ChargeAlu(4, submask);
+
+    LaneArray<uint32_t> slot{};
+    w.AtomicAdd(d.virt_counts, counter_idx, one, submask, slot);
+    LaneArray<uint64_t> slot_idx{};
+    WarpCtx::ForActive(submask, [&](uint32_t lane) { slot_idx[lane] = slot[lane]; });
+    if (fullmask) {
+      w.Scatter(d.full_id, slot_idx, v, fullmask);
+      w.Scatter(d.full_start, slot_idx, sstart, fullmask);
+    }
+    if (partmask) {
+      w.Scatter(d.part_id, slot_idx, v, partmask);
+      w.Scatter(d.part_start, slot_idx, sstart, partmask);
+      w.Scatter(d.part_end, slot_idx, send, partmask);
+    }
+  }
+}
+
+struct TraverseParams {
+  Algo algo = Algo::kBfs;
+  bool use_smp = true;
+  bool full_set = true;  // which virtual active set this launch processes
+  uint32_t k = 16;
+  uint32_t iteration = 1;
+  /// Min-label-propagation mode (connected components): the candidate label
+  /// is the source label itself rather than Propagate(algo, ...).
+  bool copy_label = false;
+};
+
+/// The traversal kernel of Procedure 1: one thread per shadow vertex.
+/// With SMP it first bulk-fetches its (at most K) neighbor IDs (and
+/// weights) into the shared-memory partition with unrolled loads, then
+/// relaxes each neighbor from the scratchpad; without SMP it loads
+/// neighbors one by one from global memory (the paper's strawman).
+void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
+  uint32_t mask = w.ActiveMask();
+  if (!mask) return;
+  uint64_t base = w.WarpId() * kWarpSize;
+
+  LaneArray<VertexId> id{};
+  LaneArray<EdgeId> start{}, end{};
+  if (p.full_set) {
+    w.GatherContiguous(d.full_id, base, mask, id);
+    w.GatherContiguous(d.full_start, base, mask, start);
+    WarpCtx::ForActive(mask, [&](uint32_t lane) { end[lane] = start[lane] + p.k; });
+    w.ChargeAlu(1, mask);
+  } else {
+    w.GatherContiguous(d.part_id, base, mask, id);
+    w.GatherContiguous(d.part_start, base, mask, start);
+    w.GatherContiguous(d.part_end, base, mask, end);
+  }
+
+  LaneArray<uint64_t> id_idx{};
+  LaneArray<uint32_t> deg{};
+  uint32_t max_deg = 0;
+  WarpCtx::ForActive(mask, [&](uint32_t lane) {
+    id_idx[lane] = id[lane];
+    deg[lane] = end[lane] - start[lane];
+    max_deg = std::max(max_deg, deg[lane]);
+  });
+  LaneArray<Weight> src_label{};
+  w.Gather(d.labels, id_idx, mask, src_label);
+
+  const bool weighted = !p.copy_label && IsWeighted(p.algo);
+  // The shared-memory partition of this warp (functional stand-in; the
+  // traffic is charged through GatherBulk / ChargeShared).
+  uint32_t nbr_buf[kWarpSize * kMaxDegreeLimit];
+  uint32_t wgt_buf[kWarpSize * kMaxDegreeLimit];
+  if (p.use_smp) {
+    LaneArray<uint64_t> start64{};
+    WarpCtx::ForActive(mask, [&](uint32_t lane) { start64[lane] = start[lane]; });
+    w.GatherBulk(d.col, start64, deg, mask, nbr_buf, p.k);
+    if (weighted) w.GatherBulk(d.wts, start64, deg, mask, wgt_buf, p.k);
+  }
+
+  LaneArray<uint32_t> one{};
+  one.fill(1);
+  LaneArray<uint64_t> zero_idx{};
+  LaneArray<uint32_t> iter_val{};
+  iter_val.fill(p.iteration);
+
+  for (uint32_t j = 0; j < max_deg; ++j) {
+    uint32_t jmask = 0;
+    WarpCtx::ForActive(mask, [&](uint32_t lane) {
+      if (j < deg[lane]) jmask |= 1u << lane;
+    });
+    if (!jmask) break;
+
+    LaneArray<VertexId> u{};
+    LaneArray<Weight> ew{};
+    if (p.use_smp) {
+      WarpCtx::ForActive(jmask, [&](uint32_t lane) {
+        u[lane] = nbr_buf[lane * p.k + j];
+        if (weighted) ew[lane] = wgt_buf[lane * p.k + j];
+      });
+      w.ChargeShared(weighted ? 2 : 1, jmask);
+    } else {
+      LaneArray<uint64_t> eidx{};
+      WarpCtx::ForActive(jmask, [&](uint32_t lane) { eidx[lane] = start[lane] + j; });
+      w.Gather(d.col, eidx, jmask, u);
+      if (weighted) w.Gather(d.wts, eidx, jmask, ew);
+    }
+
+    const bool maximize = !p.copy_label && IsWidest(p.algo);
+    auto improves = [&](Weight candidate, Weight current) {
+      return p.copy_label ? candidate < current : Improves(p.algo, candidate, current);
+    };
+    LaneArray<uint64_t> u_idx{};
+    LaneArray<Weight> cand{};
+    WarpCtx::ForActive(jmask, [&](uint32_t lane) {
+      u_idx[lane] = u[lane];
+      cand[lane] =
+          p.copy_label ? src_label[lane] : Propagate(p.algo, src_label[lane], ew[lane]);
+    });
+
+    LaneArray<Weight> cur{};
+    w.Gather(d.labels, u_idx, jmask, cur);
+    uint32_t imask = 0;
+    WarpCtx::ForActive(jmask, [&](uint32_t lane) {
+      if (improves(cand[lane], cur[lane])) imask |= 1u << lane;
+    });
+    w.ChargeAlu(2, jmask);
+    if (!imask) continue;
+
+    LaneArray<Weight> old{};
+    if (maximize) {
+      w.AtomicMax(d.labels, u_idx, cand, imask, old);
+    } else {
+      w.AtomicMin(d.labels, u_idx, cand, imask, old);
+    }
+    uint32_t cmask = 0;
+    WarpCtx::ForActive(imask, [&](uint32_t lane) {
+      if (improves(cand[lane], old[lane])) cmask |= 1u << lane;
+    });
+    if (!cmask) continue;
+
+    // Append to the next active set, deduplicated per iteration by the
+    // stamp array (one entry per vertex per iteration).
+    LaneArray<uint32_t> prev_stamp{};
+    w.AtomicMax(d.stamp, u_idx, iter_val, cmask, prev_stamp);
+    uint32_t nmask = 0;
+    WarpCtx::ForActive(cmask, [&](uint32_t lane) {
+      if (prev_stamp[lane] < p.iteration) nmask |= 1u << lane;
+    });
+    if (!nmask) continue;
+
+    LaneArray<uint32_t> slot{};
+    w.AtomicAdd(d.act_count, zero_idx, one, nmask, slot);
+    LaneArray<uint64_t> slot_idx{};
+    WarpCtx::ForActive(nmask, [&](uint32_t lane) { slot_idx[lane] = slot[lane]; });
+    w.Scatter(d.act_set, slot_idx, u, nmask);
+  }
+}
+
+}  // namespace
+
+const char* MemoryModeName(MemoryMode mode) { return ModeNameImpl(mode); }
+
+RunReport EtaGraph::Run(const graph::Csr& csr, Algo algo, VertexId source) const {
+  ETA_CHECK(source < csr.NumVertices());
+  std::vector<Weight> init_labels(csr.NumVertices(), InitLabel(algo, false));
+  init_labels[source] = InitLabel(algo, true);
+  const VertexId sources[1] = {source};
+  return RunImpl(csr, algo, std::move(init_labels),
+                 std::span<const VertexId>(sources), /*copy_label=*/false);
+}
+
+RunReport EtaGraph::RunMultiSource(const graph::Csr& csr, Algo algo,
+                                   std::span<const VertexId> sources) const {
+  ETA_CHECK(!sources.empty());
+  std::vector<Weight> init_labels(csr.NumVertices(), InitLabel(algo, false));
+  for (VertexId s : sources) {
+    ETA_CHECK(s < csr.NumVertices());
+    init_labels[s] = InitLabel(algo, true);
+  }
+  return RunImpl(csr, algo, std::move(init_labels), sources, /*copy_label=*/false);
+}
+
+RunReport EtaGraph::RunConnectedComponents(const graph::Csr& csr) const {
+  const VertexId n = csr.NumVertices();
+  std::vector<Weight> init_labels(n);
+  std::vector<VertexId> sources(n);
+  for (VertexId v = 0; v < n; ++v) {
+    init_labels[v] = v;
+    sources[v] = v;
+  }
+  // Unweighted kernel path; the copy_label flag overrides the propagation.
+  return RunImpl(csr, Algo::kBfs, std::move(init_labels),
+                 std::span<const VertexId>(sources), /*copy_label=*/true);
+}
+
+RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
+                            std::vector<Weight> init_labels,
+                            std::span<const VertexId> initial_active,
+                            bool copy_label) const {
+  ETA_CHECK(!IsWeighted(algo) || copy_label || csr.HasWeights());
+  ETA_CHECK(options_.degree_limit >= 1 && options_.degree_limit <= kMaxDegreeLimit);
+
+  RunReport report;
+  report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
+                     (options_.use_smp ? "" : ",no-smp") + "]";
+  report.algo = algo;
+
+  const VertexId n = csr.NumVertices();
+  const EdgeId m = csr.NumEdges();
+  const uint32_t k = options_.degree_limit;
+  const bool weighted = !copy_label && IsWeighted(algo);
+  const bool chunked = options_.memory_mode == MemoryMode::kChunkedStream;
+  const bool unified = options_.memory_mode == MemoryMode::kUnifiedPrefetch ||
+                       options_.memory_mode == MemoryMode::kUnifiedOnDemand;
+  // Chunk streaming keeps row offsets and labels resident but ships the
+  // adjacency (and weights) through a bounded staging window.
+  const sim::MemKind adj_kind = chunked   ? sim::MemKind::kHostStaged
+                                : unified ? sim::MemKind::kUnified
+                                          : sim::MemKind::kDevice;
+  const sim::MemKind row_kind =
+      chunked ? sim::MemKind::kDevice
+              : (unified ? sim::MemKind::kUnified : sim::MemKind::kDevice);
+
+  sim::Device device(options_.spec);
+  DeviceState d;
+  ChunkStream stream;
+  sim::Buffer<uint32_t> stream_window;  // the staging buffer (kDevice)
+  try {
+    d.row = device.Alloc<EdgeId>(n + 1, row_kind, "row_offsets");
+    d.col = device.Alloc<VertexId>(m, adj_kind, "col_indices");
+    if (weighted) d.wts = device.Alloc<Weight>(m, adj_kind, "weights");
+    if (chunked) {
+      stream.chunk_bytes = options_.stream_chunk_bytes;
+      uint64_t num_chunks =
+          (uint64_t{m} * sizeof(VertexId) + stream.chunk_bytes - 1) / stream.chunk_bytes;
+      stream.resident.assign(num_chunks, 0);
+      // Window: half of whatever device memory remains after the resident
+      // structures below are sized (estimated here; GTS dedicates a fixed
+      // staging area).
+      uint64_t reserve = uint64_t{n} * 40 + (1 << 20);
+      uint64_t avail = options_.spec.device_memory_bytes > reserve
+                           ? options_.spec.device_memory_bytes - reserve
+                           : stream.chunk_bytes;
+      stream.window_chunks = std::max<uint64_t>(
+          2, avail / 2 / ((weighted ? 2 : 1) * stream.chunk_bytes));
+      uint64_t window_words = stream.window_chunks * (weighted ? 2 : 1) *
+                              stream.chunk_bytes / sizeof(uint32_t);
+      stream_window = device.Alloc<uint32_t>(window_words, sim::MemKind::kDevice,
+                                             "stream_window");
+    }
+    d.labels = device.Alloc<Weight>(n, sim::MemKind::kDevice, "labels");
+    d.stamp = device.Alloc<uint32_t>(n, sim::MemKind::kDevice, "stamp");
+    d.act_set = device.Alloc<VertexId>(n, sim::MemKind::kDevice, "act_set");
+    d.act_count = device.Alloc<uint32_t>(1, sim::MemKind::kDevice, "act_count");
+    uint64_t shadow_cap = ShadowCapacity(csr, k) + 1;
+    d.full_id = device.Alloc<VertexId>(shadow_cap, sim::MemKind::kDevice, "full_id");
+    d.full_start = device.Alloc<EdgeId>(shadow_cap, sim::MemKind::kDevice, "full_start");
+    d.part_id = device.Alloc<VertexId>(shadow_cap, sim::MemKind::kDevice, "part_id");
+    d.part_start = device.Alloc<EdgeId>(shadow_cap, sim::MemKind::kDevice, "part_start");
+    d.part_end = device.Alloc<EdgeId>(shadow_cap, sim::MemKind::kDevice, "part_end");
+    d.virt_counts = device.Alloc<uint32_t>(2, sim::MemKind::kDevice, "virt_counts");
+  } catch (const sim::OomError& e) {
+    report.oom = true;
+    report.oom_request_bytes = e.requested_bytes;
+    return report;
+  }
+  report.device_bytes_peak = device.Mem().DeviceBytesUsed();
+
+  // --- Stage topology ------------------------------------------------------
+  if (unified || chunked) {
+    // Managed/host-staged memory: the host writes in place; pages migrate
+    // on demand (UM) or chunks stream per iteration (GTS mode).
+    std::copy(csr.RowOffsets().begin(), csr.RowOffsets().end(), d.row.HostSpan().begin());
+    std::copy(csr.ColIndices().begin(), csr.ColIndices().end(), d.col.HostSpan().begin());
+    if (weighted) {
+      std::copy(csr.Weights().begin(), csr.Weights().end(), d.wts.HostSpan().begin());
+    }
+    if (chunked) {
+      // Row offsets are resident device data in GTS mode: explicit upload.
+      device.ChargeHostToDevice((uint64_t{n} + 1) * sizeof(EdgeId), /*pageable=*/false,
+                                "row-upload");
+    }
+  } else {
+    device.CopyToDevice(d.row, csr.RowOffsets());
+    device.CopyToDevice(d.col, csr.ColIndices());
+    if (weighted) device.CopyToDevice(d.wts, csr.Weights());
+  }
+
+  // --- Init labels and the active set --------------------------------------
+  device.CopyToDevice(d.labels, std::span<const Weight>(init_labels));
+
+  device.CopyToDeviceRange(d.act_set, 0, initial_active, /*pageable=*/false);
+  const auto initial_count = static_cast<uint32_t>(initial_active.size());
+  device.CopyToDevice(d.act_count, std::span<const uint32_t>(&initial_count, 1), false);
+  // Seed stamps for the initial set: functionally scattered writes, charged
+  // as one |sources|-sized upload (a real implementation memsets or ships a
+  // prepared stamp array).
+  std::vector<uint32_t> stamp_upload(initial_active.size(), 1);
+  device.CopyToDeviceRange(d.stamp, 0, std::span<const uint32_t>(stamp_upload), false);
+  for (VertexId s : initial_active) d.stamp.HostSpan()[s] = 1;
+
+  if (options_.memory_mode == MemoryMode::kUnifiedPrefetch) {
+    device.PrefetchAsync(d.row);
+    device.PrefetchAsync(d.col);
+    if (weighted) device.PrefetchAsync(d.wts);
+  }
+
+  // --- Main loop (Procedure 1) ----------------------------------------------
+  uint32_t act_count = initial_count;
+  uint64_t activated_cum = initial_count;
+  double kernel_ms = 0;
+  const uint32_t zeros[2] = {0, 0};
+  for (uint32_t iter = 1; act_count > 0 && iter <= options_.max_iterations; ++iter) {
+    // One fused reset: the UDC kernel does not read act_count (the host
+    // already holds it as the launch bound), so all three cursors reset in
+    // a single small H2D before the transform.
+    device.CopyToDevice(d.virt_counts, std::span<const uint32_t>(zeros, 2), false);
+    device.CopyToDevice(d.act_count, std::span<const uint32_t>(zeros, 1), false);
+
+    auto udc = device.Launch("udc", {act_count, options_.block_size},
+                             [&](WarpCtx& w) { UdcKernel(w, d, k); });
+    kernel_ms += udc.compute_ms;
+
+    uint32_t vc[2] = {0, 0};
+    device.CopyToHost(std::span<uint32_t>(vc, 2), d.virt_counts, false);
+    uint64_t prev_active = act_count;
+
+    if (chunked && prev_active > 0) {
+      // GTS-style staging: ship every fixed-size chunk that any active
+      // vertex's adjacency touches, wholly, before the traversal kernels.
+      // Multi-stream pipelining hides part of the copy (overlap below),
+      // but a mostly-idle chunk still costs its full bytes — the waste the
+      // paper's introduction calls out.
+      auto act_host = d.act_set.HostSpan();
+      uint64_t new_bytes = 0;
+      for (uint64_t i = 0; i < prev_active; ++i) {
+        VertexId v = act_host[i];
+        if (csr.OutDegree(v) == 0) continue;
+        uint64_t first = uint64_t{csr.RowStart(v)} * sizeof(VertexId) / stream.chunk_bytes;
+        uint64_t last =
+            (uint64_t{csr.RowEnd(v)} * sizeof(VertexId) - 1) / stream.chunk_bytes;
+        for (uint64_t c = first; c <= last; ++c) {
+          if (stream.resident[c]) continue;
+          while (stream.ResidentCount() >= stream.window_chunks) {
+            stream.resident[stream.fifo[stream.fifo_head++]] = 0;
+          }
+          stream.resident[c] = 1;
+          stream.fifo.push_back(static_cast<uint32_t>(c));
+          new_bytes += stream.chunk_bytes * (weighted ? 2 : 1);
+        }
+      }
+      if (new_bytes > 0) {
+        device.ChargeHostToDevice(new_bytes, /*pageable=*/false, "chunk-stream",
+                                  /*overlap=*/0.6);
+        stream.transferred_bytes += new_bytes;
+      }
+    }
+
+    TraverseParams params;
+    params.algo = algo;
+    params.use_smp = options_.use_smp;
+    params.k = k;
+    params.iteration = iter + 1;  // stamps compare against the *next* set
+    params.copy_label = copy_label;
+    if (vc[0] > 0) {
+      params.full_set = true;
+      auto r = device.Launch("traverse_full", {vc[0], options_.block_size},
+                             [&](WarpCtx& w) { TraverseKernel(w, d, params); });
+      kernel_ms += r.compute_ms;
+    }
+    if (vc[1] > 0) {
+      params.full_set = false;
+      auto r = device.Launch("traverse_part", {vc[1], options_.block_size},
+                             [&](WarpCtx& w) { TraverseKernel(w, d, params); });
+      kernel_ms += r.compute_ms;
+    }
+
+    device.CopyToHost(std::span<uint32_t>(&act_count, 1), d.act_count, false);
+    activated_cum += act_count;
+    report.iteration_stats.push_back({iter, prev_active, uint64_t{vc[0]} + vc[1],
+                                      device.NowMs(), activated_cum});
+  }
+
+  // --- Results back ----------------------------------------------------------
+  device.Synchronize();
+  report.labels.resize(n);
+  device.CopyToHost(std::span<Weight>(report.labels), d.labels);
+
+  report.kernel_ms = kernel_ms;
+  report.total_ms = device.NowMs();
+  report.iterations = static_cast<uint32_t>(report.iteration_stats.size());
+  for (Weight label : report.labels) {
+    if (Reached(algo, label)) ++report.activated;
+  }
+  report.activated_fraction = n ? static_cast<double>(report.activated) / n : 0;
+  report.counters = device.TotalCounters();
+  report.timeline = device.GetTimeline();
+  report.migration_sizes = device.Um().MigrationSizes().Values();
+  report.migrated_bytes =
+      chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes();
+  return report;
+}
+
+}  // namespace eta::core

@@ -1,0 +1,56 @@
+// EtaGraph — the paper's framework (Procedure 1), on the simulated GPU.
+//
+// One Run() executes the full pipeline on a fresh device:
+//   load CSR into Unified Memory -> init labels on device -> optional
+//   cudaMemPrefetchAsync -> iterate { actSet2virtActSet (UDC, on the fly);
+//   traversal kernel over shadow vertices with SMP } until the active set
+//   empties -> copy labels back.
+// Every stage is charged on the simulated clock, so RunReport::total_ms is
+// the transfer+execution total Table III reports and kernel_ms is the
+// kernel-only column.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/run_report.hpp"
+#include "core/traversal.hpp"
+#include "graph/csr.hpp"
+
+namespace eta::core {
+
+class EtaGraph {
+ public:
+  explicit EtaGraph(EtaGraphOptions options = {}) : options_(options) {}
+
+  const EtaGraphOptions& Options() const { return options_; }
+
+  /// Runs `algo` from `source`. Weighted algorithms require csr.HasWeights().
+  /// Returns a report with oom=true (and nothing else meaningful) if a
+  /// device allocation failed — which never happens in UM modes.
+  RunReport Run(const graph::Csr& csr, Algo algo, graph::VertexId source) const;
+
+  /// Extension (iBFS-style concurrent queries): one traversal seeded from
+  /// several sources at once; labels converge to the best value over all
+  /// sources. A multi-source BFS labels each vertex with its distance to
+  /// the *nearest* source.
+  RunReport RunMultiSource(const graph::Csr& csr, Algo algo,
+                           std::span<const graph::VertexId> sources) const;
+
+  /// Extension (beyond the paper's three traversals, using the same UDC +
+  /// SMP machinery): min-label propagation. Every vertex starts active with
+  /// its own ID; labels converge to the smallest ID that can reach each
+  /// vertex. On a symmetrized graph this computes connected components.
+  RunReport RunConnectedComponents(const graph::Csr& csr) const;
+
+ private:
+  RunReport RunImpl(const graph::Csr& csr, Algo algo,
+                    std::vector<graph::Weight> init_labels,
+                    std::span<const graph::VertexId> initial_active,
+                    bool copy_label) const;
+
+  EtaGraphOptions options_;
+};
+
+}  // namespace eta::core

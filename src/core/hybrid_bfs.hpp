@@ -1,0 +1,52 @@
+// Direction-optimizing BFS (Beamer, Asanovic, Patterson — SC'12, the
+// paper's reference [34]) on the simulated GPU — an extension showing the
+// substrate supports algorithm-level optimizations beyond the paper's
+// push-only traversals.
+//
+// Top-down steps expand the frontier through out-edges (push, as in
+// EtaGraph). When the frontier grows past a fraction of the graph, the
+// traversal flips to bottom-up: every *unvisited* vertex scans its
+// in-neighbors (the transposed CSR) and claims the first visited parent —
+// turning |frontier| * degree work into early-exit scans and eliminating
+// the atomic contention of the hot middle iterations on social graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "sim/profiler.hpp"
+
+namespace eta::core {
+
+struct HybridBfsOptions {
+  /// Switch to bottom-up when the frontier's out-edge count exceeds
+  /// |E| / alpha (Beamer's alpha heuristic).
+  double alpha = 14.0;
+  /// Switch back to top-down when the frontier shrinks below |V| / beta.
+  double beta = 24.0;
+  uint32_t degree_limit = 16;  // UDC cut for the top-down phase
+  bool use_smp = true;
+  sim::DeviceSpec spec{};
+  uint32_t block_size = 256;
+  uint32_t max_iterations = 100000;
+};
+
+struct HybridBfsResult {
+  bool oom = false;
+  std::vector<graph::Weight> levels;  // kInf = unreached
+  uint32_t iterations = 0;
+  uint32_t bottom_up_iterations = 0;  // how many ran in pull mode
+  double kernel_ms = 0;
+  double total_ms = 0;
+  sim::Counters counters;
+};
+
+/// Runs direction-optimizing BFS from `source`. `csr` is the out-edge
+/// graph; its transpose is built host-side (preprocessing, untimed — like
+/// every framework's format conversion) and uploaded for the pull phase.
+HybridBfsResult RunHybridBfs(const graph::Csr& csr, graph::VertexId source,
+                             const HybridBfsOptions& options = {});
+
+}  // namespace eta::core

@@ -1,0 +1,44 @@
+// EtaGraph configuration knobs — the ablation axes of Fig 6 and Table III.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/spec.hpp"
+
+namespace eta::core {
+
+enum class MemoryMode {
+  /// Unified Memory with cudaMemPrefetchAsync (the paper's "EtaGraph").
+  kUnifiedPrefetch,
+  /// Unified Memory, fault-driven on-demand migration ("EtaGraph w/o UMP").
+  kUnifiedOnDemand,
+  /// cudaMalloc + cudaMemcpy, no UM at all (Fig 6's "w/o UM"). Cannot
+  /// oversubscribe: graphs larger than device memory OOM.
+  kExplicitCopy,
+  /// GTS/Graphie-style fixed-size chunk streaming (the prior-work approach
+  /// the paper's introduction critiques): before each iteration, every
+  /// topology chunk that any active vertex touches is shipped *wholly*
+  /// through a bounded device-side chunk buffer — transferring plenty of
+  /// bytes the iteration never reads. Exists for the motivation bench.
+  kChunkedStream,
+};
+
+const char* MemoryModeName(MemoryMode mode);
+
+struct EtaGraphOptions {
+  /// The Degree Limit K of the Unified Degree Cut (Definition 3). Also the
+  /// per-thread shared-memory prefetch depth of SMP.
+  uint32_t degree_limit = 16;
+  /// Shared Memory Prefetch (Section V). Off = the "w/o SMP" bar of Fig 6.
+  bool use_smp = true;
+  MemoryMode memory_mode = MemoryMode::kUnifiedPrefetch;
+  /// Chunk size for kChunkedStream (fixed, as in GTS — that fixedness is
+  /// exactly what the paper criticizes).
+  uint64_t stream_chunk_bytes = 1 << 20;
+  sim::DeviceSpec spec{};
+  uint32_t block_size = 256;
+  /// Safety valve; traversals converge long before this.
+  uint32_t max_iterations = 100000;
+};
+
+}  // namespace eta::core

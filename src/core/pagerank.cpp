@@ -1,0 +1,231 @@
+#include "core/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/udc.hpp"
+#include "sim/device.hpp"
+#include "util/check.hpp"
+
+namespace eta::core {
+
+namespace {
+
+using graph::EdgeId;
+using graph::VertexId;
+using sim::Buffer;
+using sim::kWarpSize;
+using sim::LaneArray;
+using sim::WarpCtx;
+
+constexpr uint32_t kMaxK = 48;
+
+struct PrState {
+  Buffer<EdgeId> row;
+  Buffer<VertexId> col;
+  Buffer<float> rank;
+  Buffer<float> next;
+  Buffer<float> inv_deg;  // 1/out_degree, 0 for sinks
+  // Static virtual active set: every vertex, cut at K, built once.
+  Buffer<VertexId> shadow_id;
+  Buffer<EdgeId> shadow_start;
+  Buffer<EdgeId> shadow_end;
+  Buffer<float> delta_max;  // single-cell reduction target
+};
+
+}  // namespace
+
+PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options) {
+  ETA_CHECK(options.degree_limit >= 1 && options.degree_limit <= kMaxK);
+  ETA_CHECK(csr.NumVertices() > 0);
+
+  PageRankResult result;
+  const VertexId n = csr.NumVertices();
+  const EdgeId m = csr.NumEdges();
+  const uint32_t k = options.degree_limit;
+  const bool unified = options.memory_mode != MemoryMode::kExplicitCopy;
+  const sim::MemKind topo_kind = unified ? sim::MemKind::kUnified : sim::MemKind::kDevice;
+
+  sim::Device device(options.spec);
+  PrState d;
+  // Host-side UDC of the full vertex set (static, reused every iteration;
+  // the device transform is exercised by the traversal path — here the
+  // shadow list is part of the uploaded input, like any preprocessed
+  // worklist).
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) all[v] = v;
+  auto shadows = TransformActiveSet(csr, all, k);
+  const uint64_t num_shadows = shadows.size();
+
+  try {
+    d.row = device.Alloc<EdgeId>(n + 1, topo_kind, "row");
+    d.col = device.Alloc<VertexId>(m, topo_kind, "col");
+    d.rank = device.Alloc<float>(n, sim::MemKind::kDevice, "rank");
+    d.next = device.Alloc<float>(n, sim::MemKind::kDevice, "next");
+    d.inv_deg = device.Alloc<float>(n, sim::MemKind::kDevice, "inv_deg");
+    d.shadow_id = device.Alloc<VertexId>(num_shadows + 1, sim::MemKind::kDevice, "sh_id");
+    d.shadow_start =
+        device.Alloc<EdgeId>(num_shadows + 1, sim::MemKind::kDevice, "sh_start");
+    d.shadow_end = device.Alloc<EdgeId>(num_shadows + 1, sim::MemKind::kDevice, "sh_end");
+    d.delta_max = device.Alloc<float>(1, sim::MemKind::kDevice, "delta");
+  } catch (const sim::OomError&) {
+    result.oom = true;
+    return result;
+  }
+
+  // Stage inputs.
+  if (unified) {
+    std::copy(csr.RowOffsets().begin(), csr.RowOffsets().end(), d.row.HostSpan().begin());
+    std::copy(csr.ColIndices().begin(), csr.ColIndices().end(), d.col.HostSpan().begin());
+  } else {
+    device.CopyToDevice(d.row, csr.RowOffsets());
+    device.CopyToDevice(d.col, csr.ColIndices());
+  }
+  {
+    std::vector<float> inv(n, 0.f), rank0(n, 1.0f / static_cast<float>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      if (EdgeId deg = csr.OutDegree(v); deg > 0) inv[v] = 1.0f / static_cast<float>(deg);
+    }
+    device.CopyToDevice(d.inv_deg, std::span<const float>(inv));
+    device.CopyToDevice(d.rank, std::span<const float>(rank0));
+    std::vector<VertexId> ids(num_shadows);
+    std::vector<EdgeId> starts(num_shadows), ends(num_shadows);
+    for (uint64_t i = 0; i < num_shadows; ++i) {
+      ids[i] = shadows[i].id;
+      starts[i] = shadows[i].start;
+      ends[i] = shadows[i].end;
+    }
+    device.CopyToDevice(d.shadow_id, std::span<const VertexId>(ids));
+    device.CopyToDevice(d.shadow_start, std::span<const EdgeId>(starts));
+    device.CopyToDevice(d.shadow_end, std::span<const EdgeId>(ends));
+  }
+  if (options.memory_mode == MemoryMode::kUnifiedPrefetch) {
+    device.PrefetchAsync(d.row);
+    device.PrefetchAsync(d.col);
+  }
+
+  const float base_rank =
+      (1.0f - static_cast<float>(options.damping)) / static_cast<float>(n);
+  const auto damping = static_cast<float>(options.damping);
+  double kernel_ms = 0;
+
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // --- init kernel: next[v] = (1-d)/n -----------------------------------
+    auto init = device.Launch("pr_init", {n, options.block_size}, [&](WarpCtx& w) {
+      uint32_t mask = w.ActiveMask();
+      if (!mask) return;
+      uint64_t base = w.WarpId() * kWarpSize;
+      LaneArray<uint64_t> slot{};
+      LaneArray<float> val{};
+      WarpCtx::ForActive(mask, [&](uint32_t lane) {
+        slot[lane] = base + lane;
+        val[lane] = base_rank;
+      });
+      w.Scatter(d.next, slot, val, mask);
+    });
+    kernel_ms += init.compute_ms;
+
+    // --- push kernel over the static virtual active set --------------------
+    auto push = device.Launch(
+        "pr_push", {num_shadows, options.block_size}, [&](WarpCtx& w) {
+          uint32_t mask = w.ActiveMask();
+          if (!mask) return;
+          uint64_t base = w.WarpId() * kWarpSize;
+          LaneArray<VertexId> id{};
+          LaneArray<EdgeId> start{}, end{};
+          w.GatherContiguous(d.shadow_id, base, mask, id);
+          w.GatherContiguous(d.shadow_start, base, mask, start);
+          w.GatherContiguous(d.shadow_end, base, mask, end);
+
+          LaneArray<uint64_t> id_idx{};
+          LaneArray<uint32_t> deg{};
+          uint32_t max_deg = 0;
+          WarpCtx::ForActive(mask, [&](uint32_t lane) {
+            id_idx[lane] = id[lane];
+            deg[lane] = end[lane] - start[lane];
+            max_deg = std::max(max_deg, deg[lane]);
+          });
+          LaneArray<float> rank{}, inv{};
+          w.Gather(d.rank, id_idx, mask, rank);
+          w.Gather(d.inv_deg, id_idx, mask, inv);
+          LaneArray<float> share{};
+          WarpCtx::ForActive(mask, [&](uint32_t lane) {
+            share[lane] = damping * rank[lane] * inv[lane];
+          });
+          w.ChargeAlu(2, mask);
+
+          uint32_t nbr_buf[kWarpSize * kMaxK];
+          if (options.use_smp) {
+            LaneArray<uint64_t> start64{};
+            WarpCtx::ForActive(mask, [&](uint32_t lane) { start64[lane] = start[lane]; });
+            w.GatherBulk(d.col, start64, deg, mask, nbr_buf, k);
+          }
+          for (uint32_t j = 0; j < max_deg; ++j) {
+            uint32_t jmask = 0;
+            WarpCtx::ForActive(mask, [&](uint32_t lane) {
+              if (j < deg[lane]) jmask |= 1u << lane;
+            });
+            if (!jmask) break;
+            LaneArray<VertexId> u{};
+            if (options.use_smp) {
+              WarpCtx::ForActive(jmask,
+                                 [&](uint32_t lane) { u[lane] = nbr_buf[lane * k + j]; });
+              w.ChargeShared(1, jmask);
+            } else {
+              LaneArray<uint64_t> eidx{};
+              WarpCtx::ForActive(jmask,
+                                 [&](uint32_t lane) { eidx[lane] = start[lane] + j; });
+              w.Gather(d.col, eidx, jmask, u);
+            }
+            LaneArray<uint64_t> u_idx{};
+            WarpCtx::ForActive(jmask, [&](uint32_t lane) { u_idx[lane] = u[lane]; });
+            LaneArray<float> old{};
+            w.AtomicAdd(d.next, u_idx, share, jmask, old);
+          }
+        });
+    kernel_ms += push.compute_ms;
+
+    // --- delta kernel: max |next - rank|, then swap -------------------------
+    float host_delta = 0;
+    auto reduce = device.Launch("pr_delta", {n, options.block_size}, [&](WarpCtx& w) {
+      uint32_t mask = w.ActiveMask();
+      if (!mask) return;
+      uint64_t base = w.WarpId() * kWarpSize;
+      LaneArray<float> a{}, b{};
+      w.GatherContiguous(d.rank, base, mask, a);
+      w.GatherContiguous(d.next, base, mask, b);
+      w.ChargeAlu(2, mask);
+      float warp_max = 0;
+      WarpCtx::ForActive(mask, [&](uint32_t lane) {
+        warp_max = std::max(warp_max, std::abs(a[lane] - b[lane]));
+      });
+      host_delta = std::max(host_delta, warp_max);
+      LaneArray<uint64_t> zero_idx{};
+      LaneArray<float> val{};
+      val.fill(warp_max);
+      LaneArray<float> old{};
+      w.AtomicMax(d.delta_max, zero_idx, val, 1u, old);
+    });
+    kernel_ms += reduce.compute_ms;
+
+    // Swap rank <-> next (pointer swap on device; free).
+    std::swap(d.rank, d.next);
+
+    float delta_readback = 0;
+    device.CopyToHost(std::span<float>(&delta_readback, 1), d.delta_max, false);
+    const float zero = 0;
+    device.CopyToDevice(d.delta_max, std::span<const float>(&zero, 1), false);
+    result.iterations = iter;
+    if (host_delta < options.epsilon) break;
+  }
+
+  device.Synchronize();
+  result.ranks.resize(n);
+  device.CopyToHost(std::span<float>(result.ranks), d.rank);
+  result.kernel_ms = kernel_ms;
+  result.total_ms = device.NowMs();
+  result.counters = device.TotalCounters();
+  return result;
+}
+
+}  // namespace eta::core

@@ -1,0 +1,62 @@
+// Per-run result record shared by EtaGraph and the baseline frameworks.
+// Everything the evaluation section consumes comes out of this struct:
+// Table III (kernel_ms / total_ms / oom), Table IV (iterations, activated
+// fraction), Table V + Fig 4 (migration sizes, timeline), Fig 2/5
+// (iteration_stats), Fig 7 (counters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "sim/profiler.hpp"
+#include "sim/timeline.hpp"
+
+namespace eta::core {
+
+struct IterationStat {
+  uint32_t iteration = 0;
+  /// Vertices in the active set processed this iteration.
+  uint64_t active_vertices = 0;
+  /// Shadow (virtual) vertices generated from them, if the framework cuts
+  /// degrees (0 otherwise).
+  uint64_t shadow_vertices = 0;
+  /// Simulated clock at the end of the iteration.
+  double end_ms = 0;
+  /// Cumulative activations so far (Fig 5's "visited vertices").
+  uint64_t activated_cum = 0;
+};
+
+struct RunReport {
+  std::string framework;
+  std::string dataset;
+  Algo algo = Algo::kBfs;
+
+  /// Out of device memory (Table III "O.O.M"): the run did not execute.
+  bool oom = false;
+  uint64_t oom_request_bytes = 0;
+
+  double kernel_ms = 0;  // sum of kernel roofline times
+  double total_ms = 0;   // simulated end-to-end: transfers + kernels + stalls
+
+  uint32_t iterations = 0;
+  uint64_t activated = 0;          // distinct vertices ever activated
+  double activated_fraction = 0;   // Table IV "Act. %" (as a fraction)
+
+  std::vector<IterationStat> iteration_stats;
+
+  sim::Counters counters;  // kernel-attributed counters (nvprof analog)
+  sim::Timeline timeline;
+
+  // Unified-memory migration record (empty for explicit-copy frameworks).
+  std::vector<uint64_t> migration_sizes;
+  uint64_t migrated_bytes = 0;
+
+  uint64_t device_bytes_peak = 0;
+
+  /// Final labels (host copy) for verification against CpuReference.
+  std::vector<graph::Weight> labels;
+};
+
+}  // namespace eta::core

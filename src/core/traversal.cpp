@@ -1,0 +1,28 @@
+#include "core/traversal.hpp"
+
+#include "cpu/reference.hpp"
+#include "util/check.hpp"
+
+namespace eta::core {
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kBfs: return "BFS";
+    case Algo::kSssp: return "SSSP";
+    case Algo::kSswp: return "SSWP";
+  }
+  return "?";
+}
+
+std::vector<graph::Weight> CpuReference(const graph::Csr& csr, Algo algo,
+                                        graph::VertexId source) {
+  switch (algo) {
+    case Algo::kBfs: return cpu::BfsLevels(csr, source);
+    case Algo::kSssp: return cpu::SsspDistances(csr, source);
+    case Algo::kSswp: return cpu::SswpWidths(csr, source);
+  }
+  ETA_CHECK(false);
+  return {};
+}
+
+}  // namespace eta::core

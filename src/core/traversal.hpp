@@ -1,0 +1,58 @@
+// Shared traversal-algorithm abstractions (Section II-C).
+//
+// All three problems are label-propagation traversals: a source label
+// propagates along out-edges, each edge transforming it (Propagate) and
+// each vertex keeping the best value seen (Improves + the matching atomic).
+// BFS and SSSP minimize; SSWP maximizes a min-width. These helpers are the
+// single source of truth for label semantics across EtaGraph, all three
+// baselines, and the CPU references.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eta::core {
+
+inline constexpr graph::Weight kInf = 0xffffffffu;
+
+enum class Algo { kBfs, kSssp, kSswp };
+
+const char* AlgoName(Algo algo);
+
+inline bool IsWeighted(Algo algo) { return algo != Algo::kBfs; }
+inline bool IsWidest(Algo algo) { return algo == Algo::kSswp; }
+
+/// Initial label value.
+inline graph::Weight InitLabel(Algo algo, bool is_source) {
+  if (IsWidest(algo)) return is_source ? kInf : 0;
+  return is_source ? 0 : kInf;
+}
+
+/// Candidate label for an edge's destination, given the source label and
+/// edge weight.
+inline graph::Weight Propagate(Algo algo, graph::Weight src_label, graph::Weight w) {
+  switch (algo) {
+    case Algo::kBfs: return src_label + 1;
+    case Algo::kSssp: return src_label + w;
+    case Algo::kSswp: return src_label < w ? src_label : w;  // min along path
+  }
+  return 0;
+}
+
+/// True if `candidate` is strictly better than `current`.
+inline bool Improves(Algo algo, graph::Weight candidate, graph::Weight current) {
+  return IsWidest(algo) ? candidate > current : candidate < current;
+}
+
+/// True if `label` marks a reached vertex.
+inline bool Reached(Algo algo, graph::Weight label) {
+  return IsWidest(algo) ? label > 0 : label != kInf;
+}
+
+/// CPU ground truth for `algo` (dispatches to cpu::reference).
+std::vector<graph::Weight> CpuReference(const graph::Csr& csr, Algo algo,
+                                        graph::VertexId source);
+
+}  // namespace eta::core

@@ -1,0 +1,62 @@
+#include "core/udc.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/space_model.hpp"
+#include "util/check.hpp"
+
+namespace eta::core {
+
+uint64_t ShadowCapacity(const graph::Csr& csr, uint32_t degree_limit) {
+  return graph::CountShadowVertices(csr, degree_limit);
+}
+
+std::vector<ShadowVertex> TransformActiveSet(const graph::Csr& csr,
+                                             std::span<const graph::VertexId> active_set,
+                                             uint32_t degree_limit) {
+  ETA_CHECK(degree_limit >= 1);
+  std::vector<ShadowVertex> shadows;
+  for (graph::VertexId v : active_set) {
+    graph::EdgeId start = csr.RowStart(v);
+    graph::EdgeId end = csr.RowEnd(v);
+    for (graph::EdgeId s = start; s < end; s += degree_limit) {
+      shadows.push_back({v, s, std::min<graph::EdgeId>(s + degree_limit, end)});
+    }
+  }
+  return shadows;
+}
+
+bool ValidateShadows(const graph::Csr& csr,
+                     std::span<const graph::VertexId> active_set,
+                     std::span<const ShadowVertex> shadows, uint32_t degree_limit) {
+  // Collect per-vertex edge-range coverage.
+  std::map<graph::VertexId, std::vector<std::pair<graph::EdgeId, graph::EdgeId>>> cover;
+  for (const ShadowVertex& s : shadows) {
+    if (s.Degree() == 0 || s.Degree() > degree_limit) return false;
+    if (s.start < csr.RowStart(s.id) || s.end > csr.RowEnd(s.id)) return false;
+    cover[s.id].push_back({s.start, s.end});
+  }
+  for (graph::VertexId v : active_set) {
+    auto it = cover.find(v);
+    graph::EdgeId deg = csr.OutDegree(v);
+    if (deg == 0) {
+      if (it != cover.end()) return false;  // zero-degree vertices drop out
+      continue;
+    }
+    if (it == cover.end()) return false;
+    auto& ranges = it->second;
+    std::sort(ranges.begin(), ranges.end());
+    // Disjoint union covering exactly [RowStart, RowEnd).
+    graph::EdgeId cursor = csr.RowStart(v);
+    for (auto [s, e] : ranges) {
+      if (s != cursor) return false;
+      cursor = e;
+    }
+    if (cursor != csr.RowEnd(v)) return false;
+    cover.erase(it);
+  }
+  return cover.empty();  // no shadows for inactive vertices
+}
+
+}  // namespace eta::core

@@ -1,0 +1,168 @@
+#include "cpu/reference.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace eta::cpu {
+
+using graph::Csr;
+using graph::VertexId;
+using graph::Weight;
+
+std::vector<Weight> BfsLevels(const Csr& csr, VertexId source) {
+  ETA_CHECK(source < csr.NumVertices());
+  std::vector<Weight> level(csr.NumVertices(), kInf);
+  level[source] = 0;
+  std::vector<VertexId> frontier{source}, next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId v : frontier) {
+      Weight nl = level[v] + 1;
+      for (VertexId dst : csr.Neighbors(v)) {
+        if (level[dst] == kInf) {
+          level[dst] = nl;
+          next.push_back(dst);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+std::vector<Weight> SsspDistances(const Csr& csr, VertexId source) {
+  ETA_CHECK(source < csr.NumVertices());
+  ETA_CHECK(csr.HasWeights());
+  std::vector<Weight> dist(csr.NumVertices(), kInf);
+  dist[source] = 0;
+  using Entry = std::pair<Weight, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0, source});
+  auto weights = csr.Weights();
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;  // stale entry
+    auto neighbors = csr.Neighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      Weight w = weights[csr.RowStart(v) + i];
+      Weight nd = d + w;
+      if (nd < dist[neighbors[i]]) {
+        dist[neighbors[i]] = nd;
+        heap.push({nd, neighbors[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Weight> SsspBellmanFord(const Csr& csr, VertexId source) {
+  ETA_CHECK(source < csr.NumVertices());
+  ETA_CHECK(csr.HasWeights());
+  std::vector<Weight> dist(csr.NumVertices(), kInf);
+  dist[source] = 0;
+  auto weights = csr.Weights();
+  std::vector<VertexId> frontier{source}, next;
+  std::vector<uint8_t> queued(csr.NumVertices(), 0);
+  while (!frontier.empty()) {
+    next.clear();
+    std::fill(queued.begin(), queued.end(), 0);
+    for (VertexId v : frontier) {
+      Weight d = dist[v];
+      auto neighbors = csr.Neighbors(v);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        Weight nd = d + weights[csr.RowStart(v) + i];
+        VertexId u = neighbors[i];
+        if (nd < dist[u]) {
+          dist[u] = nd;
+          if (!queued[u]) {
+            queued[u] = 1;
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<Weight> SswpWidths(const Csr& csr, VertexId source) {
+  ETA_CHECK(source < csr.NumVertices());
+  ETA_CHECK(csr.HasWeights());
+  std::vector<Weight> width(csr.NumVertices(), 0);
+  width[source] = kInf;
+  using Entry = std::pair<Weight, VertexId>;  // (width, vertex), max-heap
+  std::priority_queue<Entry> heap;
+  heap.push({kInf, source});
+  auto weights = csr.Weights();
+  while (!heap.empty()) {
+    auto [wd, v] = heap.top();
+    heap.pop();
+    if (wd != width[v]) continue;
+    auto neighbors = csr.Neighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      Weight w = weights[csr.RowStart(v) + i];
+      Weight nw = std::min(wd, w);
+      if (nw > width[neighbors[i]]) {
+        width[neighbors[i]] = nw;
+        heap.push({nw, neighbors[i]});
+      }
+    }
+  }
+  return width;
+}
+
+std::vector<Weight> MinLabelPropagation(const Csr& csr) {
+  std::vector<Weight> label(csr.NumVertices());
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) label[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+      for (VertexId dst : csr.Neighbors(v)) {
+        if (label[v] < label[dst]) {
+          label[dst] = label[v];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> PageRankReference(const Csr& csr, double damping, double epsilon,
+                                      uint32_t max_iterations) {
+  const VertexId n = csr.NumVertices();
+  ETA_CHECK(n > 0);
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (VertexId v = 0; v < n; ++v) {
+      auto neighbors = csr.Neighbors(v);
+      if (neighbors.empty()) continue;
+      double share = damping * rank[v] / static_cast<double>(neighbors.size());
+      for (VertexId dst : neighbors) next[dst] += share;
+    }
+    double delta = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      delta = std::max(delta, std::abs(next[v] - rank[v]));
+    }
+    rank.swap(next);
+    if (delta < epsilon) break;
+  }
+  return rank;
+}
+
+uint64_t CountReached(const std::vector<Weight>& labels, bool widest_path) {
+  uint64_t count = 0;
+  for (Weight label : labels) {
+    if (widest_path ? label > 0 : label != kInf) ++count;
+  }
+  return count;
+}
+
+}  // namespace eta::cpu

@@ -1,0 +1,50 @@
+// Host reference implementations of the three traversal problems the paper
+// evaluates (Section VI-B): breadth-first search, single-source shortest
+// path, and single-source widest path. Every simulated framework's output
+// is verified against these in the tests and in every benchmark run.
+//
+// Label conventions (shared with all GPU-side kernels):
+//   BFS   label = hop count; unreached = kInf; source = 0.
+//   SSSP  label = distance;  unreached = kInf; source = 0.
+//   SSWP  label = width (max over paths of the min edge weight);
+//         unreachable = 0; source = kInf (infinite bottleneck).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eta::cpu {
+
+inline constexpr graph::Weight kInf = 0xffffffffu;
+
+/// Level-synchronous BFS.
+std::vector<graph::Weight> BfsLevels(const graph::Csr& csr, graph::VertexId source);
+
+/// Dijkstra with a binary heap. Requires weights on the graph.
+std::vector<graph::Weight> SsspDistances(const graph::Csr& csr, graph::VertexId source);
+
+/// Bellman-Ford (iterative relaxation); used by property tests to
+/// cross-check Dijkstra and by tests of frontier semantics.
+std::vector<graph::Weight> SsspBellmanFord(const graph::Csr& csr, graph::VertexId source);
+
+/// Widest-path Dijkstra variant (max-heap on widths). Requires weights.
+std::vector<graph::Weight> SswpWidths(const graph::Csr& csr, graph::VertexId source);
+
+/// Number of labels that indicate a reached vertex under `algo` semantics.
+uint64_t CountReached(const std::vector<graph::Weight>& labels, bool widest_path);
+
+/// Min-label propagation to fixpoint: every vertex converges to the
+/// smallest vertex ID that can reach it along directed edges. On a
+/// symmetrized graph this is connected-components labeling. Ground truth
+/// for EtaGraph::RunConnectedComponents.
+std::vector<graph::Weight> MinLabelPropagation(const graph::Csr& csr);
+
+/// Push-style PageRank with damping `d`, run until the max per-vertex
+/// delta drops below `epsilon` or `max_iterations` pass. Sink vertices
+/// (out-degree 0) leak rank, as in the classic formulation most GPU
+/// frameworks implement. Ground truth for core::PageRank.
+std::vector<double> PageRankReference(const graph::Csr& csr, double damping,
+                                      double epsilon, uint32_t max_iterations);
+
+}  // namespace eta::cpu

@@ -1,0 +1,54 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace eta::graph {
+
+Csr BuildCsr(std::vector<Edge>&& edges, const BuildOptions& options) {
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (options.sort_neighbors || options.remove_duplicates) {
+    std::sort(edges.begin(), edges.end());
+  }
+  if (options.remove_duplicates) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  VertexId n = options.min_vertices;
+  for (const Edge& e : edges) {
+    n = std::max({n, e.src + 1, e.dst + 1});
+  }
+
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> targets(edges.size());
+  if (options.sort_neighbors || options.remove_duplicates) {
+    // Edges are globally sorted, so targets can be emitted in order.
+    for (size_t i = 0; i < edges.size(); ++i) targets[i] = edges[i].dst;
+  } else {
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) targets[cursor[e.src]++] = e.dst;
+  }
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+Csr BuildCsr(const std::vector<Edge>& edges, const BuildOptions& options) {
+  std::vector<Edge> copy = edges;
+  return BuildCsr(std::move(copy), options);
+}
+
+std::vector<Edge> ToEdgeList(const Csr& csr) {
+  std::vector<Edge> edges;
+  edges.reserve(csr.NumEdges());
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    for (VertexId dst : csr.Neighbors(v)) edges.push_back({v, dst});
+  }
+  return edges;
+}
+
+}  // namespace eta::graph

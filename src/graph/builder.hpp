@@ -1,0 +1,34 @@
+// Edge-list -> CSR construction with the canonicalization every framework
+// in this repo assumes: neighbor lists sorted by destination, optional
+// self-loop removal and duplicate-edge removal (the paper's correctness
+// argument for UDC assumes no duplicate edges, Section III-B).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace eta::graph {
+
+struct BuildOptions {
+  bool remove_self_loops = true;
+  bool remove_duplicates = true;
+  bool sort_neighbors = true;
+  /// If nonzero, the CSR is forced to have at least this many vertices even
+  /// if the edge list never mentions the tail IDs.
+  VertexId min_vertices = 0;
+};
+
+/// Builds a CSR from a directed edge list. The edge list is consumed
+/// (sorted in place) to avoid a copy of what can be the largest allocation
+/// in the process.
+Csr BuildCsr(std::vector<Edge>&& edges, const BuildOptions& options = {});
+
+/// Convenience: builds from a copy.
+Csr BuildCsr(const std::vector<Edge>& edges, const BuildOptions& options = {});
+
+/// Flattens a CSR back to an edge list (in row order).
+std::vector<Edge> ToEdgeList(const Csr& csr);
+
+}  // namespace eta::graph

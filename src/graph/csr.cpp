@@ -1,0 +1,71 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace eta::graph {
+
+Csr::Csr(std::vector<EdgeId> row_offsets, std::vector<VertexId> col_indices)
+    : row_offsets_(std::move(row_offsets)), col_indices_(std::move(col_indices)) {
+  ETA_CHECK(!row_offsets_.empty());
+  ETA_CHECK(row_offsets_.front() == 0);
+  ETA_CHECK(row_offsets_.back() == col_indices_.size());
+}
+
+void Csr::SetWeights(std::vector<Weight> weights) {
+  ETA_CHECK(weights.size() == col_indices_.size());
+  weights_ = std::move(weights);
+}
+
+void Csr::DeriveWeights(uint64_t seed, Weight max_weight) {
+  ETA_CHECK(max_weight >= 1);
+  std::vector<Weight> weights(col_indices_.size());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (EdgeId e = row_offsets_[v]; e < row_offsets_[v + 1]; ++e) {
+      uint64_t h = util::MixPair(util::MixPair(seed, v), col_indices_[e]);
+      weights[e] = static_cast<Weight>(h % max_weight) + 1;
+    }
+  }
+  weights_ = std::move(weights);
+}
+
+bool Csr::Validate() const {
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (row_offsets_[v] > row_offsets_[v + 1]) {
+      ETA_LOG(Error) << "row offsets decrease at vertex " << v;
+      return false;
+    }
+  }
+  for (VertexId dst : col_indices_) {
+    if (dst >= n) {
+      ETA_LOG(Error) << "edge target " << dst << " out of range (n=" << n << ")";
+      return false;
+    }
+  }
+  if (!weights_.empty() && weights_.size() != col_indices_.size()) {
+    ETA_LOG(Error) << "weight array size mismatch";
+    return false;
+  }
+  return true;
+}
+
+Csr Csr::Transpose() const {
+  const VertexId n = NumVertices();
+  std::vector<EdgeId> in_degree(n + 1, 0);
+  for (VertexId dst : col_indices_) ++in_degree[dst + 1];
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + in_degree[v + 1];
+  std::vector<VertexId> targets(col_indices_.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId src = 0; src < n; ++src) {
+    for (EdgeId e = row_offsets_[src]; e < row_offsets_[src + 1]; ++e) {
+      targets[cursor[col_indices_[e]]++] = src;
+    }
+  }
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+}  // namespace eta::graph

@@ -1,0 +1,70 @@
+// Compressed Sparse Row graph representation — the storage format the
+// paper's EtaGraph consumes directly (Section II-B, Table I): a row-offset
+// array of |V|+1 words and a column-index array of |E| words, plus an
+// optional parallel weight array for SSSP/SSWP.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace eta::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of prebuilt arrays. row_offsets must have size n+1,
+  /// be non-decreasing, start at 0 and end at col_indices.size().
+  Csr(std::vector<EdgeId> row_offsets, std::vector<VertexId> col_indices);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(row_offsets_.size() - 1); }
+  EdgeId NumEdges() const { return static_cast<EdgeId>(col_indices_.size()); }
+
+  EdgeId OutDegree(VertexId v) const {
+    ETA_DCHECK(v < NumVertices());
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+
+  EdgeId RowStart(VertexId v) const { return row_offsets_[v]; }
+  EdgeId RowEnd(VertexId v) const { return row_offsets_[v + 1]; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {col_indices_.data() + row_offsets_[v], OutDegree(v)};
+  }
+
+  std::span<const EdgeId> RowOffsets() const { return row_offsets_; }
+  std::span<const VertexId> ColIndices() const { return col_indices_; }
+
+  bool HasWeights() const { return !weights_.empty(); }
+  std::span<const Weight> Weights() const { return weights_; }
+
+  /// Attaches a weight array (size |E|). Replaces any existing weights.
+  void SetWeights(std::vector<Weight> weights);
+
+  /// Derives deterministic per-edge weights in [1, max_weight] from a hash
+  /// of (src, dst, seed), so every framework and the CPU reference see the
+  /// same weights without any shared state.
+  void DeriveWeights(uint64_t seed, Weight max_weight = 63);
+
+  /// Device-visible topology bytes: 4(|E| + |V| + 1), i.e. Table I's CSR row.
+  uint64_t TopologyBytes() const {
+    return static_cast<uint64_t>(row_offsets_.size() + col_indices_.size()) * 4;
+  }
+
+  /// Validates structural invariants (monotone offsets, in-range targets).
+  /// Returns false and logs the first violation if broken.
+  bool Validate() const;
+
+  /// Builds the reverse graph (CSC of this graph expressed as a CSR).
+  Csr Transpose() const;
+
+ private:
+  std::vector<EdgeId> row_offsets_{0};
+  std::vector<VertexId> col_indices_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace eta::graph

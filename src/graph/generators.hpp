@@ -1,0 +1,86 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on SNAP social networks, WebGraph crawls and a PaRMAT
+// R-MAT graph. None of those datasets are available offline, so the dataset
+// registry (datasets.hpp) builds scaled stand-ins from these generators,
+// each parameterized to match the shape statistics the paper reports
+// (average degree, skew, LCC fraction, traversal iteration count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace eta::graph {
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.), the model PaRMAT
+/// implements. Probabilities (a, b, c) select the quadrant at each of
+/// `scale` recursion levels; d = 1 - a - b - c. Duplicates are NOT removed
+/// here — pass the result through BuildCsr.
+struct RmatParams {
+  uint32_t scale = 18;      // 2^scale vertices
+  uint64_t num_edges = 1 << 22;
+  double a = 0.45, b = 0.22, c = 0.22;  // the paper's PaRMAT parameters
+  uint64_t seed = 1;
+  /// Perturbs the quadrant probabilities per level (+-10%) as PaRMAT does,
+  /// which avoids grid artifacts in the degree distribution.
+  bool noise = true;
+};
+std::vector<Edge> GenerateRmat(const RmatParams& params);
+
+/// Erdős–Rényi G(n, m): m directed edges chosen uniformly.
+std::vector<Edge> GenerateErdosRenyi(VertexId n, uint64_t m, uint64_t seed);
+
+/// Web-crawl-like generator used for the uk-2005 / sk-2005 / uk-2006
+/// stand-ins. The reachable "largest component" is a directed chain of
+/// `num_communities` dense clusters — traversal must cross each link in
+/// order, so BFS from the chain head takes roughly
+/// num_communities * (intra-community depth) iterations, reproducing the
+/// paper's iteration counts (200 for uk-2005, 57 for sk-2005). The
+/// remaining (1 - lcc_fraction) of vertices form side components that are
+/// unreachable from the chain, reproducing the LCC percentages of Table II.
+struct WebGraphParams {
+  VertexId num_vertices = 1 << 20;
+  uint64_t num_edges = 1 << 23;
+  uint32_t num_communities = 64;   // chain length
+  double lcc_fraction = 0.7;       // share of vertices in the chain
+  /// Depth of each community's internal hierarchy; BFS spends about this
+  /// many iterations inside one community before crossing to the next.
+  uint32_t community_depth = 3;
+  uint64_t seed = 2;
+};
+std::vector<Edge> GenerateWebGraph(const WebGraphParams& params);
+
+/// Appends the reverse edge for a deterministic `fraction` of edges.
+/// Social networks have high link reciprocity (Orkut is undirected); this
+/// raises directed reachability from the query source to the levels the
+/// paper reports (Table IV: 91-100% activated on the social graphs).
+std::vector<Edge> MirrorEdges(std::vector<Edge> edges, double fraction, uint64_t seed);
+
+/// Relabels vertices densely, dropping IDs that appear in no edge. R-MAT
+/// leaves a large fraction of the 2^scale ID space untouched; compaction
+/// removes those phantom singletons so component statistics match real
+/// graphs.
+std::vector<Edge> CompactVertexIds(std::vector<Edge> edges, VertexId* num_vertices);
+
+/// Attaches a narrow chain of `depth` layers (x `width` vertices) reachable
+/// from `attach`, extending the BFS depth to ~depth+1 without materially
+/// changing the size. Social networks have exactly this long-tail shape
+/// (Fig 2: LiveJournal needs 15 iterations while most activation happens in
+/// the first 6). New vertices get IDs from `first_new_id` upward.
+std::vector<Edge> AppendTailChain(std::vector<Edge> edges, VertexId attach,
+                                  VertexId first_new_id, uint32_t depth,
+                                  uint32_t width, uint64_t seed);
+
+/// Prepends a tiny directed component containing vertex 0 of
+/// `component_size` vertices arranged `depth` hops deep, with no edges to
+/// or from the rest of the graph. Used for the uk-2006 stand-in, where the
+/// paper's queried source reaches only a 1.15e-4 fraction of the graph in
+/// 4 iterations (Table IV). Existing vertex IDs are shifted up by
+/// component_size.
+std::vector<Edge> PlantTinySourceComponent(std::vector<Edge> edges,
+                                           VertexId component_size,
+                                           uint32_t depth, uint64_t seed);
+
+}  // namespace eta::graph

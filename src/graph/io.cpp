@@ -1,0 +1,154 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace eta::graph {
+
+namespace {
+
+void WriteRaw(std::ofstream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  ETA_CHECK(out.good());
+}
+
+void ReadRaw(std::ifstream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  ETA_CHECK(in.good());
+}
+
+}  // namespace
+
+void WriteGaloisGr(const Csr& csr, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ETA_CHECK(out.is_open());
+
+  const uint64_t version = 1;
+  const uint64_t edge_data_size = csr.HasWeights() ? sizeof(Weight) : 0;
+  const uint64_t num_nodes = csr.NumVertices();
+  const uint64_t num_edges = csr.NumEdges();
+  WriteRaw(out, &version, 8);
+  WriteRaw(out, &edge_data_size, 8);
+  WriteRaw(out, &num_nodes, 8);
+  WriteRaw(out, &num_edges, 8);
+
+  // Galois stores *end* offsets (row_offsets[1..n]) as 64-bit values.
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    uint64_t end = csr.RowEnd(static_cast<VertexId>(v));
+    WriteRaw(out, &end, 8);
+  }
+  WriteRaw(out, csr.ColIndices().data(), num_edges * sizeof(VertexId));
+  if (num_edges % 2 == 1) {
+    // Destination array is padded to an 8-byte boundary.
+    const uint32_t pad = 0;
+    WriteRaw(out, &pad, 4);
+  }
+  if (csr.HasWeights()) {
+    WriteRaw(out, csr.Weights().data(), num_edges * sizeof(Weight));
+  }
+}
+
+Csr ReadGaloisGr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ETA_CHECK(in.is_open());
+
+  uint64_t version = 0, edge_data_size = 0, num_nodes = 0, num_edges = 0;
+  ReadRaw(in, &version, 8);
+  ReadRaw(in, &edge_data_size, 8);
+  ReadRaw(in, &num_nodes, 8);
+  ReadRaw(in, &num_edges, 8);
+  ETA_CHECK(version == 1);
+  ETA_CHECK(edge_data_size == 0 || edge_data_size == sizeof(Weight));
+
+  std::vector<EdgeId> offsets(num_nodes + 1, 0);
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    uint64_t end = 0;
+    ReadRaw(in, &end, 8);
+    ETA_CHECK(end <= num_edges);
+    offsets[v + 1] = static_cast<EdgeId>(end);
+  }
+  std::vector<VertexId> targets(num_edges);
+  ReadRaw(in, targets.data(), num_edges * sizeof(VertexId));
+  if (num_edges % 2 == 1) {
+    uint32_t pad = 0;
+    ReadRaw(in, &pad, 4);
+  }
+  Csr csr(std::move(offsets), std::move(targets));
+  if (edge_data_size != 0) {
+    std::vector<Weight> weights(num_edges);
+    ReadRaw(in, weights.data(), num_edges * sizeof(Weight));
+    csr.SetWeights(std::move(weights));
+  }
+  ETA_CHECK(csr.Validate());
+  return csr;
+}
+
+void WriteEdgeListText(const Csr& csr, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  ETA_CHECK(out.is_open());
+  out << "# directed edge list: " << csr.NumVertices() << " vertices, "
+      << csr.NumEdges() << " edges\n";
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    auto neighbors = csr.Neighbors(v);
+    auto weights = csr.Weights();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      out << v << ' ' << neighbors[i];
+      if (csr.HasWeights()) out << ' ' << weights[csr.RowStart(v) + i];
+      out << '\n';
+    }
+  }
+  ETA_CHECK(out.good());
+}
+
+Csr ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  ETA_CHECK(in.is_open());
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  std::string line;
+  bool any_weight = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0, v = 0, w = 0;
+    ETA_CHECK(static_cast<bool>(ls >> u >> v));
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    if (ls >> w) {
+      any_weight = true;
+      weights.push_back(static_cast<Weight>(w));
+    } else {
+      weights.push_back(0);
+    }
+    ETA_CHECK(!any_weight || weights.back() != 0 || w != 0);
+  }
+  if (!any_weight) {
+    return BuildCsr(std::move(edges),
+                    {.remove_self_loops = false, .remove_duplicates = false});
+  }
+  // Weighted path: keep weights attached through the (stable) rebuild.
+  ETA_CHECK(weights.size() == edges.size());
+  // Build CSR without dedup so the parallel weight array stays aligned.
+  VertexId n = 0;
+  for (const Edge& e : edges) n = std::max({n, e.src + 1, e.dst + 1});
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> targets(edges.size());
+  std::vector<Weight> out_weights(edges.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EdgeId slot = cursor[edges[i].src]++;
+    targets[slot] = edges[i].dst;
+    out_weights[slot] = weights[i];
+  }
+  Csr csr(std::move(offsets), std::move(targets));
+  csr.SetWeights(std::move(out_weights));
+  return csr;
+}
+
+}  // namespace eta::graph

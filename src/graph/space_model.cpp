@@ -1,0 +1,35 @@
+#include "graph/space_model.hpp"
+
+#include "util/check.hpp"
+
+namespace eta::graph {
+
+uint64_t CountShadowVertices(const Csr& csr, uint32_t degree_limit) {
+  ETA_CHECK(degree_limit >= 1);
+  uint64_t count = 0;
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    EdgeId deg = csr.OutDegree(v);
+    count += (deg + degree_limit - 1) / degree_limit;  // ceil; 0 for deg==0
+  }
+  return count;
+}
+
+std::vector<SpaceRow> ComputeSpaceModel(const Csr& csr, uint32_t degree_limit) {
+  const uint64_t e = csr.NumEdges();
+  const uint64_t v = csr.NumVertices();
+  const uint64_t n_shadow = CountShadowVertices(csr, degree_limit);
+
+  const uint64_t csr_words = e + v;
+  std::vector<SpaceRow> rows = {
+      {"G-Shard", "2|E|", 2 * e, 0.0},
+      {"Edge List", "2|E|", 2 * e, 0.0},
+      {"VST", "|E| + 2|N| + 2|V|", e + 2 * n_shadow + 2 * v, 0.0},
+      {"CSR (UDC)", "|E| + |V|", csr_words, 0.0},
+  };
+  for (SpaceRow& row : rows) {
+    row.normalized = static_cast<double>(row.words) / static_cast<double>(csr_words);
+  }
+  return rows;
+}
+
+}  // namespace eta::graph

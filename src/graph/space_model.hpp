@@ -1,0 +1,39 @@
+// Table I — the theoretical space model.
+//
+// The paper compares the CPU->GPU transfer volume of the topology data
+// across four representations, in units of 4-byte words:
+//
+//   G-Shard     2|E|
+//   Edge list   2|E|
+//   VST (Tigr)  |E| + 2|N| + 2|V|     (N = virtual/shadow vertices, K=10)
+//   CSR (UDC)   |E| + |V|
+//
+// and normalizes each against CSR for LiveJournal. This module evaluates
+// those formulas for any graph so bench_table1_space can regenerate the
+// table for the stand-in datasets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eta::graph {
+
+/// Number of shadow (virtual) vertices produced by a degree cut with limit
+/// K: sum over vertices of ceil(out_degree / K); zero-degree vertices
+/// contribute nothing (they never propagate, Section IV-A).
+uint64_t CountShadowVertices(const Csr& csr, uint32_t degree_limit);
+
+struct SpaceRow {
+  std::string structure;      // e.g. "CSR"
+  std::string formula;        // e.g. "|E| + |V|"
+  uint64_t words = 0;         // evaluated for a concrete graph
+  double normalized = 0.0;    // words / CSR words
+};
+
+/// Evaluates all Table I rows for `csr` with the paper's K = 10.
+std::vector<SpaceRow> ComputeSpaceModel(const Csr& csr, uint32_t degree_limit = 10);
+
+}  // namespace eta::graph

@@ -1,0 +1,98 @@
+#include "graph/stats.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace eta::graph {
+
+namespace {
+
+/// Union-find with path halving; ranks elided (union by index order is fine
+/// at these sizes).
+class DisjointSets {
+ public:
+  explicit DisjointSets(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+GraphStats ComputeStats(const Csr& csr) {
+  GraphStats stats;
+  const VertexId n = csr.NumVertices();
+  stats.num_vertices = n;
+  stats.num_edges = csr.NumEdges();
+  stats.avg_degree = n ? static_cast<double>(csr.NumEdges()) / n : 0.0;
+
+  std::vector<uint8_t> touched(n, 0);
+  DisjointSets dsu(n);
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeId deg = csr.OutDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, deg);
+    if (deg) touched[v] = 1;
+    for (VertexId dst : csr.Neighbors(v)) {
+      touched[dst] = 1;
+      dsu.Union(v, dst);
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!touched[v]) ++stats.num_isolated;
+  }
+
+  std::vector<VertexId> component_size(n, 0);
+  VertexId largest = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId root = dsu.Find(v);
+    largest = std::max(largest, ++component_size[root]);
+  }
+  stats.lcc_fraction = n ? static_cast<double>(largest) / n : 0.0;
+
+  // Text size estimate: average "src dst\n" line of ~14 bytes at these ID
+  // magnitudes; exact enough for a size column.
+  stats.text_size_bytes = static_cast<uint64_t>(csr.NumEdges()) * 14;
+  return stats;
+}
+
+Reachability ComputeReachability(const Csr& csr, VertexId source) {
+  Reachability r;
+  if (source >= csr.NumVertices()) return r;
+  std::vector<uint8_t> visited(csr.NumVertices(), 0);
+  std::vector<VertexId> frontier{source}, next;
+  visited[source] = 1;
+  r.visited = 1;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (VertexId dst : csr.Neighbors(v)) {
+        if (!visited[dst]) {
+          visited[dst] = 1;
+          ++r.visited;
+          next.push_back(dst);
+        }
+      }
+    }
+    frontier.swap(next);
+    if (!frontier.empty()) ++r.iterations;
+  }
+  return r;
+}
+
+}  // namespace eta::graph

@@ -1,0 +1,36 @@
+// Graph shape statistics — the quantities Table II reports per dataset
+// (vertex/edge counts, average degree, size, largest-connected-component
+// fraction) plus the degree extremes the paper quotes in Section VI-B.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace eta::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;
+  EdgeId max_out_degree = 0;
+  VertexId num_isolated = 0;       // vertices with no in- or out-edges
+  /// Fraction (in [0,1]) of vertices in the largest weakly-connected
+  /// component — the %LCC column of Table II.
+  double lcc_fraction = 0.0;
+  /// Bytes of a human-readable edge-list rendering (the Size column of
+  /// Table II uses the text format).
+  uint64_t text_size_bytes = 0;
+};
+
+GraphStats ComputeStats(const Csr& csr);
+
+/// Number of vertices reachable from `source` (directed), and the BFS depth
+/// (number of frontier expansions). Host-side; used by tests and Table IV.
+struct Reachability {
+  VertexId visited = 0;
+  uint32_t iterations = 0;
+};
+Reachability ComputeReachability(const Csr& csr, VertexId source);
+
+}  // namespace eta::graph

@@ -1,0 +1,29 @@
+// Fundamental graph scalar types.
+//
+// The paper stores vertex IDs and CSR offsets in 4-byte words (its space
+// model in Table I counts |E| + |V| words for CSR), so this reproduction
+// uses 32-bit types throughout the device-visible layout. At the scaled
+// dataset sizes (<= ~40M edges) 32 bits are ample.
+#pragma once
+
+#include <cstdint>
+
+namespace eta::graph {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;   // index into the column-index array
+using Weight = uint32_t;   // positive edge weight for SSSP/SSWP
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = 0xffffffffu;
+
+/// A directed edge (source, destination).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace eta::graph

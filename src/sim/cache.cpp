@@ -1,0 +1,62 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+namespace eta::sim {
+
+SectorCache::SectorCache(uint64_t capacity_bytes, uint32_t ways, uint32_t sector_bytes) {
+  ETA_CHECK(ways >= 1);
+  ETA_CHECK(sector_bytes >= 1);
+  uint64_t sectors = capacity_bytes / sector_bytes;
+  ETA_CHECK(sectors >= ways);
+  uint64_t sets = std::bit_floor(sectors / ways);
+  ETA_CHECK(sets >= 1);
+  num_sets_ = static_cast<uint32_t>(sets);
+  set_mask_ = num_sets_ - 1;
+  ways_ = ways;
+  ways_storage_.resize(static_cast<size_t>(num_sets_) * ways_);
+}
+
+bool SectorCache::Access(uint64_t sector) {
+  ++accesses_;
+  ++tick_;
+  Way* set = &ways_storage_[(sector & set_mask_) * ways_];
+  uint32_t victim = 0;
+  uint64_t oldest = ~0ULL;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == sector) {
+      set[w].stamp = tick_;
+      ++hits_;
+      return true;
+    }
+    if (set[w].stamp < oldest) {
+      oldest = set[w].stamp;
+      victim = w;
+    }
+  }
+  set[victim].tag = sector;
+  set[victim].stamp = tick_;
+  return false;
+}
+
+bool SectorCache::Probe(uint64_t sector) const {
+  const Way* set = &ways_storage_[(sector & set_mask_) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].tag == sector) return true;
+  }
+  return false;
+}
+
+void SectorCache::InvalidateAll() {
+  for (Way& w : ways_storage_) w = Way{};
+}
+
+void SectorCache::InvalidateRange(uint64_t first_sector, uint64_t last_sector) {
+  for (Way& w : ways_storage_) {
+    if (w.tag != kEmptyTag && w.tag >= first_sector && w.tag < last_sector) {
+      w = Way{};
+    }
+  }
+}
+
+}  // namespace eta::sim

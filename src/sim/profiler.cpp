@@ -1,0 +1,66 @@
+#include "sim/profiler.hpp"
+
+#include <sstream>
+
+namespace eta::sim {
+
+Counters& Counters::operator+=(const Counters& other) {
+  warp_instructions += other.warp_instructions;
+  thread_instructions += other.thread_instructions;
+  l1_accesses += other.l1_accesses;
+  l1_hits += other.l1_hits;
+  l2_accesses += other.l2_accesses;
+  l2_hits += other.l2_hits;
+  dram_read_transactions += other.dram_read_transactions;
+  dram_write_transactions += other.dram_write_transactions;
+  shared_accesses += other.shared_accesses;
+  atomic_operations += other.atomic_operations;
+  mem_latency_cycles += other.mem_latency_cycles;
+  elapsed_cycles += other.elapsed_cycles;
+  launches += other.launches;
+  return *this;
+}
+
+double Counters::Ipc() const {
+  return elapsed_cycles > 0 ? static_cast<double>(warp_instructions) / elapsed_cycles : 0;
+}
+
+double Counters::IpcPerSm(uint32_t num_sms) const {
+  return num_sms ? Ipc() / num_sms : 0;
+}
+
+double Counters::L1HitRate() const {
+  return l1_accesses ? static_cast<double>(l1_hits) / l1_accesses : 0;
+}
+
+double Counters::L2HitRate() const {
+  return l2_accesses ? static_cast<double>(l2_hits) / l2_accesses : 0;
+}
+
+double Counters::L1Throughput() const {
+  return elapsed_cycles > 0 ? static_cast<double>(L1Bytes()) / elapsed_cycles : 0;
+}
+
+double Counters::L2Throughput() const {
+  return elapsed_cycles > 0 ? static_cast<double>(L2Bytes()) / elapsed_cycles : 0;
+}
+
+double Counters::WarpEfficiency() const {
+  return warp_instructions
+             ? static_cast<double>(thread_instructions) / (32.0 * warp_instructions)
+             : 0;
+}
+
+double Counters::DramThroughput() const {
+  return elapsed_cycles > 0 ? static_cast<double>(DramReadBytes()) / elapsed_cycles : 0;
+}
+
+std::string Counters::Summary() const {
+  std::ostringstream out;
+  out << "instr=" << warp_instructions << " cycles=" << static_cast<uint64_t>(elapsed_cycles)
+      << " L1=" << l1_hits << "/" << l1_accesses << " L2=" << l2_hits << "/" << l2_accesses
+      << " dramRd=" << dram_read_transactions << " atomics=" << atomic_operations;
+  return out.str();
+}
+
+}  // namespace eta::sim

@@ -1,0 +1,71 @@
+// Profiler counters — the simulator's equivalent of nvprof metrics.
+//
+// Fig 7 of the paper reports IPC, Unified (L1+texture) cache hit rate, L2
+// hit rate, read throughputs at L2/Unified/global, and global memory read
+// transactions, measured with nvprof. The counters here are defined the
+// same way so bench_fig7_smp_counters can print the same ratios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eta::sim {
+
+struct Counters {
+  // Issue.
+  uint64_t warp_instructions = 0;    // warp-level issued instructions
+  uint64_t thread_instructions = 0;  // warp instr weighted by active lanes
+
+  // Unified (L1) cache, per-sector accesses.
+  uint64_t l1_accesses = 0;
+  uint64_t l1_hits = 0;
+
+  // L2 cache.
+  uint64_t l2_accesses = 0;
+  uint64_t l2_hits = 0;
+
+  // Device memory (32B transactions).
+  uint64_t dram_read_transactions = 0;
+  uint64_t dram_write_transactions = 0;
+
+  // Shared memory.
+  uint64_t shared_accesses = 0;
+
+  // Atomics (L2-resident).
+  uint64_t atomic_operations = 0;
+
+  // Latency accounting: per-warp serialized memory latency, summed across
+  // warps (the latency-bound term of the roofline).
+  uint64_t mem_latency_cycles = 0;
+
+  // Elapsed simulated cycles attributed to kernels (sum over launches).
+  double elapsed_cycles = 0;
+
+  uint64_t launches = 0;
+
+  Counters& operator+=(const Counters& other);
+
+  // --- Derived metrics (nvprof names in comments) -------------------------
+  double Ipc() const;                 // "ipc" (per-SM), needs num_sms
+  double IpcPerSm(uint32_t num_sms) const;
+  double L1HitRate() const;           // "tex_cache_hit_rate" / unified hit
+  double L2HitRate() const;           // "l2_l1_read_hit_rate"
+  uint64_t L1Bytes() const { return l1_accesses * 32; }
+  uint64_t L2Bytes() const { return l2_accesses * 32; }
+  uint64_t DramReadBytes() const { return dram_read_transactions * 32; }
+
+  /// Read throughput in bytes/cycle at each level (proportional to
+  /// nvprof's GB/s throughputs for a fixed clock).
+  double L1Throughput() const;
+  double L2Throughput() const;
+  double DramThroughput() const;
+
+  /// Warp execution efficiency ("warp_execution_efficiency" in nvprof):
+  /// mean fraction of lanes active per issued warp instruction. The direct
+  /// measure of the SIMT load imbalance that UDC attacks.
+  double WarpEfficiency() const;
+
+  std::string Summary() const;
+};
+
+}  // namespace eta::sim

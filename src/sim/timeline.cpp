@@ -1,0 +1,65 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace eta::sim {
+
+void Timeline::Add(SpanKind kind, double start_ms, double end_ms, std::string label) {
+  ETA_CHECK(end_ms >= start_ms);
+  spans_.push_back({kind, start_ms, end_ms, std::move(label)});
+}
+
+double Timeline::TotalMs(SpanKind kind) const {
+  double total = 0;
+  for (const Span& s : spans_) {
+    if (s.kind == kind) total += s.Duration();
+  }
+  return total;
+}
+
+double Timeline::OverlapMs() const {
+  double overlap = 0;
+  for (const Span& c : spans_) {
+    if (c.kind != SpanKind::kCompute) continue;
+    for (const Span& t : spans_) {
+      if (t.kind == SpanKind::kCompute) continue;
+      double lo = std::max(c.start_ms, t.start_ms);
+      double hi = std::min(c.end_ms, t.end_ms);
+      if (hi > lo) overlap += hi - lo;
+    }
+  }
+  return overlap;
+}
+
+std::string Timeline::RenderAscii(double horizon_ms, uint32_t columns) const {
+  ETA_CHECK(columns >= 1);
+  if (horizon_ms <= 0) horizon_ms = 1;
+  std::vector<uint8_t> compute(columns, 0), transfer(columns, 0);
+  for (const Span& s : spans_) {
+    auto lo = static_cast<int64_t>(s.start_ms / horizon_ms * columns);
+    auto hi = static_cast<int64_t>(s.end_ms / horizon_ms * columns);
+    lo = std::clamp<int64_t>(lo, 0, columns - 1);
+    hi = std::clamp<int64_t>(hi, lo, columns - 1);
+    for (int64_t i = lo; i <= hi; ++i) {
+      (s.kind == SpanKind::kCompute ? compute : transfer)[static_cast<size_t>(i)] = 1;
+    }
+  }
+  std::string out;
+  out.reserve(columns + 1);
+  for (uint32_t i = 0; i < columns; ++i) {
+    if (compute[i] && transfer[i]) {
+      out.push_back('%');
+    } else if (compute[i]) {
+      out.push_back('#');
+    } else if (transfer[i]) {
+      out.push_back('=');
+    } else {
+      out.push_back('.');
+    }
+  }
+  return out;
+}
+
+}  // namespace eta::sim

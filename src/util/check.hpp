@@ -1,0 +1,32 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// ETA_CHECK fires in every build type; it guards invariants whose violation
+// would silently corrupt a simulation (wrong counters are worse than a
+// crash in a research artifact). ETA_DCHECK compiles out in NDEBUG builds
+// and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eta::util {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace eta::util
+
+#define ETA_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) ::eta::util::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ETA_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ETA_DCHECK(cond) ETA_CHECK(cond)
+#endif

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace eta::util {
+
+std::optional<CommandLine> CommandLine::Parse(int argc, const char* const* argv,
+                                              std::string* error) {
+  CommandLine cl;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      cl.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      if (error) *error = "bare '--' is not a valid flag";
+      return std::nullopt;
+    }
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      cl.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" form only when the next token is not itself a flag;
+    // otherwise treat as boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      cl.flags_[body] = argv[++i];
+    } else {
+      cl.flags_[body] = "true";
+    }
+  }
+  return cl;
+}
+
+std::string CommandLine::GetString(const std::string& name, const std::string& def) const {
+  read_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t def) const {
+  read_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  ETA_CHECK(end && *end == '\0');
+  return v;
+}
+
+double CommandLine::GetDouble(const std::string& name, double def) const {
+  read_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  ETA_CHECK(end && *end == '\0');
+  return v;
+}
+
+bool CommandLine::GetBool(const std::string& name, bool def) const {
+  read_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> CommandLine::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!read_.contains(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace eta::util

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Supports "--name=value", "--name value" and boolean "--name" forms.
+// Unknown flags are an error: bench binaries are the reproducibility
+// surface of this repo and a silently-ignored typo in a sweep parameter
+// would invalidate results.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eta::util {
+
+class CommandLine {
+ public:
+  /// Parses argv. On error (malformed flag) returns std::nullopt and writes
+  /// a message to *error.
+  static std::optional<CommandLine> Parse(int argc, const char* const* argv,
+                                          std::string* error);
+
+  /// Flag accessors with defaults. GetInt/GetDouble abort on unparsable
+  /// values (a sweep must not continue with a bogus parameter).
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const { return flags_.contains(name); }
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+  /// Flags seen but never read; used by binaries to reject typos.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eta::util

@@ -1,0 +1,49 @@
+// Simple value-accumulating histogram used for migrated-page-size stats
+// (Table V) and degree-distribution reporting.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace eta::util {
+
+class Histogram {
+ public:
+  void Add(uint64_t value) {
+    sum_ += value;
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    values_.push_back(value);
+  }
+
+  uint64_t Count() const { return count_; }
+  uint64_t Sum() const { return sum_; }
+  uint64_t Min() const { return count_ ? min_ : 0; }
+  uint64_t Max() const { return count_ ? max_ : 0; }
+  double Mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+  /// q in [0,1]; nearest-rank percentile. Requires at least one sample.
+  uint64_t Percentile(double q) const {
+    ETA_CHECK(count_ > 0);
+    std::vector<uint64_t> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  const std::vector<uint64_t>& Values() const { return values_; }
+
+ private:
+  uint64_t sum_ = 0;
+  uint64_t count_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace eta::util

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Single-threaded by design (the simulator is
+// deterministic and single-threaded); output goes to stderr so bench
+// binaries can keep stdout clean for table data.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eta::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line: "[LEVEL] message".
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace eta::util
+
+#define ETA_LOG(level) ::eta::util::internal::LogMessage(::eta::util::LogLevel::k##level)

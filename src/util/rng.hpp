@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of this repository (graph generators, edge
+// weights, workload sweeps) derives from these generators with explicit
+// seeds, so any experiment re-runs bit-identically. std::mt19937 is avoided
+// on hot paths: SplitMix64 is ~5x faster and has a trivially splittable
+// state, which the R-MAT generator exploits.
+#pragma once
+
+#include <cstdint>
+
+namespace eta::util {
+
+/// SplitMix64: tiny, fast, passes BigCrush. Used as both a generator and a
+/// seeding/stream-splitting function.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) {
+    // Multiply-shift bounded rejection-free mapping (Lemire). The tiny
+    // modulo bias is irrelevant for graph generation.
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Derives an independent stream; deterministic function of (seed, tag).
+  static SplitMix64 Stream(uint64_t seed, uint64_t tag) {
+    SplitMix64 mixer(seed ^ (0x9e3779b97f4a7c15ULL * (tag + 1)));
+    return SplitMix64(mixer.Next());
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless 64-bit hash (Murmur3 finalizer). Used to derive deterministic
+/// per-edge weights so that every framework sees identical weights without
+/// storing a seed per edge.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of an ordered pair; collision-free enough for weight derivation.
+inline uint64_t MixPair(uint64_t a, uint64_t b) {
+  return Mix64(a * 0x9e3779b97f4a7c15ULL + b + 0x165667b19e3779f9ULL);
+}
+
+}  // namespace eta::util

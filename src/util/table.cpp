@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace eta::util {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= cell.size();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ETA_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  ETA_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRule() { rows_.emplace_back(); }
+
+std::string Table::Render(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+
+  auto rule = [&] { out << std::string(total, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    out << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      size_t pad = widths[c] - cell.size();
+      bool right = align_numeric && LooksNumeric(cell);
+      out << ' ' << (right ? std::string(pad, ' ') + cell : cell + std::string(pad, ' '))
+          << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) out << title << '\n';
+  rule();
+  emit(header_, /*align_numeric=*/false);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row, /*align_numeric=*/true);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string FormatMs(double ms) {
+  if (ms >= 1000.0) return FormatDouble(ms / 1000.0, 2) + " s";
+  if (ms >= 1.0) return FormatDouble(ms, 1) + " ms";
+  return FormatDouble(ms * 1000.0, 0) + " us";
+}
+
+}  // namespace eta::util

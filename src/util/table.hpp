@@ -1,0 +1,38 @@
+// ASCII table rendering for paper-style output.
+//
+// Every bench binary prints its reproduction of a paper table/figure as a
+// plain-text table on stdout; this class handles column sizing and
+// alignment so each bench focuses on the data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eta::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders the table with a title line, column rules, and right-aligned
+  /// numeric-looking cells.
+  std::string Render(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row encodes a rule
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string FormatDouble(double value, int precision = 2);
+
+/// "12.3 ms" / "1.23 s" style duration formatting from milliseconds.
+std::string FormatMs(double ms);
+
+}  // namespace eta::util

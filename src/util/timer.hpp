@@ -1,0 +1,27 @@
+// Wall-clock timing for host-side phases (graph generation, transform
+// preprocessing). Simulated GPU time never comes from this clock — it is
+// produced by the sim::Device cost model — so the two are kept in distinct
+// types to avoid accidental mixing.
+#pragma once
+
+#include <chrono>
+
+namespace eta::util {
+
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed host milliseconds since construction or last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eta::util

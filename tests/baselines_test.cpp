@@ -1,0 +1,156 @@
+// Baseline frameworks (Tigr, Gunrock, CuSha) vs CPU references, plus tests
+// of their characteristic structures (VST, G-Shards) and OOM behaviour.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/cusha.hpp"
+#include "baselines/gunrock.hpp"
+#include "baselines/tigr.hpp"
+#include "core/traversal.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eta::baselines {
+namespace {
+
+using core::Algo;
+
+graph::Csr TestGraph(uint64_t seed = 5) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 10000;
+  params.seed = seed;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(1234);
+  return csr;
+}
+
+class BaselineCorrectness : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(BaselineCorrectness, TigrMatchesCpu) {
+  graph::Csr csr = TestGraph();
+  auto report = Tigr().Run(csr, GetParam(), 0);
+  ASSERT_FALSE(report.oom);
+  auto expected = core::CpuReference(csr, GetParam(), 0);
+  ASSERT_EQ(report.labels, expected);
+}
+
+TEST_P(BaselineCorrectness, GunrockMatchesCpu) {
+  graph::Csr csr = TestGraph();
+  auto report = Gunrock().Run(csr, GetParam(), 0);
+  ASSERT_FALSE(report.oom);
+  auto expected = core::CpuReference(csr, GetParam(), 0);
+  ASSERT_EQ(report.labels, expected);
+}
+
+TEST_P(BaselineCorrectness, CushaMatchesCpu) {
+  graph::Csr csr = TestGraph();
+  auto report = Cusha().Run(csr, GetParam(), 0);
+  ASSERT_FALSE(report.oom);
+  auto expected = core::CpuReference(csr, GetParam(), 0);
+  ASSERT_EQ(report.labels, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, BaselineCorrectness,
+                         ::testing::Values(Algo::kBfs, Algo::kSssp, Algo::kSswp));
+
+TEST(Vst, SplitsDegreesAtBound) {
+  graph::Csr csr = TestGraph();
+  const uint32_t k = 8;
+  auto vst = Tigr::BuildVst(csr, k);
+  ASSERT_EQ(vst.offsets.size(), vst.owner.size() + 1);
+  uint64_t covered = 0;
+  for (size_t i = 0; i < vst.owner.size(); ++i) {
+    graph::EdgeId deg = (i + 1 < vst.offsets.size() ? vst.offsets[i + 1]
+                                                    : csr.NumEdges()) -
+                        vst.offsets[i];
+    // Each virtual node owns a run of at most k edges of its owner. Runs of
+    // different owners are adjacent, so recompute against owner bounds.
+    graph::EdgeId owner_end = csr.RowEnd(vst.owner[i]);
+    graph::EdgeId run = std::min<graph::EdgeId>(vst.offsets[i] + k, owner_end) -
+                        vst.offsets[i];
+    EXPECT_LE(run, k);
+    EXPECT_GE(run, 1u);
+    covered += run;
+    (void)deg;
+  }
+  EXPECT_EQ(covered, csr.NumEdges());
+}
+
+TEST(Vst, CountMatchesCeilFormula) {
+  graph::Csr csr = TestGraph();
+  for (uint32_t k : {1u, 2u, 7u, 16u, 64u}) {
+    auto vst = Tigr::BuildVst(csr, k);
+    uint64_t expected = 0;
+    for (graph::VertexId v = 0; v < csr.NumVertices(); ++v) {
+      expected += (csr.OutDegree(v) + k - 1) / k;
+    }
+    EXPECT_EQ(vst.NumVirtual(), expected) << "k=" << k;
+  }
+}
+
+TEST(GShards, SortedByWindowThenSource) {
+  graph::Csr csr = TestGraph();
+  const uint32_t window = 64;
+  auto shards = Cusha::BuildShards(csr, window);
+  ASSERT_EQ(shards.src.size(), csr.NumEdges());
+  for (size_t i = 1; i < shards.dst.size(); ++i) {
+    uint32_t wa = shards.dst[i - 1] / window, wb = shards.dst[i] / window;
+    ASSERT_LE(wa, wb);
+    if (wa == wb) {
+      ASSERT_LE(shards.src[i - 1], shards.src[i]);
+    }
+  }
+  // Window offsets partition the edges.
+  EXPECT_EQ(shards.shard_start.front(), 0u);
+  EXPECT_EQ(shards.shard_start.back(), csr.NumEdges());
+  for (size_t w = 0; w + 1 < shards.shard_start.size(); ++w) {
+    for (graph::EdgeId e = shards.shard_start[w]; e < shards.shard_start[w + 1]; ++e) {
+      EXPECT_EQ(shards.dst[e] / window, w);
+    }
+  }
+}
+
+TEST(GShards, PreservesMultiset) {
+  graph::Csr csr = TestGraph();
+  auto shards = Cusha::BuildShards(csr, 128);
+  std::vector<graph::Edge> original = graph::ToEdgeList(csr);
+  std::vector<graph::Edge> sharded(shards.src.size());
+  for (size_t i = 0; i < sharded.size(); ++i) sharded[i] = {shards.src[i], shards.dst[i]};
+  std::sort(original.begin(), original.end());
+  std::sort(sharded.begin(), sharded.end());
+  EXPECT_EQ(original, sharded);
+}
+
+TEST(BaselineOom, SmallDeviceReportsOom) {
+  graph::Csr csr = TestGraph();
+  sim::DeviceSpec tiny;
+  tiny.device_memory_bytes = 64 * util::kKiB;  // far too small for 10K edges
+  TigrOptions topt;
+  topt.spec = tiny;
+  EXPECT_TRUE(Tigr(topt).Run(csr, Algo::kBfs, 0).oom);
+  GunrockOptions gopt;
+  gopt.spec = tiny;
+  EXPECT_TRUE(Gunrock(gopt).Run(csr, Algo::kBfs, 0).oom);
+  CushaOptions copt;
+  copt.spec = tiny;
+  EXPECT_TRUE(Cusha(copt).Run(csr, Algo::kBfs, 0).oom);
+}
+
+TEST(BaselineReports, IterationStatsPopulated) {
+  graph::Csr csr = TestGraph();
+  for (auto* report : {new core::RunReport(Tigr().Run(csr, Algo::kBfs, 0)),
+                       new core::RunReport(Gunrock().Run(csr, Algo::kBfs, 0)),
+                       new core::RunReport(Cusha().Run(csr, Algo::kBfs, 0))}) {
+    EXPECT_GT(report->iterations, 0u);
+    EXPECT_EQ(report->iterations, report->iteration_stats.size());
+    EXPECT_GT(report->kernel_ms, 0.0);
+    EXPECT_GE(report->total_ms, report->kernel_ms);
+    EXPECT_GT(report->activated, 0u);
+    delete report;
+  }
+}
+
+}  // namespace
+}  // namespace eta::baselines

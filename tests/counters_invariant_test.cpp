@@ -1,0 +1,117 @@
+// Property tests over the profiler counters: structural invariants that
+// must hold for every run of every framework on every graph shape. These
+// catch accounting bugs in the simulator (double-counted hits, negative
+// rooflines, throughput overflows) that functional-correctness tests
+// cannot see.
+#include <gtest/gtest.h>
+
+#include "baselines/cusha.hpp"
+#include "baselines/gunrock.hpp"
+#include "baselines/tigr.hpp"
+#include "core/framework.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eta {
+namespace {
+
+using core::Algo;
+using core::RunReport;
+
+void CheckCounterInvariants(const RunReport& r, const std::string& label) {
+  const sim::Counters& c = r.counters;
+  SCOPED_TRACE(label);
+  // Hit counts never exceed accesses.
+  EXPECT_LE(c.l1_hits, c.l1_accesses);
+  EXPECT_LE(c.l2_hits, c.l2_accesses);
+  // Every L2 access stems from an L1 miss or a write/atomic; reads that
+  // miss both levels become DRAM transactions.
+  EXPECT_LE(c.dram_read_transactions, c.l2_accesses);
+  // Warp efficiency is a fraction.
+  EXPECT_GE(c.WarpEfficiency(), 0.0);
+  EXPECT_LE(c.WarpEfficiency(), 1.0 + 1e-9);
+  // Thread instructions bounded by 32x warp instructions.
+  EXPECT_LE(c.thread_instructions, 32 * c.warp_instructions);
+  EXPECT_GE(c.thread_instructions, c.warp_instructions);  // >=1 lane active
+  // The roofline clock is positive and kernel time fits inside the total.
+  EXPECT_GT(c.elapsed_cycles, 0.0);
+  EXPECT_GT(r.kernel_ms, 0.0);
+  EXPECT_LE(r.kernel_ms, r.total_ms * (1.0 + 1e-9));
+  // Hit rates and IPC are finite and sane.
+  EXPECT_GE(c.Ipc(), 0.0);
+  EXPECT_LT(c.IpcPerSm(28), 40.0);
+}
+
+class CounterInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CounterInvariants, HoldAcrossFrameworksAndAlgos) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 15000;
+  params.seed = GetParam();
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(GetParam());
+
+  for (Algo algo : {Algo::kBfs, Algo::kSssp, Algo::kSswp}) {
+    CheckCounterInvariants(core::EtaGraph().Run(csr, algo, 0),
+                           std::string("eta-") + core::AlgoName(algo));
+    CheckCounterInvariants(baselines::Tigr().Run(csr, algo, 0),
+                           std::string("tigr-") + core::AlgoName(algo));
+    CheckCounterInvariants(baselines::Gunrock().Run(csr, algo, 0),
+                           std::string("gunrock-") + core::AlgoName(algo));
+    CheckCounterInvariants(baselines::Cusha().Run(csr, algo, 0),
+                           std::string("cusha-") + core::AlgoName(algo));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterInvariants, ::testing::Values(1u, 2u, 3u));
+
+TEST(CounterInvariants, TimelineMatchesTotals) {
+  graph::RmatParams params;
+  params.scale = 11;
+  params.num_edges = 30000;
+  params.seed = 5;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(5);
+  auto r = core::EtaGraph().Run(csr, Algo::kBfs, 0);
+  // Every span sits within [0, total]; compute busy time is at least the
+  // kernel time (wall spans include stalls).
+  for (const auto& span : r.timeline.Spans()) {
+    EXPECT_GE(span.start_ms, 0.0);
+    EXPECT_LE(span.end_ms, r.total_ms + 1e-9);
+  }
+  EXPECT_GE(r.timeline.TotalMs(sim::SpanKind::kCompute), r.kernel_ms * 0.5);
+}
+
+TEST(CounterInvariants, CushaIsBalancedAndCoalesced) {
+  // The model must preserve each framework's architectural signature:
+  // CuSha's edge-centric shards are near-perfectly balanced and streaming.
+  graph::RmatParams params;
+  params.scale = 11;
+  params.num_edges = 40000;
+  params.seed = 6;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(6);
+  auto cusha = baselines::Cusha().Run(csr, Algo::kBfs, 0);
+  auto tigr = baselines::Tigr().Run(csr, Algo::kBfs, 0);
+  EXPECT_GT(cusha.counters.WarpEfficiency(), 0.9);
+  EXPECT_GT(cusha.counters.WarpEfficiency(), tigr.counters.WarpEfficiency());
+}
+
+TEST(CounterInvariants, EtaGraphUsesSharedMemoryOnlyWithSmp) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 10000;
+  params.seed = 7;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(7);
+  core::EtaGraphOptions with, without;
+  without.use_smp = false;
+  auto a = core::EtaGraph(with).Run(csr, Algo::kBfs, 0);
+  auto b = core::EtaGraph(without).Run(csr, Algo::kBfs, 0);
+  EXPECT_GT(a.counters.shared_accesses, 0u);
+  EXPECT_EQ(b.counters.shared_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace eta

@@ -1,0 +1,152 @@
+// Tests for the CPU reference algorithms (the ground truth of the repo).
+#include <gtest/gtest.h>
+
+#include "cpu/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eta::cpu {
+namespace {
+
+using graph::BuildCsr;
+using graph::Csr;
+using graph::Edge;
+
+Csr Chain5() {
+  // 0 -> 1 -> 2 -> 3 -> 4 with weights 5, 1, 7, 2.
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  csr.SetWeights({5, 1, 7, 2});
+  return csr;
+}
+
+TEST(Bfs, ChainLevels) {
+  std::vector<graph::Weight> levels = BfsLevels(Chain5(), 0);
+  EXPECT_EQ(levels, (std::vector<graph::Weight>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, UnreachableIsInf) {
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {2, 3}});
+  auto levels = BfsLevels(csr, 0);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], kInf);
+  EXPECT_EQ(levels[3], kInf);
+}
+
+TEST(Bfs, PicksShortestHopCount) {
+  // 0->1->2 and 0->2 directly.
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(BfsLevels(csr, 0)[2], 1u);
+}
+
+TEST(Sssp, ChainDistances) {
+  auto dist = SsspDistances(Chain5(), 0);
+  EXPECT_EQ(dist, (std::vector<graph::Weight>{0, 5, 6, 13, 15}));
+}
+
+TEST(Sssp, PrefersLighterLongerPath) {
+  // 0->2 weight 10; 0->1->2 weight 2+3=5.
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  csr.SetWeights({2, 10, 3});
+  EXPECT_EQ(SsspDistances(csr, 0)[2], 5u);
+}
+
+TEST(Sssp, DijkstraEqualsBellmanFord) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    graph::RmatParams params;
+    params.scale = 9;
+    params.num_edges = 4000;
+    params.seed = seed;
+    Csr csr = BuildCsr(graph::GenerateRmat(params));
+    csr.DeriveWeights(seed * 17);
+    EXPECT_EQ(SsspDistances(csr, 0), SsspBellmanFord(csr, 0)) << "seed " << seed;
+  }
+}
+
+TEST(Sswp, ChainWidthIsMinEdge) {
+  auto width = SswpWidths(Chain5(), 0);
+  EXPECT_EQ(width[0], kInf);
+  EXPECT_EQ(width[1], 5u);
+  EXPECT_EQ(width[2], 1u);
+  EXPECT_EQ(width[4], 1u);
+}
+
+TEST(Sswp, PrefersWiderPath) {
+  // 0->2 width 3; 0->1->2 width min(9, 8) = 8.
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  csr.SetWeights({9, 3, 8});
+  EXPECT_EQ(SswpWidths(csr, 0)[2], 8u);
+}
+
+TEST(Sswp, UnreachableIsZero) {
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {2, 3}});
+  csr.DeriveWeights(1);
+  auto width = SswpWidths(csr, 0);
+  EXPECT_EQ(width[2], 0u);
+}
+
+// Property: SSWP width to any reached vertex is at least the smallest
+// weight on some incoming edge path — specifically, for a direct neighbor
+// of the source it is at least the direct edge's weight.
+TEST(Sswp, DirectEdgeLowerBound) {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.num_edges = 4000;
+  params.seed = 77;
+  Csr csr = BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(99);
+  auto width = SswpWidths(csr, 0);
+  auto neighbors = csr.Neighbors(0);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_GE(width[neighbors[i]], csr.Weights()[csr.RowStart(0) + i]);
+  }
+}
+
+// Property: BFS level is a lower bound scaffold for SSSP hop structure —
+// dist(v) >= level(v) when all weights are >= 1.
+TEST(CrossAlgorithm, DistanceDominatesLevel) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 8000;
+  params.seed = 123;
+  Csr csr = BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(5);
+  auto levels = BfsLevels(csr, 0);
+  auto dist = SsspDistances(csr, 0);
+  for (size_t v = 0; v < levels.size(); ++v) {
+    if (levels[v] == kInf) {
+      EXPECT_EQ(dist[v], kInf);
+    } else {
+      EXPECT_GE(dist[v], levels[v]);
+    }
+  }
+}
+
+TEST(CountReached, BothConventions) {
+  std::vector<graph::Weight> min_labels = {0, 5, kInf, 3};
+  EXPECT_EQ(CountReached(min_labels, /*widest_path=*/false), 3u);
+  std::vector<graph::Weight> width_labels = {kInf, 5, 0, 3};
+  EXPECT_EQ(CountReached(width_labels, /*widest_path=*/true), 3u);
+}
+
+TEST(SsspSelfConsistency, TriangleInequalityOverEdges) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 10000;
+  params.seed = 321;
+  Csr csr = BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(11);
+  auto dist = SsspDistances(csr, 0);
+  // Relaxed fixpoint: no edge can still improve.
+  for (graph::VertexId v = 0; v < csr.NumVertices(); ++v) {
+    if (dist[v] == kInf) continue;
+    auto neighbors = csr.Neighbors(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      EXPECT_LE(dist[v] + csr.Weights()[csr.RowStart(v) + i] >= dist[neighbors[i]], true);
+      EXPECT_GE(dist[neighbors[i]], 0u);
+      EXPECT_LE(dist[neighbors[i]], dist[v] + csr.Weights()[csr.RowStart(v) + i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eta::cpu

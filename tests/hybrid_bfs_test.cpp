@@ -1,0 +1,88 @@
+// Tests for the direction-optimizing BFS extension.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_bfs.hpp"
+#include "cpu/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eta::core {
+namespace {
+
+graph::Csr SocialGraph(uint64_t seed) {
+  graph::RmatParams params;
+  params.scale = 12;
+  params.num_edges = 60'000;
+  params.a = 0.57;
+  params.b = 0.19;
+  params.c = 0.19;
+  params.seed = seed;
+  auto edges = graph::MirrorEdges(graph::GenerateRmat(params), 0.7, seed);
+  return graph::BuildCsr(std::move(edges));
+}
+
+class HybridBfs : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HybridBfs, MatchesCpuOnSocialGraphs) {
+  graph::Csr csr = SocialGraph(GetParam());
+  auto result = RunHybridBfs(csr, 0);
+  ASSERT_FALSE(result.oom);
+  EXPECT_EQ(result.levels, cpu::BfsLevels(csr, 0));
+  // Social graphs have the fat middle frontier that triggers pull mode.
+  EXPECT_GT(result.bottom_up_iterations, 0u);
+  EXPECT_LT(result.bottom_up_iterations, result.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridBfs, ::testing::Values(1u, 2u, 3u));
+
+TEST(HybridBfsShape, ChainNeverLeavesTopDown) {
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v + 1 < 300; ++v) edges.push_back({v, v + 1});
+  graph::Csr csr = graph::BuildCsr(std::move(edges));
+  auto result = RunHybridBfs(csr, 0);
+  EXPECT_EQ(result.bottom_up_iterations, 0u);  // frontier never fattens
+  EXPECT_EQ(result.levels, cpu::BfsLevels(csr, 0));
+  EXPECT_EQ(result.iterations, 300u);
+}
+
+TEST(HybridBfsShape, AlphaDisablesPullMode) {
+  graph::Csr csr = SocialGraph(4);
+  HybridBfsOptions never;
+  never.alpha = 0.5;  // threshold > |V|: never switch
+  auto result = RunHybridBfs(csr, 0, never);
+  EXPECT_EQ(result.bottom_up_iterations, 0u);
+  EXPECT_EQ(result.levels, cpu::BfsLevels(csr, 0));
+}
+
+TEST(HybridBfsShape, PullModeCutsKernelTimeOnSocial) {
+  graph::Csr csr = SocialGraph(5);
+  HybridBfsOptions hybrid;
+  HybridBfsOptions push_only;
+  push_only.alpha = 0.5;
+  auto a = RunHybridBfs(csr, 0, hybrid);
+  auto b = RunHybridBfs(csr, 0, push_only);
+  ASSERT_EQ(a.levels, b.levels);
+  // The fat middle iterations dominate; pull mode's early-exit scans beat
+  // pushing every edge through atomics.
+  EXPECT_LT(a.kernel_ms, b.kernel_ms);
+}
+
+TEST(HybridBfsShape, NonZeroSourceAndUnreachable) {
+  std::vector<graph::Edge> edges = {{5, 6}, {6, 7}, {1, 2}};
+  graph::Csr csr = graph::BuildCsr(std::move(edges), {.min_vertices = 10});
+  auto result = RunHybridBfs(csr, 5);
+  EXPECT_EQ(result.levels, cpu::BfsLevels(csr, 5));
+  EXPECT_EQ(result.levels[2], cpu::kInf);
+}
+
+TEST(HybridBfsShape, Deterministic) {
+  graph::Csr csr = SocialGraph(6);
+  auto a = RunHybridBfs(csr, 0);
+  auto b = RunHybridBfs(csr, 0);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_DOUBLE_EQ(a.total_ms, b.total_ms);
+  EXPECT_EQ(a.bottom_up_iterations, b.bottom_up_iterations);
+}
+
+}  // namespace
+}  // namespace eta::core

@@ -1,0 +1,157 @@
+// Graph I/O tests: Galois .gr binary round trips, text edge lists, and the
+// dataset cache built on top of them.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+
+namespace eta::graph {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("eta_io_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+Csr RandomGraph(uint64_t seed, bool weighted) {
+  RmatParams params;
+  params.scale = 9;
+  params.num_edges = 3000;
+  params.seed = seed;
+  Csr csr = BuildCsr(GenerateRmat(params));
+  if (weighted) csr.DeriveWeights(seed);
+  return csr;
+}
+
+void ExpectCsrEqual(const Csr& a, const Csr& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_TRUE(std::equal(a.RowOffsets().begin(), a.RowOffsets().end(),
+                         b.RowOffsets().begin()));
+  EXPECT_TRUE(std::equal(a.ColIndices().begin(), a.ColIndices().end(),
+                         b.ColIndices().begin()));
+  ASSERT_EQ(a.HasWeights(), b.HasWeights());
+  if (a.HasWeights()) {
+    EXPECT_TRUE(std::equal(a.Weights().begin(), a.Weights().end(), b.Weights().begin()));
+  }
+}
+
+TEST_F(IoTest, GaloisRoundTripUnweighted) {
+  Csr csr = RandomGraph(1, false);
+  WriteGaloisGr(csr, Path("g.gr"));
+  ExpectCsrEqual(csr, ReadGaloisGr(Path("g.gr")));
+}
+
+TEST_F(IoTest, GaloisRoundTripWeighted) {
+  Csr csr = RandomGraph(2, true);
+  WriteGaloisGr(csr, Path("g.gr"));
+  ExpectCsrEqual(csr, ReadGaloisGr(Path("g.gr")));
+}
+
+TEST_F(IoTest, GaloisOddEdgeCountPadding) {
+  // An odd |E| exercises the 8-byte padding path.
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_EQ(csr.NumEdges() % 2, 1u);
+  WriteGaloisGr(csr, Path("odd.gr"));
+  ExpectCsrEqual(csr, ReadGaloisGr(Path("odd.gr")));
+}
+
+TEST_F(IoTest, GaloisHeaderLayout) {
+  Csr csr = BuildCsr(std::vector<Edge>{{0, 1}});
+  WriteGaloisGr(csr, Path("h.gr"));
+  std::ifstream in(Path("h.gr"), std::ios::binary);
+  uint64_t header[4];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  EXPECT_EQ(header[0], 1u);  // version
+  EXPECT_EQ(header[1], 0u);  // no edge data
+  EXPECT_EQ(header[2], 2u);  // nodes
+  EXPECT_EQ(header[3], 1u);  // edges
+}
+
+TEST_F(IoTest, TextRoundTripUnweighted) {
+  Csr csr = RandomGraph(3, false);
+  WriteEdgeListText(csr, Path("g.txt"));
+  ExpectCsrEqual(csr, ReadEdgeListText(Path("g.txt")));
+}
+
+TEST_F(IoTest, TextRoundTripWeighted) {
+  Csr csr = RandomGraph(4, true);
+  WriteEdgeListText(csr, Path("g.txt"));
+  ExpectCsrEqual(csr, ReadEdgeListText(Path("g.txt")));
+}
+
+TEST_F(IoTest, TextSkipsComments) {
+  std::ofstream out(Path("c.txt"));
+  out << "# SNAP-style comment\n% matrix-market comment\n0 1\n1 2\n";
+  out.close();
+  Csr csr = ReadEdgeListText(Path("c.txt"));
+  EXPECT_EQ(csr.NumEdges(), 2u);
+  EXPECT_EQ(csr.NumVertices(), 3u);
+}
+
+TEST_F(IoTest, DatasetCacheHitSkipsGeneration) {
+  std::string cache = (dir_ / "cache").string();
+  Csr first = BuildDatasetCached("slashdot", cache, /*scale=*/0.05);
+  ASSERT_TRUE(fs::exists(fs::path(cache)));
+  Csr second = BuildDatasetCached("slashdot", cache, /*scale=*/0.05);
+  ExpectCsrEqual(first, second);
+}
+
+TEST_F(IoTest, DatasetCacheKeyedByScale) {
+  std::string cache = (dir_ / "cache").string();
+  BuildDatasetCached("slashdot", cache, 0.05);
+  BuildDatasetCached("slashdot", cache, 0.10);
+  size_t files = 0;
+  for (auto& entry : fs::directory_iterator(cache)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST(Datasets, RegistryComplete) {
+  EXPECT_EQ(AllDatasets().size(), 7u);
+  EXPECT_TRUE(FindDataset("uk2005").has_value());
+  EXPECT_FALSE(FindDataset("nope").has_value());
+  EXPECT_EQ(FindDataset("rmat")->paper_name, "RMAT25");
+}
+
+TEST(Datasets, BuildDeterministic) {
+  Csr a = BuildDataset("slashdot", 0.05);
+  Csr b = BuildDataset("slashdot", 0.05);
+  ExpectCsrEqual(a, b);
+}
+
+TEST(Datasets, AllBuildableAtSmokeScale) {
+  for (const auto& info : AllDatasets()) {
+    Csr csr = BuildDataset(info.name, /*scale=*/0.03);
+    EXPECT_GT(csr.NumEdges(), 0u) << info.name;
+    EXPECT_TRUE(csr.Validate()) << info.name;
+    EXPECT_TRUE(csr.HasWeights()) << info.name;
+    // The query source must reach something on every dataset.
+    auto reach = ComputeReachability(csr, kQuerySource);
+    EXPECT_GT(reach.visited, 1u) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace eta::graph

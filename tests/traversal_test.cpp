@@ -1,0 +1,84 @@
+// Unit tests of the shared traversal-label algebra (core/traversal.hpp) —
+// the single source of truth for what BFS/SSSP/SSWP mean across all four
+// frameworks and the CPU references.
+#include <gtest/gtest.h>
+
+#include "core/options.hpp"
+#include "core/traversal.hpp"
+
+namespace eta::core {
+namespace {
+
+TEST(Labels, InitValues) {
+  EXPECT_EQ(InitLabel(Algo::kBfs, true), 0u);
+  EXPECT_EQ(InitLabel(Algo::kBfs, false), kInf);
+  EXPECT_EQ(InitLabel(Algo::kSssp, true), 0u);
+  EXPECT_EQ(InitLabel(Algo::kSssp, false), kInf);
+  // SSWP maximizes: the source has infinite bottleneck, others none.
+  EXPECT_EQ(InitLabel(Algo::kSswp, true), kInf);
+  EXPECT_EQ(InitLabel(Algo::kSswp, false), 0u);
+}
+
+TEST(Labels, PropagateBfsIgnoresWeight) {
+  EXPECT_EQ(Propagate(Algo::kBfs, 3, 999), 4u);
+}
+
+TEST(Labels, PropagateSsspAddsWeight) {
+  EXPECT_EQ(Propagate(Algo::kSssp, 3, 7), 10u);
+}
+
+TEST(Labels, PropagateSswpTakesMin) {
+  EXPECT_EQ(Propagate(Algo::kSswp, 9, 4), 4u);
+  EXPECT_EQ(Propagate(Algo::kSswp, 2, 8), 2u);
+  EXPECT_EQ(Propagate(Algo::kSswp, kInf, 8), 8u);  // source bottleneck
+}
+
+TEST(Labels, ImprovesDirection) {
+  EXPECT_TRUE(Improves(Algo::kBfs, 2, 5));
+  EXPECT_FALSE(Improves(Algo::kBfs, 5, 2));
+  EXPECT_FALSE(Improves(Algo::kBfs, 5, 5));  // strict
+  EXPECT_TRUE(Improves(Algo::kSswp, 5, 2));
+  EXPECT_FALSE(Improves(Algo::kSswp, 2, 5));
+  EXPECT_FALSE(Improves(Algo::kSswp, 5, 5));
+}
+
+TEST(Labels, ReachedConventions) {
+  EXPECT_TRUE(Reached(Algo::kBfs, 0));
+  EXPECT_FALSE(Reached(Algo::kBfs, kInf));
+  EXPECT_TRUE(Reached(Algo::kSswp, 1));
+  EXPECT_FALSE(Reached(Algo::kSswp, 0));
+}
+
+TEST(Labels, WeightedPredicate) {
+  EXPECT_FALSE(IsWeighted(Algo::kBfs));
+  EXPECT_TRUE(IsWeighted(Algo::kSssp));
+  EXPECT_TRUE(IsWeighted(Algo::kSswp));
+}
+
+TEST(Names, AlgoAndModeNames) {
+  EXPECT_STREQ(AlgoName(Algo::kBfs), "BFS");
+  EXPECT_STREQ(AlgoName(Algo::kSssp), "SSSP");
+  EXPECT_STREQ(AlgoName(Algo::kSswp), "SSWP");
+  EXPECT_STREQ(MemoryModeName(MemoryMode::kUnifiedPrefetch), "um+prefetch");
+  EXPECT_STREQ(MemoryModeName(MemoryMode::kUnifiedOnDemand), "um");
+  EXPECT_STREQ(MemoryModeName(MemoryMode::kExplicitCopy), "explicit");
+}
+
+// Monotonicity property: repeated propagation along any path can only make
+// a label "worse or equal" than its prefix, so Improves(Propagate(x), x)
+// must never hold with weights >= 1 — the invariant that guarantees
+// traversal termination.
+TEST(Labels, PropagationNeverImprovesOnItself) {
+  for (Algo algo : {Algo::kBfs, Algo::kSssp, Algo::kSswp}) {
+    for (graph::Weight label : {0u, 1u, 5u, 1000u, kInf - 100}) {
+      for (graph::Weight w : {1u, 2u, 63u}) {
+        graph::Weight next = Propagate(algo, label, w);
+        EXPECT_FALSE(Improves(algo, next, label))
+            << AlgoName(algo) << " label=" << label << " w=" << w;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eta::core

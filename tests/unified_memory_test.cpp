@@ -1,0 +1,229 @@
+// Tests for the unified-memory model: fault-driven migration with merge
+// escalation, prefetch, arrival gating, oversubscription/eviction — the
+// machinery behind Table V, Fig 4, and the uk-2006 result.
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "sim/unified_memory.hpp"
+
+namespace eta::sim {
+namespace {
+
+DeviceSpec SmallSpec() {
+  DeviceSpec spec;
+  spec.device_memory_bytes = 2 * util::kMiB;
+  return spec;
+}
+
+TEST(UnifiedMemory, FaultMigratesBaseWindow) {
+  DeviceSpec spec = SmallSpec();
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  um.Register(1 << 20, 1 << 20);
+  auto r = um.Touch(1 << 20, false, 0.0);
+  EXPECT_EQ(r.fault_ops, 1u);
+  EXPECT_EQ(r.migrated_bytes, 16 * util::kKiB);
+  // Same page again: resident, no fault.
+  auto r2 = um.Touch(1 << 20, false, 0.0);
+  EXPECT_EQ(r2.fault_ops, 0u);
+  EXPECT_EQ(r2.migrated_bytes, 0u);
+}
+
+TEST(UnifiedMemory, SequentialFaultsEscalateWindow) {
+  DeviceSpec spec = SmallSpec();
+  spec.device_memory_bytes = 64 * util::kMiB;
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  const uint64_t base = 1 << 24;
+  um.Register(base, 16 * util::kMiB);
+  // Touch pages in address order; migration sizes should grow toward the
+  // 2 MB merge limit.
+  uint64_t max_batch = 0;
+  uint64_t addr = base;
+  while (addr < base + 16 * util::kMiB) {
+    auto r = um.Touch(addr, false, 0.0);
+    max_batch = std::max(max_batch, r.migrated_bytes);
+    addr += r.migrated_bytes > 0 ? r.migrated_bytes : spec.page_bytes;
+  }
+  EXPECT_EQ(max_batch, 1 * util::kMiB);  // fault-path cap (prefetch still moves 2 MB)
+  EXPECT_GE(um.MigrationSizes().Min(), spec.page_bytes);
+}
+
+TEST(UnifiedMemory, RandomFaultsStaySmall) {
+  DeviceSpec spec = SmallSpec();
+  spec.device_memory_bytes = 256 * util::kMiB;
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  const uint64_t base = 1 << 24;
+  um.Register(base, 64 * util::kMiB);
+  // Far-apart touches never escalate past the 64 KB base window.
+  for (int i = 0; i < 32; ++i) {
+    auto r = um.Touch(base + uint64_t(i) * 2 * util::kMiB + (i % 3) * 4096, false, 0.0);
+    EXPECT_LE(r.migrated_bytes, 32 * util::kKiB) << i;
+  }
+}
+
+TEST(UnifiedMemory, PrefetchUsesMaxChunks) {
+  DeviceSpec spec = SmallSpec();
+  spec.device_memory_bytes = 64 * util::kMiB;
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  const uint64_t base = 1 << 24;
+  const uint64_t bytes = 7 * util::kMiB;
+  um.Register(base, bytes);
+  double end = um.PrefetchToDevice(base, /*start_ms=*/1.0);
+  EXPECT_GT(end, 1.0);
+  EXPECT_NEAR(end - 1.0, spec.PcieMsForBytes(bytes), 1e-9);
+  // 3 full 2 MB chunks + a 1 MB tail.
+  const auto& sizes = um.MigrationSizes();
+  EXPECT_EQ(sizes.Count(), 4u);
+  EXPECT_EQ(sizes.Max(), 2 * util::kMiB);
+  EXPECT_EQ(sizes.Sum(), bytes);
+}
+
+TEST(UnifiedMemory, PrefetchedPagesReportArrival) {
+  DeviceSpec spec = SmallSpec();
+  spec.device_memory_bytes = 64 * util::kMiB;
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  const uint64_t base = 1 << 24;
+  um.Register(base, 8 * util::kMiB);
+  double end = um.PrefetchToDevice(base, 0.0);
+  // First chunk lands earlier than the last.
+  auto first = um.Touch(base, false, 0.0);
+  auto last = um.Touch(base + 8 * util::kMiB - 1, false, 0.0);
+  EXPECT_EQ(first.fault_ops, 0u);
+  EXPECT_LT(first.arrival_ms, last.arrival_ms);
+  EXPECT_NEAR(last.arrival_ms, end, 1e-6);
+}
+
+TEST(UnifiedMemory, OversubscriptionEvicts) {
+  DeviceSpec spec = SmallSpec();
+  spec.device_memory_bytes = 1 * util::kMiB;  // budget smaller than range
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  const uint64_t base = 1 << 24;
+  um.Register(base, 4 * util::kMiB);
+  uint64_t addr = base;
+  while (addr < base + 4 * util::kMiB) {
+    auto r = um.Touch(addr, false, 0.0);
+    addr += std::max<uint64_t>(r.migrated_bytes, spec.page_bytes);
+  }
+  EXPECT_LE(um.ResidentBytes(), spec.device_memory_bytes);
+  EXPECT_GT(um.TotalEvictedBytes(), 0u);
+  // Evicted head pages fault again on re-touch.
+  auto r = um.Touch(base, false, 0.0);
+  EXPECT_EQ(r.fault_ops, 1u);
+}
+
+TEST(UnifiedMemory, UnregisterReleasesResidency) {
+  DeviceSpec spec = SmallSpec();
+  UnifiedMemory um(spec);
+  um.SetDeviceBudget(spec.device_memory_bytes);
+  um.Register(1 << 20, 128 * util::kKiB);
+  um.Touch(1 << 20, false, 0.0);
+  EXPECT_GT(um.ResidentBytes(), 0u);
+  um.Unregister(1 << 20);
+  EXPECT_EQ(um.ResidentBytes(), 0u);
+}
+
+// --- Device-level UM integration ---------------------------------------------
+
+TEST(DeviceUm, KernelFaultsArePaidOnce) {
+  DeviceSpec spec;
+  spec.device_memory_bytes = 32 * util::kMiB;
+  Device device(spec);
+  auto buf = device.Alloc<uint32_t>(1 << 16, MemKind::kUnified, "managed");
+  auto first = device.Launch("k1", {1 << 16}, [&](WarpCtx& w) {
+    LaneArray<uint32_t> out{};
+    w.GatherContiguous(buf, w.WarpId() * 32, w.ActiveMask(), out);
+  });
+  EXPECT_GT(first.migrated_bytes, 0u);
+  EXPECT_GT(first.fault_ops, 0u);
+  // All pages now resident: second identical launch migrates nothing.
+  auto second = device.Launch("k2", {1 << 16}, [&](WarpCtx& w) {
+    LaneArray<uint32_t> out{};
+    w.GatherContiguous(buf, w.WarpId() * 32, w.ActiveMask(), out);
+  });
+  EXPECT_EQ(second.migrated_bytes, 0u);
+  EXPECT_LT(second.wall_ms, first.wall_ms);
+}
+
+TEST(DeviceUm, PrefetchEliminatesFaults) {
+  DeviceSpec spec;
+  spec.device_memory_bytes = 32 * util::kMiB;
+  Device device(spec);
+  auto buf = device.Alloc<uint32_t>(1 << 16, MemKind::kUnified, "managed");
+  device.PrefetchAsync(buf);
+  auto result = device.Launch("k", {1 << 16}, [&](WarpCtx& w) {
+    LaneArray<uint32_t> out{};
+    w.GatherContiguous(buf, w.WarpId() * 32, w.ActiveMask(), out);
+  });
+  EXPECT_EQ(result.fault_ops, 0u);
+  // But the kernel still waited for its pages to land.
+  EXPECT_GE(result.end_ms, spec.PcieMsForBytes(4 << 16) * 0.9);
+}
+
+TEST(DeviceUm, HostWritesVisibleToKernel) {
+  Device device;
+  auto buf = device.Alloc<uint32_t>(64, MemKind::kUnified, "managed");
+  buf.HostSpan()[7] = 1234;
+  device.Launch("k", {32}, [&](WarpCtx& w) {
+    LaneArray<uint64_t> idx{};
+    idx[0] = 7;
+    LaneArray<uint32_t> out{};
+    w.Gather(buf, idx, 1u, out);
+    EXPECT_EQ(out[0], 1234u);
+  });
+}
+
+TEST(DeviceUm, SynchronizeWaitsForPrefetch) {
+  DeviceSpec spec;
+  spec.device_memory_bytes = 64 * util::kMiB;
+  Device device(spec);
+  auto buf = device.Alloc<uint32_t>(1 << 20, MemKind::kUnified, "managed");
+  double end = device.PrefetchAsync(buf);
+  EXPECT_LT(device.NowMs(), end);  // async
+  device.Synchronize();
+  EXPECT_DOUBLE_EQ(device.NowMs(), end);
+}
+
+TEST(DeviceUm, TimelineRecordsFaultTransfers) {
+  DeviceSpec spec;
+  spec.device_memory_bytes = 32 * util::kMiB;
+  Device device(spec);
+  auto buf = device.Alloc<uint32_t>(1 << 16, MemKind::kUnified, "managed");
+  device.Launch("k", {1 << 16}, [&](WarpCtx& w) {
+    LaneArray<uint32_t> out{};
+    w.GatherContiguous(buf, w.WarpId() * 32, w.ActiveMask(), out);
+  });
+  const Timeline& tl = device.GetTimeline();
+  EXPECT_GT(tl.TotalMs(SpanKind::kCompute), 0.0);
+  EXPECT_GT(tl.TotalMs(SpanKind::kTransferH2D), 0.0);
+  EXPECT_GT(tl.OverlapMs(), 0.0);  // fault transfers overlap the kernel
+}
+
+// --- Timeline ------------------------------------------------------------------
+
+TEST(Timeline, OverlapComputation) {
+  Timeline tl;
+  tl.Add(SpanKind::kCompute, 0, 10, "k");
+  tl.Add(SpanKind::kTransferH2D, 5, 15, "t");
+  EXPECT_DOUBLE_EQ(tl.TotalMs(SpanKind::kCompute), 10.0);
+  EXPECT_DOUBLE_EQ(tl.TotalMs(SpanKind::kTransferH2D), 10.0);
+  EXPECT_DOUBLE_EQ(tl.OverlapMs(), 5.0);
+}
+
+TEST(Timeline, AsciiRenderMarksBands) {
+  Timeline tl;
+  tl.Add(SpanKind::kCompute, 0, 50, "k");
+  tl.Add(SpanKind::kTransferH2D, 25, 100, "t");
+  std::string strip = tl.RenderAscii(100, 20);
+  ASSERT_EQ(strip.size(), 20u);
+  EXPECT_EQ(strip[0], '#');   // compute only
+  EXPECT_EQ(strip[7], '%');   // both
+  EXPECT_EQ(strip[15], '=');  // transfer only
+}
+
+}  // namespace
+}  // namespace eta::sim

@@ -1,0 +1,150 @@
+// Tests for src/util: rng determinism, CLI parsing, table rendering,
+// units, histogram.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace eta::util {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, BoundedStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(SplitMix64, BoundedCoversRange) {
+  SplitMix64 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, StreamsAreIndependent) {
+  auto s0 = SplitMix64::Stream(5, 0);
+  auto s1 = SplitMix64::Stream(5, 1);
+  EXPECT_NE(s0.Next(), s1.Next());
+}
+
+TEST(Mix64, PairHashOrderSensitive) {
+  EXPECT_NE(MixPair(1, 2), MixPair(2, 1));
+}
+
+TEST(CommandLine, ParsesAllForms) {
+  const char* argv[] = {"prog", "pos", "--alpha=3", "--beta", "4", "--flag"};
+  std::string error;
+  auto cl = CommandLine::Parse(6, argv, &error);
+  ASSERT_TRUE(cl.has_value());
+  EXPECT_EQ(cl->GetInt("alpha", 0), 3);
+  EXPECT_EQ(cl->GetInt("beta", 0), 4);
+  EXPECT_TRUE(cl->GetBool("flag", false));
+  ASSERT_EQ(cl->Positional().size(), 1u);
+  EXPECT_EQ(cl->Positional()[0], "pos");
+}
+
+TEST(CommandLine, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  std::string error;
+  auto cl = CommandLine::Parse(1, argv, &error);
+  ASSERT_TRUE(cl.has_value());
+  EXPECT_EQ(cl->GetString("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(cl->GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(cl->GetBool("missing", false));
+}
+
+TEST(CommandLine, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  std::string error;
+  auto cl = CommandLine::Parse(3, argv, &error);
+  ASSERT_TRUE(cl.has_value());
+  cl->GetInt("used", 0);
+  auto unused = cl->UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Table, RendersAllRows) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRule();
+  t.AddRow({"b", "22"});
+  std::string s = t.Render("title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.50, 2), "1.5");
+  EXPECT_EQ(FormatDouble(2.00, 2), "2");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+}
+
+TEST(FormatMs, PicksUnits) {
+  EXPECT_EQ(FormatMs(2500), "2.5 s");
+  EXPECT_EQ(FormatMs(12.34), "12.3 ms");
+  EXPECT_EQ(FormatMs(0.5), "500 us");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kMiB), "2.00 MB");
+}
+
+TEST(Units, ParseBytesRoundTrips) {
+  EXPECT_EQ(ParseBytes("4096"), 4096u);
+  EXPECT_EQ(ParseBytes("4K"), 4 * kKiB);
+  EXPECT_EQ(ParseBytes("144MB"), 144 * kMiB);
+  EXPECT_EQ(ParseBytes("2GiB"), 2 * kGiB);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  h.Add(4);
+  h.Add(8);
+  h.Add(12);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 24u);
+  EXPECT_EQ(h.Min(), 4u);
+  EXPECT_EQ(h.Max(), 12u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 8.0);
+  EXPECT_EQ(h.Percentile(0.5), 8u);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace eta::util

@@ -1,0 +1,195 @@
+// etagraph — command-line driver for the library.
+//
+// Run any framework / algorithm / dataset combination and print the run
+// report, without writing code:
+//
+//   etagraph --framework=etagraph --algo=bfs --dataset=livejournal
+//   etagraph --framework=tigr --algo=sssp --graph=path/to/graph.gr --source=5
+//   etagraph --framework=etagraph --algo=cc --dataset=orkut
+//   etagraph --algo=pagerank --dataset=livejournal
+//
+// Flags:
+//   --framework   etagraph | tigr | gunrock | cusha          (default etagraph)
+//   --algo        bfs | sssp | sswp | cc | pagerank          (default bfs)
+//   --dataset     one of the seven stand-ins  (or use --graph)
+//   --graph       path to a Galois .gr or text edge-list file
+//   --source      source vertex                               (default 0)
+//   --k           EtaGraph degree limit                       (default 16)
+//   --mode        um+prefetch | um | explicit | chunked       (default um+prefetch)
+//   --no-smp      disable shared-memory prefetch
+//   --scale       dataset stand-in scale in (0,1]             (default 1)
+//   --verify      check labels against the CPU reference      (default true)
+//   --timeline    print the transfer/compute strip chart
+#include <cstdio>
+#include <string>
+
+#include "baselines/cusha.hpp"
+#include "baselines/gunrock.hpp"
+#include "baselines/tigr.hpp"
+#include "core/framework.hpp"
+#include "core/pagerank.hpp"
+#include "core/hybrid_bfs.hpp"
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+using namespace eta;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "etagraph: %s\n", message.c_str());
+  return 2;
+}
+
+void PrintReport(const core::RunReport& r, bool timeline) {
+  if (r.oom) {
+    std::printf("%s: O.O.M (requested %s)\n", r.framework.c_str(),
+                util::FormatBytes(r.oom_request_bytes).c_str());
+    return;
+  }
+  std::printf("%s %s\n", r.framework.c_str(), core::AlgoName(r.algo));
+  std::printf("  kernel      %10.3f ms (simulated)\n", r.kernel_ms);
+  std::printf("  total       %10.3f ms (transfers + kernels + stalls)\n", r.total_ms);
+  std::printf("  iterations  %10u\n", r.iterations);
+  std::printf("  activated   %10llu (%.2f%%)\n",
+              static_cast<unsigned long long>(r.activated),
+              r.activated_fraction * 100);
+  std::printf("  device mem  %10s peak explicit\n",
+              util::FormatBytes(r.device_bytes_peak).c_str());
+  if (r.migrated_bytes > 0) {
+    std::printf("  UM migrated %10s in %zu ops\n",
+                util::FormatBytes(r.migrated_bytes).c_str(), r.migration_sizes.size());
+  }
+  std::printf("  counters    ipc/sm=%.3f l1=%.1f%% l2=%.1f%% warp-eff=%.2f "
+              "dramRd=%llu\n",
+              r.counters.IpcPerSm(28), 100 * r.counters.L1HitRate(),
+              100 * r.counters.L2HitRate(), r.counters.WarpEfficiency(),
+              static_cast<unsigned long long>(r.counters.dram_read_transactions));
+  if (timeline) {
+    std::printf("  timeline    [%s]\n",
+                r.timeline.RenderAscii(r.total_ms, 80).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  auto cl = util::CommandLine::Parse(argc, argv, &error);
+  if (!cl) return Fail(error);
+
+  const std::string framework = cl->GetString("framework", "etagraph");
+  const std::string algo_name = cl->GetString("algo", "bfs");
+  const std::string dataset = cl->GetString("dataset", "");
+  const std::string graph_path = cl->GetString("graph", "");
+  const auto source = static_cast<graph::VertexId>(cl->GetInt("source", 0));
+  const auto k = static_cast<uint32_t>(cl->GetInt("k", 16));
+  const std::string mode_name = cl->GetString("mode", "um+prefetch");
+  const bool smp = !cl->GetBool("no-smp", false);
+  const double scale = cl->GetDouble("scale", 1.0);
+  const bool verify = cl->GetBool("verify", true);
+  const bool timeline = cl->GetBool("timeline", false);
+  if (auto unused = cl->UnusedFlags(); !unused.empty()) {
+    return Fail("unknown flag --" + unused.front());
+  }
+
+  // --- Load the graph -------------------------------------------------------
+  graph::Csr csr;
+  if (!graph_path.empty()) {
+    csr = graph_path.size() > 3 && graph_path.ends_with(".gr")
+              ? graph::ReadGaloisGr(graph_path)
+              : graph::ReadEdgeListText(graph_path);
+    if (!csr.HasWeights()) csr.DeriveWeights(1);
+  } else if (!dataset.empty()) {
+    if (!graph::FindDataset(dataset)) return Fail("unknown dataset '" + dataset + "'");
+    csr = graph::BuildDatasetCached(dataset, "eta_dataset_cache", scale);
+  } else {
+    return Fail("pass --dataset=<name> or --graph=<path>; datasets: slashdot, "
+                "livejournal, orkut, rmat, uk2005, sk2005, uk2006");
+  }
+  if (source >= csr.NumVertices()) return Fail("--source out of range");
+  std::printf("graph: %u vertices, %u edges, topology %s\n", csr.NumVertices(),
+              csr.NumEdges(), util::FormatBytes(csr.TopologyBytes()).c_str());
+
+  // --- PageRank path ---------------------------------------------------------
+  if (algo_name == "pagerank") {
+    core::PageRankOptions options;
+    options.use_smp = smp;
+    options.degree_limit = k;
+    auto result = core::RunPageRank(csr, options);
+    if (result.oom) return Fail("device out of memory");
+    std::printf("PageRank: %u iterations, kernel %.3f ms, total %.3f ms\n",
+                result.iterations, result.kernel_ms, result.total_ms);
+    return 0;
+  }
+
+  // --- Traversals -------------------------------------------------------------
+  core::Algo algo;
+  if (algo_name == "bfs") {
+    algo = core::Algo::kBfs;
+  } else if (algo_name == "sssp") {
+    algo = core::Algo::kSssp;
+  } else if (algo_name == "sswp") {
+    algo = core::Algo::kSswp;
+  } else if (algo_name == "cc") {
+    auto report = core::EtaGraph().RunConnectedComponents(csr);
+    PrintReport(report, timeline);
+    return 0;
+  } else if (algo_name == "hybrid-bfs") {
+    core::HybridBfsOptions options;
+    options.use_smp = smp;
+    options.degree_limit = k;
+    auto result = core::RunHybridBfs(csr, source, options);
+    if (result.oom) return Fail("device out of memory");
+    std::printf("Hybrid BFS: %u iterations (%u bottom-up), kernel %.3f ms, "
+                "total %.3f ms\n",
+                result.iterations, result.bottom_up_iterations, result.kernel_ms,
+                result.total_ms);
+    if (verify) {
+      bool ok = result.levels == core::CpuReference(csr, core::Algo::kBfs, source);
+      std::printf("verify: %s\n", ok ? "OK" : "MISMATCH");
+      if (!ok) return 1;
+    }
+    return 0;
+  } else {
+    return Fail("unknown --algo '" + algo_name + "'");
+  }
+
+  core::RunReport report;
+  if (framework == "etagraph") {
+    core::EtaGraphOptions options;
+    options.degree_limit = k;
+    options.use_smp = smp;
+    if (mode_name == "um+prefetch") {
+      options.memory_mode = core::MemoryMode::kUnifiedPrefetch;
+    } else if (mode_name == "um") {
+      options.memory_mode = core::MemoryMode::kUnifiedOnDemand;
+    } else if (mode_name == "explicit") {
+      options.memory_mode = core::MemoryMode::kExplicitCopy;
+    } else if (mode_name == "chunked") {
+      options.memory_mode = core::MemoryMode::kChunkedStream;
+    } else {
+      return Fail("unknown --mode '" + mode_name + "'");
+    }
+    report = core::EtaGraph(options).Run(csr, algo, source);
+  } else if (framework == "tigr") {
+    report = baselines::Tigr().Run(csr, algo, source);
+  } else if (framework == "gunrock") {
+    report = baselines::Gunrock().Run(csr, algo, source);
+  } else if (framework == "cusha") {
+    report = baselines::Cusha().Run(csr, algo, source);
+  } else {
+    return Fail("unknown --framework '" + framework + "'");
+  }
+
+  PrintReport(report, timeline);
+  if (!report.oom && verify) {
+    bool ok = report.labels == core::CpuReference(csr, algo, source);
+    std::printf("  verify      %10s vs CPU reference\n", ok ? "OK" : "MISMATCH");
+    if (!ok) return 1;
+  }
+  return 0;
+}

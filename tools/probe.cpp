@@ -1,0 +1,98 @@
+// Internal calibration probe (not part of the bench suite): prints dataset
+// shape stats and a quick framework comparison for one dataset.
+#include <cstdio>
+
+#include "baselines/cusha.hpp"
+#include "baselines/gunrock.hpp"
+#include "baselines/tigr.hpp"
+#include "core/framework.hpp"
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace eta;
+
+int main(int argc, char** argv) {
+  std::string error;
+  auto cl = util::CommandLine::Parse(argc, argv, &error);
+  if (!cl) return 1;
+  std::string mode = cl->GetString("mode", "stats");
+  std::string only = cl->GetString("dataset", "");
+
+  if (mode == "stats") {
+    for (const auto& info : graph::AllDatasets()) {
+      if (!only.empty() && info.name != only) continue;
+      util::WallTimer t;
+      graph::Csr csr = graph::BuildDataset(info.name);
+      double gen_ms = t.ElapsedMs();
+      graph::GraphStats s = graph::ComputeStats(csr);
+      auto reach = graph::ComputeReachability(csr, graph::kQuerySource);
+      std::printf(
+          "%-12s n=%9u m=%9u avg=%5.1f maxdeg=%6u lcc=%5.1f%% reach=%8u (%6.3f%%) "
+          "iters=%3u gen=%.0fms\n",
+          info.name.c_str(), s.num_vertices, s.num_edges, s.avg_degree,
+          s.max_out_degree, s.lcc_fraction * 100, reach.visited,
+          100.0 * reach.visited / s.num_vertices, reach.iterations, gen_ms);
+    }
+    return 0;
+  }
+
+  if (mode == "compare") {
+    graph::Csr csr = graph::BuildDataset(only.empty() ? "livejournal" : only);
+    core::Algo algo = core::Algo::kBfs;
+    std::string algo_name = cl->GetString("algo", "bfs");
+    if (algo_name == "sssp") algo = core::Algo::kSssp;
+    if (algo_name == "sswp") algo = core::Algo::kSswp;
+
+    auto run = [&](const char* name, core::RunReport r, double host_ms) {
+      if (r.oom) {
+        std::printf("%-22s O.O.M (req %.1f MB)\n", name,
+                    r.oom_request_bytes / 1048576.0);
+        return;
+      }
+      std::printf("%-22s kernel=%9.3fms total=%9.3fms iters=%4u act=%5.1f%% host=%6.0fms\n",
+                  name, r.kernel_ms, r.total_ms, r.iterations,
+                  r.activated_fraction * 100, host_ms);
+    };
+    util::WallTimer t;
+    { t.Reset(); auto r = baselines::Cusha().Run(csr, algo, 0); run("CuSha", r, t.ElapsedMs()); }
+    { t.Reset(); auto r = baselines::Gunrock().Run(csr, algo, 0); run("Gunrock", r, t.ElapsedMs()); }
+    { t.Reset(); auto r = baselines::Tigr().Run(csr, algo, 0); run("Tigr", r, t.ElapsedMs()); }
+    core::EtaGraphOptions opt;
+    { t.Reset(); auto r = core::EtaGraph(opt).Run(csr, algo, 0); run("EtaGraph", r, t.ElapsedMs()); }
+    opt.memory_mode = core::MemoryMode::kUnifiedOnDemand;
+    { t.Reset(); auto r = core::EtaGraph(opt).Run(csr, algo, 0); run("EtaGraph w/o UMP", r, t.ElapsedMs()); }
+    opt.memory_mode = core::MemoryMode::kExplicitCopy;
+    { t.Reset(); auto r = core::EtaGraph(opt).Run(csr, algo, 0); run("EtaGraph w/o UM", r, t.ElapsedMs()); }
+    opt.memory_mode = core::MemoryMode::kUnifiedPrefetch;
+    opt.use_smp = false;
+    { t.Reset(); auto r = core::EtaGraph(opt).Run(csr, algo, 0); run("EtaGraph w/o SMP", r, t.ElapsedMs()); }
+    return 0;
+  }
+  if (mode == "counters") {
+    graph::Csr csr = graph::BuildDataset(only.empty() ? "livejournal" : only);
+    for (bool smp : {true, false}) {
+      core::EtaGraphOptions opt;
+      opt.use_smp = smp;
+      auto r = core::EtaGraph(opt).Run(csr, core::Algo::kBfs, 0);
+      const sim::Counters& c = r.counters;
+      std::printf(
+          "smp=%d kernel=%.3fms cycles=%.0f instr=%llu latcyc=%llu\n"
+          "  L1 %llu/%llu (%.1f%%)  L2 %llu/%llu (%.1f%%)  dramRd=%llu dramWr=%llu "
+          "shared=%llu atomics=%llu ipc/sm=%.3f\n",
+          smp, r.kernel_ms, c.elapsed_cycles,
+          (unsigned long long)c.warp_instructions, (unsigned long long)c.mem_latency_cycles,
+          (unsigned long long)c.l1_hits, (unsigned long long)c.l1_accesses,
+          100 * c.L1HitRate(), (unsigned long long)c.l2_hits,
+          (unsigned long long)c.l2_accesses, 100 * c.L2HitRate(),
+          (unsigned long long)c.dram_read_transactions,
+          (unsigned long long)c.dram_write_transactions,
+          (unsigned long long)c.shared_accesses, (unsigned long long)c.atomic_operations,
+          c.IpcPerSm(28));
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --mode\n");
+  return 1;
+}
