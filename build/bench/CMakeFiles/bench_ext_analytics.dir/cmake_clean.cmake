@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_analytics.dir/bench_ext_analytics.cpp.o"
+  "CMakeFiles/bench_ext_analytics.dir/bench_ext_analytics.cpp.o.d"
+  "bench_ext_analytics"
+  "bench_ext_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

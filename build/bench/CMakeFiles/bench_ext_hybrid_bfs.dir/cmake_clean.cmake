@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hybrid_bfs.dir/bench_ext_hybrid_bfs.cpp.o"
+  "CMakeFiles/bench_ext_hybrid_bfs.dir/bench_ext_hybrid_bfs.cpp.o.d"
+  "bench_ext_hybrid_bfs"
+  "bench_ext_hybrid_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hybrid_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_chunks.dir/bench_motivation_chunks.cpp.o"
+  "CMakeFiles/bench_motivation_chunks.dir/bench_motivation_chunks.cpp.o.d"
+  "bench_motivation_chunks"
+  "bench_motivation_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_activation.dir/bench_table4_activation.cpp.o"
+  "CMakeFiles/bench_table4_activation.dir/bench_table4_activation.cpp.o.d"
+  "bench_table4_activation"
+  "bench_table4_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

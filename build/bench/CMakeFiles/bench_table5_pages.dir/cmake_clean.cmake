@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pages.dir/bench_table5_pages.cpp.o"
+  "CMakeFiles/bench_table5_pages.dir/bench_table5_pages.cpp.o.d"
+  "bench_table5_pages"
+  "bench_table5_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_width.dir/route_width.cpp.o"
+  "CMakeFiles/route_width.dir/route_width.cpp.o.d"
+  "route_width"
+  "route_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_crawl_reach.dir/web_crawl_reach.cpp.o"
+  "CMakeFiles/web_crawl_reach.dir/web_crawl_reach.cpp.o.d"
+  "web_crawl_reach"
+  "web_crawl_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_crawl_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

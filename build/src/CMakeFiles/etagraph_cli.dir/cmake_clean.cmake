@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etagraph_cli.dir/__/tools/etagraph_cli.cpp.o"
+  "CMakeFiles/etagraph_cli.dir/__/tools/etagraph_cli.cpp.o.d"
+  "etagraph_cli"
+  "etagraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etagraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

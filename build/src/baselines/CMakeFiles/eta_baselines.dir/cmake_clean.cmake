@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_baselines.dir/cusha.cpp.o"
+  "CMakeFiles/eta_baselines.dir/cusha.cpp.o.d"
+  "CMakeFiles/eta_baselines.dir/gunrock.cpp.o"
+  "CMakeFiles/eta_baselines.dir/gunrock.cpp.o.d"
+  "CMakeFiles/eta_baselines.dir/tigr.cpp.o"
+  "CMakeFiles/eta_baselines.dir/tigr.cpp.o.d"
+  "libeta_baselines.a"
+  "libeta_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

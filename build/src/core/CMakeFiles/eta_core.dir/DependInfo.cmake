@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/eta_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/eta_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/hybrid_bfs.cpp" "src/core/CMakeFiles/eta_core.dir/hybrid_bfs.cpp.o" "gcc" "src/core/CMakeFiles/eta_core.dir/hybrid_bfs.cpp.o.d"
+  "/root/repo/src/core/pagerank.cpp" "src/core/CMakeFiles/eta_core.dir/pagerank.cpp.o" "gcc" "src/core/CMakeFiles/eta_core.dir/pagerank.cpp.o.d"
+  "/root/repo/src/core/traversal.cpp" "src/core/CMakeFiles/eta_core.dir/traversal.cpp.o" "gcc" "src/core/CMakeFiles/eta_core.dir/traversal.cpp.o.d"
+  "/root/repo/src/core/udc.cpp" "src/core/CMakeFiles/eta_core.dir/udc.cpp.o" "gcc" "src/core/CMakeFiles/eta_core.dir/udc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/eta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/eta_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_core.dir/framework.cpp.o"
+  "CMakeFiles/eta_core.dir/framework.cpp.o.d"
+  "CMakeFiles/eta_core.dir/hybrid_bfs.cpp.o"
+  "CMakeFiles/eta_core.dir/hybrid_bfs.cpp.o.d"
+  "CMakeFiles/eta_core.dir/pagerank.cpp.o"
+  "CMakeFiles/eta_core.dir/pagerank.cpp.o.d"
+  "CMakeFiles/eta_core.dir/traversal.cpp.o"
+  "CMakeFiles/eta_core.dir/traversal.cpp.o.d"
+  "CMakeFiles/eta_core.dir/udc.cpp.o"
+  "CMakeFiles/eta_core.dir/udc.cpp.o.d"
+  "libeta_core.a"
+  "libeta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

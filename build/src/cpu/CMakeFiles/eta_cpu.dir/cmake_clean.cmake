@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_cpu.dir/reference.cpp.o"
+  "CMakeFiles/eta_cpu.dir/reference.cpp.o.d"
+  "libeta_cpu.a"
+  "libeta_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_graph.dir/builder.cpp.o"
+  "CMakeFiles/eta_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/csr.cpp.o"
+  "CMakeFiles/eta_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/datasets.cpp.o"
+  "CMakeFiles/eta_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/generators.cpp.o"
+  "CMakeFiles/eta_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/io.cpp.o"
+  "CMakeFiles/eta_graph.dir/io.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/space_model.cpp.o"
+  "CMakeFiles/eta_graph.dir/space_model.cpp.o.d"
+  "CMakeFiles/eta_graph.dir/stats.cpp.o"
+  "CMakeFiles/eta_graph.dir/stats.cpp.o.d"
+  "libeta_graph.a"
+  "libeta_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

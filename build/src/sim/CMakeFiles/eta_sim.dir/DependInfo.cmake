@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/eta_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/eta_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/eta_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/sim/CMakeFiles/eta_sim.dir/profiler.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/profiler.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/eta_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/unified_memory.cpp" "src/sim/CMakeFiles/eta_sim.dir/unified_memory.cpp.o" "gcc" "src/sim/CMakeFiles/eta_sim.dir/unified_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_sim.dir/cache.cpp.o"
+  "CMakeFiles/eta_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/eta_sim.dir/device.cpp.o"
+  "CMakeFiles/eta_sim.dir/device.cpp.o.d"
+  "CMakeFiles/eta_sim.dir/memory.cpp.o"
+  "CMakeFiles/eta_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/eta_sim.dir/profiler.cpp.o"
+  "CMakeFiles/eta_sim.dir/profiler.cpp.o.d"
+  "CMakeFiles/eta_sim.dir/timeline.cpp.o"
+  "CMakeFiles/eta_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/eta_sim.dir/unified_memory.cpp.o"
+  "CMakeFiles/eta_sim.dir/unified_memory.cpp.o.d"
+  "libeta_sim.a"
+  "libeta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

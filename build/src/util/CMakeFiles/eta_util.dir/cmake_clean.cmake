@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eta_util.dir/cli.cpp.o"
+  "CMakeFiles/eta_util.dir/cli.cpp.o.d"
+  "CMakeFiles/eta_util.dir/logging.cpp.o"
+  "CMakeFiles/eta_util.dir/logging.cpp.o.d"
+  "CMakeFiles/eta_util.dir/table.cpp.o"
+  "CMakeFiles/eta_util.dir/table.cpp.o.d"
+  "CMakeFiles/eta_util.dir/units.cpp.o"
+  "CMakeFiles/eta_util.dir/units.cpp.o.d"
+  "libeta_util.a"
+  "libeta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_shape_test.dir/dataset_shape_test.cpp.o"
+  "CMakeFiles/dataset_shape_test.dir/dataset_shape_test.cpp.o.d"
+  "dataset_shape_test"
+  "dataset_shape_test.pdb"
+  "dataset_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

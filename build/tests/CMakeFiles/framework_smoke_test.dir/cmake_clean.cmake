@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_smoke_test.dir/framework_smoke_test.cpp.o"
+  "CMakeFiles/framework_smoke_test.dir/framework_smoke_test.cpp.o.d"
+  "framework_smoke_test"
+  "framework_smoke_test.pdb"
+  "framework_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_bfs_test.dir/hybrid_bfs_test.cpp.o"
+  "CMakeFiles/hybrid_bfs_test.dir/hybrid_bfs_test.cpp.o.d"
+  "hybrid_bfs_test"
+  "hybrid_bfs_test.pdb"
+  "hybrid_bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udc_test.dir/udc_test.cpp.o"
+  "CMakeFiles/udc_test.dir/udc_test.cpp.o.d"
+  "udc_test"
+  "udc_test.pdb"
+  "udc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/util_test.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/eta_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/eta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/eta_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
