@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate.
+#
+# Configures + builds the whole tree (the root CMakeLists applies
+# -Wall -Wextra; the src/serve target additionally compiles with -Werror),
+# refuses any compiler warning that mentions the serving layer, and then
+# runs the full test suite. Usage:
+#
+#   scripts/check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$LOG"
+
+# eta_serve builds with -Werror, so warnings there already fail the build;
+# this catches anything that slips through (e.g. headers included elsewhere).
+if grep -E "warning:" "$LOG" | grep -q "serve/"; then
+  echo "check.sh: warnings in src/serve/ are not allowed:" >&2
+  grep -E "warning:" "$LOG" | grep "serve/" >&2
+  exit 1
+fi
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

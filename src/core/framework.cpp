@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/udc.hpp"
 #include "sim/device.hpp"
@@ -47,7 +48,7 @@ struct ChunkStream {
 /// fit the 48 KB scratchpad, which caps K at 48 for a weighted traversal).
 constexpr uint32_t kMaxDegreeLimit = 48;
 
-/// All device-side state of one EtaGraph run.
+/// All device-side state of one resident graph.
 struct DeviceState {
   Buffer<EdgeId> row;
   Buffer<VertexId> col;
@@ -64,6 +65,9 @@ struct DeviceState {
   Buffer<EdgeId> part_start;
   Buffer<EdgeId> part_end;
   Buffer<uint32_t> virt_counts;  // [0]=full, [1]=partial
+  /// Per-vertex source bitmask for attributed multi-source runs; allocated
+  /// lazily on the first attributed query and resident thereafter.
+  Buffer<uint32_t> reach_mask;
 };
 
 /// actSet2virtActSet — the on-device Unified Degree Cut of Procedure 1.
@@ -138,6 +142,9 @@ struct TraverseParams {
   /// Min-label-propagation mode (connected components): the candidate label
   /// is the source label itself rather than Propagate(algo, ...).
   bool copy_label = false;
+  /// Attributed multi-source mode: propagate per-vertex source bitmasks
+  /// alongside the labels, reactivating vertices whose mask grows.
+  bool attribute = false;
 };
 
 /// The traversal kernel of Procedure 1: one thread per shadow vertex.
@@ -173,6 +180,8 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
   });
   LaneArray<Weight> src_label{};
   w.Gather(d.labels, id_idx, mask, src_label);
+  LaneArray<uint32_t> src_mask{};
+  if (p.attribute) w.Gather(d.reach_mask, id_idx, mask, src_mask);
 
   const bool weighted = !p.copy_label && IsWeighted(p.algo);
   // The shared-memory partition of this warp (functional stand-in; the
@@ -226,6 +235,19 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
           p.copy_label ? src_label[lane] : Propagate(p.algo, src_label[lane], ew[lane]);
     });
 
+    // Attribution: reach masks flow along *every* traversed edge, not only
+    // label-improving ones; a destination whose mask gains bits re-enters
+    // the frontier so the masks converge to the exact per-source
+    // reachability fixpoint (the union of |sources| traversals).
+    uint32_t gmask = 0;
+    if (p.attribute) {
+      LaneArray<uint32_t> old_mask{};
+      w.AtomicOr(d.reach_mask, u_idx, src_mask, jmask, old_mask);
+      WarpCtx::ForActive(jmask, [&](uint32_t lane) {
+        if (src_mask[lane] & ~old_mask[lane]) gmask |= 1u << lane;
+      });
+    }
+
     LaneArray<Weight> cur{};
     w.Gather(d.labels, u_idx, jmask, cur);
     uint32_t imask = 0;
@@ -233,26 +255,28 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
       if (improves(cand[lane], cur[lane])) imask |= 1u << lane;
     });
     w.ChargeAlu(2, jmask);
-    if (!imask) continue;
 
-    LaneArray<Weight> old{};
-    if (maximize) {
-      w.AtomicMax(d.labels, u_idx, cand, imask, old);
-    } else {
-      w.AtomicMin(d.labels, u_idx, cand, imask, old);
-    }
     uint32_t cmask = 0;
-    WarpCtx::ForActive(imask, [&](uint32_t lane) {
-      if (improves(cand[lane], old[lane])) cmask |= 1u << lane;
-    });
-    if (!cmask) continue;
+    if (imask) {
+      LaneArray<Weight> old{};
+      if (maximize) {
+        w.AtomicMax(d.labels, u_idx, cand, imask, old);
+      } else {
+        w.AtomicMin(d.labels, u_idx, cand, imask, old);
+      }
+      WarpCtx::ForActive(imask, [&](uint32_t lane) {
+        if (improves(cand[lane], old[lane])) cmask |= 1u << lane;
+      });
+    }
+    uint32_t amask = cmask | gmask;
+    if (!amask) continue;
 
     // Append to the next active set, deduplicated per iteration by the
     // stamp array (one entry per vertex per iteration).
     LaneArray<uint32_t> prev_stamp{};
-    w.AtomicMax(d.stamp, u_idx, iter_val, cmask, prev_stamp);
+    w.AtomicMax(d.stamp, u_idx, iter_val, amask, prev_stamp);
     uint32_t nmask = 0;
-    WarpCtx::ForActive(cmask, [&](uint32_t lane) {
+    WarpCtx::ForActive(amask, [&](uint32_t lane) {
       if (prev_stamp[lane] < p.iteration) nmask |= 1u << lane;
     });
     if (!nmask) continue;
@@ -269,55 +293,30 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
 
 const char* MemoryModeName(MemoryMode mode) { return ModeNameImpl(mode); }
 
-RunReport EtaGraph::Run(const graph::Csr& csr, Algo algo, VertexId source) const {
-  ETA_CHECK(source < csr.NumVertices());
-  std::vector<Weight> init_labels(csr.NumVertices(), InitLabel(algo, false));
-  init_labels[source] = InitLabel(algo, true);
-  const VertexId sources[1] = {source};
-  return RunImpl(csr, algo, std::move(init_labels),
-                 std::span<const VertexId>(sources), /*copy_label=*/false);
-}
+/// Device plus resident buffers of one session; lives for the session's
+/// whole lifetime so UM residency, cache state, and the chunk window carry
+/// across queries.
+struct ResidentGraph::State {
+  sim::Device device;
+  DeviceState d;
+  ChunkStream stream;
+  Buffer<uint32_t> stream_window;  // the staging buffer (kDevice)
 
-RunReport EtaGraph::RunMultiSource(const graph::Csr& csr, Algo algo,
-                                   std::span<const VertexId> sources) const {
-  ETA_CHECK(!sources.empty());
-  std::vector<Weight> init_labels(csr.NumVertices(), InitLabel(algo, false));
-  for (VertexId s : sources) {
-    ETA_CHECK(s < csr.NumVertices());
-    init_labels[s] = InitLabel(algo, true);
-  }
-  return RunImpl(csr, algo, std::move(init_labels), sources, /*copy_label=*/false);
-}
+  explicit State(const sim::DeviceSpec& spec) : device(spec) {}
+};
 
-RunReport EtaGraph::RunConnectedComponents(const graph::Csr& csr) const {
-  const VertexId n = csr.NumVertices();
-  std::vector<Weight> init_labels(n);
-  std::vector<VertexId> sources(n);
-  for (VertexId v = 0; v < n; ++v) {
-    init_labels[v] = v;
-    sources[v] = v;
-  }
-  // Unweighted kernel path; the copy_label flag overrides the propagation.
-  return RunImpl(csr, Algo::kBfs, std::move(init_labels),
-                 std::span<const VertexId>(sources), /*copy_label=*/true);
-}
+ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options)
+    : ResidentGraph(csr, options, csr.HasWeights()) {}
 
-RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
-                            std::vector<Weight> init_labels,
-                            std::span<const VertexId> initial_active,
-                            bool copy_label) const {
-  ETA_CHECK(!IsWeighted(algo) || copy_label || csr.HasWeights());
+ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
+                             bool stage_weights)
+    : csr_(csr), options_(options), weights_staged_(stage_weights) {
+  ETA_CHECK(!weights_staged_ || csr.HasWeights());
   ETA_CHECK(options_.degree_limit >= 1 && options_.degree_limit <= kMaxDegreeLimit);
-
-  RunReport report;
-  report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
-                     (options_.use_smp ? "" : ",no-smp") + "]";
-  report.algo = algo;
 
   const VertexId n = csr.NumVertices();
   const EdgeId m = csr.NumEdges();
   const uint32_t k = options_.degree_limit;
-  const bool weighted = !copy_label && IsWeighted(algo);
   const bool chunked = options_.memory_mode == MemoryMode::kChunkedStream;
   const bool unified = options_.memory_mode == MemoryMode::kUnifiedPrefetch ||
                        options_.memory_mode == MemoryMode::kUnifiedOnDemand;
@@ -330,14 +329,14 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
       chunked ? sim::MemKind::kDevice
               : (unified ? sim::MemKind::kUnified : sim::MemKind::kDevice);
 
-  sim::Device device(options_.spec);
-  DeviceState d;
-  ChunkStream stream;
-  sim::Buffer<uint32_t> stream_window;  // the staging buffer (kDevice)
+  state_ = std::make_unique<State>(options_.spec);
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  ChunkStream& stream = state_->stream;
   try {
     d.row = device.Alloc<EdgeId>(n + 1, row_kind, "row_offsets");
     d.col = device.Alloc<VertexId>(m, adj_kind, "col_indices");
-    if (weighted) d.wts = device.Alloc<Weight>(m, adj_kind, "weights");
+    if (weights_staged_) d.wts = device.Alloc<Weight>(m, adj_kind, "weights");
     if (chunked) {
       stream.chunk_bytes = options_.stream_chunk_bytes;
       uint64_t num_chunks =
@@ -351,11 +350,11 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
                            ? options_.spec.device_memory_bytes - reserve
                            : stream.chunk_bytes;
       stream.window_chunks = std::max<uint64_t>(
-          2, avail / 2 / ((weighted ? 2 : 1) * stream.chunk_bytes));
-      uint64_t window_words = stream.window_chunks * (weighted ? 2 : 1) *
+          2, avail / 2 / ((weights_staged_ ? 2 : 1) * stream.chunk_bytes));
+      uint64_t window_words = stream.window_chunks * (weights_staged_ ? 2 : 1) *
                               stream.chunk_bytes / sizeof(uint32_t);
-      stream_window = device.Alloc<uint32_t>(window_words, sim::MemKind::kDevice,
-                                             "stream_window");
+      state_->stream_window = device.Alloc<uint32_t>(window_words, sim::MemKind::kDevice,
+                                                     "stream_window");
     }
     d.labels = device.Alloc<Weight>(n, sim::MemKind::kDevice, "labels");
     d.stamp = device.Alloc<uint32_t>(n, sim::MemKind::kDevice, "stamp");
@@ -369,11 +368,11 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
     d.part_end = device.Alloc<EdgeId>(shadow_cap, sim::MemKind::kDevice, "part_end");
     d.virt_counts = device.Alloc<uint32_t>(2, sim::MemKind::kDevice, "virt_counts");
   } catch (const sim::OomError& e) {
-    report.oom = true;
-    report.oom_request_bytes = e.requested_bytes;
-    return report;
+    oom_ = true;
+    oom_request_bytes_ = e.requested_bytes;
+    return;
   }
-  report.device_bytes_peak = device.Mem().DeviceBytesUsed();
+  device_bytes_peak_ = device.Mem().DeviceBytesUsed();
 
   // --- Stage topology ------------------------------------------------------
   if (unified || chunked) {
@@ -381,7 +380,7 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
     // on demand (UM) or chunks stream per iteration (GTS mode).
     std::copy(csr.RowOffsets().begin(), csr.RowOffsets().end(), d.row.HostSpan().begin());
     std::copy(csr.ColIndices().begin(), csr.ColIndices().end(), d.col.HostSpan().begin());
-    if (weighted) {
+    if (weights_staged_) {
       std::copy(csr.Weights().begin(), csr.Weights().end(), d.wts.HostSpan().begin());
     }
     if (chunked) {
@@ -392,8 +391,90 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
   } else {
     device.CopyToDevice(d.row, csr.RowOffsets());
     device.CopyToDevice(d.col, csr.ColIndices());
-    if (weighted) device.CopyToDevice(d.wts, csr.Weights());
+    if (weights_staged_) device.CopyToDevice(d.wts, csr.Weights());
   }
+  load_ms_ = device.NowMs();
+}
+
+ResidentGraph::~ResidentGraph() = default;
+
+double ResidentGraph::NowMs() const { return state_->device.NowMs(); }
+
+RunReport ResidentGraph::Run(Algo algo, VertexId source) {
+  ETA_CHECK(source < csr_.NumVertices());
+  std::vector<Weight> init_labels(csr_.NumVertices(), InitLabel(algo, false));
+  init_labels[source] = InitLabel(algo, true);
+  const VertexId sources[1] = {source};
+  return Execute(algo, std::move(init_labels), std::span<const VertexId>(sources),
+                 /*copy_label=*/false, /*attribute_sources=*/false);
+}
+
+RunReport ResidentGraph::RunMultiSource(Algo algo, std::span<const VertexId> sources,
+                                        bool attribute_sources) {
+  ETA_CHECK(!sources.empty());
+  ETA_CHECK(!attribute_sources || sources.size() <= kMaxAttributedSources);
+  std::vector<Weight> init_labels(csr_.NumVertices(), InitLabel(algo, false));
+  for (VertexId s : sources) {
+    ETA_CHECK(s < csr_.NumVertices());
+    init_labels[s] = InitLabel(algo, true);
+  }
+  return Execute(algo, std::move(init_labels), sources, /*copy_label=*/false,
+                 attribute_sources);
+}
+
+RunReport ResidentGraph::RunConnectedComponents() {
+  const VertexId n = csr_.NumVertices();
+  std::vector<Weight> init_labels(n);
+  std::vector<VertexId> sources(n);
+  for (VertexId v = 0; v < n; ++v) {
+    init_labels[v] = v;
+    sources[v] = v;
+  }
+  // Unweighted kernel path; the copy_label flag overrides the propagation.
+  return Execute(Algo::kBfs, std::move(init_labels),
+                 std::span<const VertexId>(sources), /*copy_label=*/true,
+                 /*attribute_sources=*/false);
+}
+
+RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
+                                 std::span<const VertexId> initial_active,
+                                 bool copy_label, bool attribute_sources) {
+  RunReport report;
+  report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
+                     (options_.use_smp ? "" : ",no-smp") + "]";
+  report.algo = algo;
+  if (oom_) {
+    report.oom = true;
+    report.oom_request_bytes = oom_request_bytes_;
+    return report;
+  }
+  const bool weighted = !copy_label && IsWeighted(algo);
+  ETA_CHECK(!weighted || weights_staged_);
+  ETA_CHECK(!attribute_sources || initial_active.size() <= kMaxAttributedSources);
+
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  ChunkStream& stream = state_->stream;
+  const VertexId n = csr_.NumVertices();
+  const uint32_t k = options_.degree_limit;
+  const bool chunked = options_.memory_mode == MemoryMode::kChunkedStream;
+
+  const double start_clock = device.NowMs();
+  const uint64_t migrated_start =
+      chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes();
+  const size_t migration_ops_start = device.Um().MigrationSizes().Values().size();
+
+  if (attribute_sources && !d.reach_mask.Valid()) {
+    try {
+      d.reach_mask = device.Alloc<uint32_t>(n, sim::MemKind::kDevice, "reach_mask");
+    } catch (const sim::OomError& e) {
+      report.oom = true;
+      report.oom_request_bytes = e.requested_bytes;
+      return report;
+    }
+    device_bytes_peak_ = std::max(device_bytes_peak_, device.Mem().DeviceBytesUsed());
+  }
+  report.device_bytes_peak = device_bytes_peak_;
 
   // --- Init labels and the active set --------------------------------------
   device.CopyToDevice(d.labels, std::span<const Weight>(init_labels));
@@ -403,15 +484,27 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
   device.CopyToDevice(d.act_count, std::span<const uint32_t>(&initial_count, 1), false);
   // Seed stamps for the initial set: functionally scattered writes, charged
   // as one |sources|-sized upload (a real implementation memsets or ships a
-  // prepared stamp array).
-  std::vector<uint32_t> stamp_upload(initial_active.size(), 1);
+  // prepared stamp array). Stamps are offset by stamp_base_ so stale values
+  // from earlier session queries never suppress appends.
+  std::vector<uint32_t> stamp_upload(initial_active.size(), stamp_base_ + 1);
   device.CopyToDeviceRange(d.stamp, 0, std::span<const uint32_t>(stamp_upload), false);
-  for (VertexId s : initial_active) d.stamp.HostSpan()[s] = 1;
+  for (VertexId s : initial_active) d.stamp.HostSpan()[s] = stamp_base_ + 1;
 
-  if (options_.memory_mode == MemoryMode::kUnifiedPrefetch) {
+  if (attribute_sources) {
+    std::vector<uint32_t> init_masks(n, 0);
+    for (size_t i = 0; i < initial_active.size(); ++i) {
+      init_masks[initial_active[i]] |= 1u << i;
+    }
+    device.CopyToDevice(d.reach_mask, std::span<const uint32_t>(init_masks));
+  }
+
+  // Topology prefetch is a load-time cost: only the session's first query
+  // pays it; afterwards the managed pages are already resident.
+  if (!prefetched_ && options_.memory_mode == MemoryMode::kUnifiedPrefetch) {
     device.PrefetchAsync(d.row);
     device.PrefetchAsync(d.col);
-    if (weighted) device.PrefetchAsync(d.wts);
+    if (weights_staged_) device.PrefetchAsync(d.wts);
+    prefetched_ = true;
   }
 
   // --- Main loop (Procedure 1) ----------------------------------------------
@@ -439,15 +532,17 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
       // vertex's adjacency touches, wholly, before the traversal kernels.
       // Multi-stream pipelining hides part of the copy (overlap below),
       // but a mostly-idle chunk still costs its full bytes — the waste the
-      // paper's introduction calls out.
+      // paper's introduction calls out. The resident-chunk window persists
+      // across session queries (a warm window, like UM residency).
       auto act_host = d.act_set.HostSpan();
       uint64_t new_bytes = 0;
       for (uint64_t i = 0; i < prev_active; ++i) {
         VertexId v = act_host[i];
-        if (csr.OutDegree(v) == 0) continue;
-        uint64_t first = uint64_t{csr.RowStart(v)} * sizeof(VertexId) / stream.chunk_bytes;
+        if (csr_.OutDegree(v) == 0) continue;
+        uint64_t first =
+            uint64_t{csr_.RowStart(v)} * sizeof(VertexId) / stream.chunk_bytes;
         uint64_t last =
-            (uint64_t{csr.RowEnd(v)} * sizeof(VertexId) - 1) / stream.chunk_bytes;
+            (uint64_t{csr_.RowEnd(v)} * sizeof(VertexId) - 1) / stream.chunk_bytes;
         for (uint64_t c = first; c <= last; ++c) {
           if (stream.resident[c]) continue;
           while (stream.ResidentCount() >= stream.window_chunks) {
@@ -455,7 +550,7 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
           }
           stream.resident[c] = 1;
           stream.fifo.push_back(static_cast<uint32_t>(c));
-          new_bytes += stream.chunk_bytes * (weighted ? 2 : 1);
+          new_bytes += stream.chunk_bytes * (weights_staged_ ? 2 : 1);
         }
       }
       if (new_bytes > 0) {
@@ -469,8 +564,9 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
     params.algo = algo;
     params.use_smp = options_.use_smp;
     params.k = k;
-    params.iteration = iter + 1;  // stamps compare against the *next* set
+    params.iteration = stamp_base_ + iter + 1;  // stamps compare against the *next* set
     params.copy_label = copy_label;
+    params.attribute = attribute_sources;
     if (vc[0] > 0) {
       params.full_set = true;
       auto r = device.Launch("traverse_full", {vc[0], options_.block_size},
@@ -495,8 +591,21 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
   report.labels.resize(n);
   device.CopyToHost(std::span<Weight>(report.labels), d.labels);
 
+  if (attribute_sources) {
+    std::vector<uint32_t> masks(n);
+    device.CopyToHost(std::span<uint32_t>(masks), d.reach_mask);
+    report.per_source_reached.assign(initial_active.size(), 0);
+    for (uint32_t m : masks) {
+      while (m) {
+        report.per_source_reached[std::countr_zero(m)]++;
+        m &= m - 1;
+      }
+    }
+  }
+
   report.kernel_ms = kernel_ms;
   report.total_ms = device.NowMs();
+  report.query_ms = device.NowMs() - start_clock;
   report.iterations = static_cast<uint32_t>(report.iteration_stats.size());
   for (Weight label : report.labels) {
     if (Reached(algo, label)) ++report.activated;
@@ -504,10 +613,33 @@ RunReport EtaGraph::RunImpl(const graph::Csr& csr, Algo algo,
   report.activated_fraction = n ? static_cast<double>(report.activated) / n : 0;
   report.counters = device.TotalCounters();
   report.timeline = device.GetTimeline();
-  report.migration_sizes = device.Um().MigrationSizes().Values();
+  const auto& sizes = device.Um().MigrationSizes().Values();
+  report.migration_sizes.assign(sizes.begin() + static_cast<long>(migration_ops_start),
+                                sizes.end());
   report.migrated_bytes =
-      chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes();
+      (chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes()) -
+      migrated_start;
+
+  stamp_base_ += report.iterations + 1;
+  ++queries_served_;
   return report;
+}
+
+RunReport EtaGraph::Run(const graph::Csr& csr, Algo algo, VertexId source) const {
+  ResidentGraph session(csr, options_, /*stage_weights=*/IsWeighted(algo));
+  return session.Run(algo, source);
+}
+
+RunReport EtaGraph::RunMultiSource(const graph::Csr& csr, Algo algo,
+                                   std::span<const VertexId> sources,
+                                   bool attribute_sources) const {
+  ResidentGraph session(csr, options_, /*stage_weights=*/IsWeighted(algo));
+  return session.RunMultiSource(algo, sources, attribute_sources);
+}
+
+RunReport EtaGraph::RunConnectedComponents(const graph::Csr& csr) const {
+  ResidentGraph session(csr, options_, /*stage_weights=*/false);
+  return session.RunConnectedComponents();
 }
 
 }  // namespace eta::core

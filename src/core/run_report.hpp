@@ -39,10 +39,21 @@ struct RunReport {
 
   double kernel_ms = 0;  // sum of kernel roofline times
   double total_ms = 0;   // simulated end-to-end: transfers + kernels + stalls
+  /// Incremental simulated cost of this query alone. Equal to total_ms for
+  /// a one-shot run; for a query served by a persistent ResidentGraph it
+  /// excludes the graph-loading time and all earlier queries (total_ms is
+  /// then the absolute session clock at completion).
+  double query_ms = 0;
 
   uint32_t iterations = 0;
   uint64_t activated = 0;          // distinct vertices ever activated
   double activated_fraction = 0;   // Table IV "Act. %" (as a fraction)
+
+  /// Per-source reachability attribution for multi-source runs executed
+  /// with attribute_sources=true: per_source_reached[i] is the number of
+  /// vertices reachable from sources[i] individually — bit-identical to a
+  /// single-source run from sources[i]. Empty when attribution is off.
+  std::vector<uint64_t> per_source_reached;
 
   std::vector<IterationStat> iteration_stats;
 

@@ -1,0 +1,66 @@
+#include "serve/batcher.hpp"
+
+#include "util/check.hpp"
+
+namespace eta::serve {
+
+bool Batchable(core::Algo algo) {
+  return algo == core::Algo::kBfs || algo == core::Algo::kSssp;
+}
+
+std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
+                                      double start_ms, double* duration_ms) {
+  ETA_CHECK(!batch.requests.empty());
+  std::vector<QueryResult> results;
+  results.reserve(batch.requests.size());
+
+  auto base_result = [&](const Request& r) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kOk;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    return q;
+  };
+
+  if (batch.requests.size() > 1 && Batchable(batch.algo)) {
+    std::vector<graph::VertexId> sources;
+    sources.reserve(batch.requests.size());
+    for (const Request& r : batch.requests) {
+      ETA_CHECK(r.algo == batch.algo);
+      sources.push_back(r.source);
+    }
+    core::RunReport report = session.RunBatch(batch.algo, sources);
+    ETA_CHECK(!report.oom);
+    ETA_CHECK(report.per_source_reached.size() == batch.requests.size());
+    for (size_t i = 0; i < batch.requests.size(); ++i) {
+      QueryResult q = base_result(batch.requests[i]);
+      q.reached_vertices = report.per_source_reached[i];
+      q.batch_size = static_cast<uint32_t>(batch.requests.size());
+      q.start_ms = start_ms;
+      q.finish_ms = start_ms + report.query_ms;
+      results.push_back(q);
+    }
+    *duration_ms = report.query_ms;
+    return results;
+  }
+
+  // Sequential fallback: run each request on its own, back to back.
+  double t = start_ms;
+  for (const Request& r : batch.requests) {
+    core::RunReport report = session.RunQuery(r.algo, r.source);
+    ETA_CHECK(!report.oom);
+    QueryResult q = base_result(r);
+    q.reached_vertices = report.activated;
+    q.batch_size = 1;
+    q.start_ms = t;
+    t += report.query_ms;
+    q.finish_ms = t;
+    results.push_back(q);
+  }
+  *duration_ms = t - start_ms;
+  return results;
+}
+
+}  // namespace eta::serve

@@ -1,0 +1,40 @@
+// Multi-source batching: fold compatible requests into one launch, then
+// demultiplex per-request results.
+//
+// Requests are compatible when they run the same batchable algorithm (BFS
+// or SSSP — the traversals whose multi-source merge plus per-source reach
+// attribution reproduce every request's individual answer exactly). A
+// folded batch executes as a single attributed RunMultiSource launch:
+// topology reads and frontier work are shared across the requests, and
+// each request's reached-vertex count is read back from the per-source
+// attribution masks, bit-identical to running it alone. Anything that
+// cannot be folded — SSWP, or a batch of one — takes the sequential
+// fallback path, so batching is purely an optimization, never a semantic
+// change.
+#pragma once
+
+#include <vector>
+
+#include "serve/session.hpp"
+#include "serve/types.hpp"
+
+namespace eta::serve {
+
+/// A set of admitted requests dispatched as one unit.
+struct Batch {
+  core::Algo algo = core::Algo::kBfs;
+  std::vector<Request> requests;
+};
+
+/// True if `algo` queries may be folded into one multi-source launch.
+bool Batchable(core::Algo algo);
+
+/// Executes `batch` on `session` starting at simulated time `start_ms` and
+/// returns per-request results in request order. Multi-request batches run
+/// as one attributed multi-source launch and are demultiplexed; size-one or
+/// non-batchable batches run sequentially (the correctness fallback).
+/// `*duration_ms` receives the batch's total simulated execution time.
+std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
+                                      double start_ms, double* duration_ms);
+
+}  // namespace eta::serve

@@ -1,0 +1,181 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "core/framework.hpp"
+#include "serve/batcher.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+#include "util/check.hpp"
+
+namespace eta::serve {
+namespace {
+
+uint64_t ToMicros(double ms) {
+  return static_cast<uint64_t>(std::llround(std::max(0.0, ms) * 1000.0));
+}
+
+}  // namespace
+
+ServeReport ServeEngine::Serve(const graph::Csr& csr,
+                               const std::vector<Request>& trace) const {
+  for (size_t i = 1; i < trace.size(); ++i) {
+    ETA_CHECK(trace[i - 1].arrival_ms <= trace[i].arrival_ms);
+  }
+
+  ServeReport report;
+  report.mode = options_.mode;
+  report.total_requests = trace.size();
+  report.results.reserve(trace.size());
+
+  const bool use_session = options_.mode != ServeMode::kNaivePerQuery;
+  std::unique_ptr<GraphSession> session;
+  double now = 0;
+  if (use_session) {
+    session = std::make_unique<GraphSession>(csr, options_.graph);
+    ETA_CHECK(session->Loaded());
+    report.load_ms = session->LoadMs();
+    now = report.load_ms;  // queries cannot start before the graph is resident
+  }
+
+  QueryScheduler sched(options_.queue_capacity);
+  size_t next = 0;  // first trace entry that has not yet arrived
+
+  auto reject = [&](const Request& r) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kRejected;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    report.results.push_back(q);
+    ++report.rejected;
+  };
+  auto time_out = [&](const Request& r, double when_ms) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kTimedOut;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    q.start_ms = when_ms;
+    q.finish_ms = when_ms;
+    report.results.push_back(q);
+    ++report.timed_out;
+  };
+  auto admit_until = [&](double t) {
+    while (next < trace.size() && trace[next].arrival_ms <= t) {
+      if (!sched.Admit(trace[next])) reject(trace[next]);
+      ++next;
+    }
+  };
+  auto expire_at = [&](double t) {
+    for (const Request& r : sched.ExpireDeadlines(t)) time_out(r, t);
+  };
+
+  while (true) {
+    admit_until(now);
+    expire_at(now);
+    if (sched.Empty()) {
+      if (next >= trace.size()) break;
+      now = std::max(now, trace[next].arrival_ms);  // idle until the next arrival
+      continue;
+    }
+
+    std::optional<Request> head = sched.PopNext();
+    ETA_CHECK(head.has_value());
+    Batch batch;
+    batch.algo = head->algo;
+    batch.requests.push_back(*head);
+
+    if (options_.mode == ServeMode::kSessionBatched && Batchable(head->algo)) {
+      const uint32_t limit = std::min<uint32_t>(
+          std::max<uint32_t>(options_.max_batch, 1),
+          core::ResidentGraph::kMaxAttributedSources);
+      const double window_end =
+          std::min(now + options_.batch_window_ms, head->StartDeadline());
+      auto fill = [&]() {
+        if (batch.requests.size() >= limit) return;
+        std::vector<Request> more = sched.PopCompatible(
+            batch.algo, limit - static_cast<uint32_t>(batch.requests.size()));
+        batch.requests.insert(batch.requests.end(), more.begin(), more.end());
+      };
+      fill();
+      // Hold the window open for compatible future arrivals; the serve clock
+      // advances to each arrival (never past window_end, which is capped at
+      // the head's start deadline, so the head can never time out here).
+      while (batch.requests.size() < limit && next < trace.size() &&
+             trace[next].arrival_ms <= window_end) {
+        now = std::max(now, trace[next].arrival_ms);
+        admit_until(now);
+        expire_at(now);
+        fill();
+      }
+      // Requests folded in earlier may have expired while the window stayed
+      // open; dispatch only the still-live ones.
+      std::vector<Request> live;
+      live.reserve(batch.requests.size());
+      for (const Request& r : batch.requests) {
+        if (r.StartDeadline() < now) {
+          time_out(r, now);
+        } else {
+          live.push_back(r);
+        }
+      }
+      batch.requests = std::move(live);
+      if (batch.requests.empty()) continue;
+    }
+
+    report.batch_occupancy.Add(batch.requests.size());
+    report.queue_depth.Add(sched.Depth());
+    ++report.batches;
+
+    std::vector<QueryResult> outcomes;
+    double duration_ms = 0;
+    if (use_session) {
+      outcomes = ExecuteBatch(*session, batch, now, &duration_ms);
+    } else {
+      // Naive strawman: a fresh device per query — allocate, stage the full
+      // topology, run, tear down. total_ms is that query's whole bill.
+      double t = now;
+      for (const Request& r : batch.requests) {
+        core::EtaGraph engine(options_.graph);
+        core::RunReport run = engine.Run(csr, r.algo, r.source);
+        ETA_CHECK(!run.oom);
+        QueryResult q;
+        q.id = r.id;
+        q.status = QueryStatus::kOk;
+        q.algo = r.algo;
+        q.source = r.source;
+        q.arrival_ms = r.arrival_ms;
+        q.reached_vertices = run.activated;
+        q.batch_size = 1;
+        q.start_ms = t;
+        t += run.total_ms;
+        q.finish_ms = t;
+        outcomes.push_back(q);
+      }
+      duration_ms = t - now;
+    }
+    now += duration_ms;
+
+    for (const QueryResult& q : outcomes) {
+      ++report.completed;
+      report.reached_total += q.reached_vertices;
+      report.latency_us.Add(ToMicros(q.LatencyMs()));
+      report.queue_wait_us.Add(ToMicros(q.QueueMs()));
+      report.results.push_back(q);
+    }
+  }
+
+  report.makespan_ms = now;
+  std::sort(report.results.begin(), report.results.end(),
+            [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  ETA_CHECK(report.results.size() == trace.size());
+  return report;
+}
+
+}  // namespace eta::serve

@@ -1,0 +1,38 @@
+// ServeEngine — deterministic discrete-event replay of a query trace.
+//
+// The engine owns the serve clock. It admits requests as the clock reaches
+// their arrival times (rejecting on queue overflow), sweeps out requests
+// whose queueing deadline has passed, and dispatches the rest in
+// priority/FIFO order. In kSessionBatched mode a dispatch may hold a
+// forming batch open for up to batch_window_ms (never past the head
+// request's start deadline) to fold in compatible arrivals; the folded
+// batch runs as one attributed multi-source launch. Execution durations
+// come from the simulated device (RunReport::query_ms, or total_ms for the
+// naive rebuild-per-query mode), so the whole replay is deterministic:
+// identical trace + options produce an identical ServeReport.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "serve/report.hpp"
+#include "serve/types.hpp"
+
+namespace eta::serve {
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions options = {}) : options_(options) {}
+
+  const ServeOptions& Options() const { return options_; }
+
+  /// Replays `trace` (must be sorted by arrival_ms) against `csr` and
+  /// returns the fleet report. The per-request outcomes are in
+  /// report.results, sorted by request id.
+  ServeReport Serve(const graph::Csr& csr, const std::vector<Request>& trace) const;
+
+ private:
+  ServeOptions options_;
+};
+
+}  // namespace eta::serve

@@ -1,0 +1,60 @@
+#include "serve/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace eta::serve {
+
+double ServeReport::ThroughputQps() const {
+  return makespan_ms > 0 ? static_cast<double>(completed) / (makespan_ms / 1000.0) : 0;
+}
+
+double ServeReport::LatencyPercentileMs(double q) const {
+  if (latency_us.Count() == 0) return 0;
+  return static_cast<double>(latency_us.Percentile(q)) / 1000.0;
+}
+
+std::string ServeReport::Render(const std::string& title) const {
+  util::Table table({"Metric", "Value"});
+  auto row = [&](const std::string& name, const std::string& value) {
+    table.AddRow({name, value});
+  };
+  row("mode", ServeModeName(mode));
+  row("requests", std::to_string(total_requests));
+  row("completed", std::to_string(completed));
+  row("rejected", std::to_string(rejected));
+  row("timed out", std::to_string(timed_out));
+  row("dispatches", std::to_string(batches));
+  row("graph load (ms)", util::FormatDouble(load_ms, 3));
+  row("makespan (ms)", util::FormatDouble(makespan_ms, 3));
+  row("throughput (qps, simulated)", util::FormatDouble(ThroughputQps(), 1));
+  row("latency p50 (ms)", util::FormatDouble(LatencyPercentileMs(0.50), 3));
+  row("latency p95 (ms)", util::FormatDouble(LatencyPercentileMs(0.95), 3));
+  row("latency p99 (ms)", util::FormatDouble(LatencyPercentileMs(0.99), 3));
+  row("mean queue wait (ms)", util::FormatDouble(queue_wait_us.Mean() / 1000.0, 3));
+  row("max queue depth", std::to_string(queue_depth.Max()));
+  row("mean batch occupancy", util::FormatDouble(MeanBatchOccupancy(), 2));
+  row("max batch occupancy", std::to_string(batch_occupancy.Max()));
+  row("reached vertices (sum)", std::to_string(reached_total));
+  return table.Render(title);
+}
+
+std::string ServeReport::Json() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"mode\":\"%s\",\"requests\":%" PRIu64 ",\"completed\":%" PRIu64
+      ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"dispatches\":%" PRIu64
+      ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
+      ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
+      ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64 "}",
+      ServeModeName(mode), total_requests, completed, rejected, timed_out, batches,
+      load_ms, makespan_ms, ThroughputQps(), LatencyPercentileMs(0.50),
+      LatencyPercentileMs(0.95), LatencyPercentileMs(0.99), MeanBatchOccupancy(),
+      reached_total);
+  return buf;
+}
+
+}  // namespace eta::serve

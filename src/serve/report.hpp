@@ -1,0 +1,60 @@
+// ServeReport — fleet metrics of one trace replay.
+//
+// Everything an operator would put on a serving dashboard, computed from
+// the deterministic simulation: throughput, latency percentiles (p50/p95/
+// p99 over simulated end-to-end latency), queue behaviour, batch occupancy
+// and the explicit reject/timeout counts. Two replays of the same trace
+// with the same options render byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/types.hpp"
+#include "util/histogram.hpp"
+
+namespace eta::serve {
+
+struct ServeReport {
+  ServeMode mode = ServeMode::kSessionBatched;
+
+  uint64_t total_requests = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  /// Dispatches (a folded batch counts once).
+  uint64_t batches = 0;
+
+  /// Graph staging time (zero in naive mode, where every query restages).
+  double load_ms = 0;
+  /// Simulated time from t=0 to the last completion.
+  double makespan_ms = 0;
+
+  /// Per completed request, in integer microseconds (simulated).
+  util::Histogram latency_us;
+  util::Histogram queue_wait_us;
+  /// Requests per dispatch.
+  util::Histogram batch_occupancy;
+  /// Remaining queue depth sampled at each dispatch.
+  util::Histogram queue_depth;
+
+  /// Sum of reached_vertices over completed requests (work actually done).
+  uint64_t reached_total = 0;
+
+  /// Per-request outcomes, sorted by request id.
+  std::vector<QueryResult> results;
+
+  /// Completed requests per simulated second of makespan.
+  double ThroughputQps() const;
+  /// q in [0,1] over completed-request latency; 0 when nothing completed.
+  double LatencyPercentileMs(double q) const;
+  double MeanBatchOccupancy() const { return batch_occupancy.Mean(); }
+
+  /// Paper-style text table of the fleet metrics.
+  std::string Render(const std::string& title) const;
+  /// One JSON object (for BENCH_serve.json).
+  std::string Json() const;
+};
+
+}  // namespace eta::serve

@@ -1,0 +1,47 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace eta::serve {
+
+bool QueryScheduler::Admit(const Request& request) {
+  if (queue_.size() >= capacity_) return false;
+  queue_.push_back({request, next_seq_++});
+  return true;
+}
+
+std::vector<Request> QueryScheduler::ExpireDeadlines(double now_ms) {
+  std::vector<Entry> expired;
+  auto split = std::stable_partition(queue_.begin(), queue_.end(), [&](const Entry& e) {
+    return e.request.StartDeadline() >= now_ms;
+  });
+  expired.assign(split, queue_.end());
+  queue_.erase(split, queue_.end());
+  std::sort(expired.begin(), expired.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::vector<Request> result;
+  result.reserve(expired.size());
+  for (const Entry& e : expired) result.push_back(e.request);
+  return result;
+}
+
+std::optional<Request> QueryScheduler::PopNext() {
+  size_t best = BestIndex([](const Request&) { return true; });
+  if (best == SIZE_MAX) return std::nullopt;
+  Request r = queue_[best].request;
+  queue_.erase(queue_.begin() + static_cast<long>(best));
+  return r;
+}
+
+std::vector<Request> QueryScheduler::PopCompatible(core::Algo algo, uint32_t max_count) {
+  std::vector<Request> result;
+  while (result.size() < max_count) {
+    size_t best = BestIndex([&](const Request& r) { return r.algo == algo; });
+    if (best == SIZE_MAX) break;
+    result.push_back(queue_[best].request);
+    queue_.erase(queue_.begin() + static_cast<long>(best));
+  }
+  return result;
+}
+
+}  // namespace eta::serve

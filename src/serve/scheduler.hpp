@@ -1,0 +1,69 @@
+// QueryScheduler — bounded admission queue with priority + FIFO ordering
+// and start-deadline expiry.
+//
+// Admission control happens at Admit(): a full queue rejects the request
+// outright (the caller records QueryStatus::kRejected). Dispatch order is
+// highest priority first, FIFO within a priority level. Requests whose
+// queueing deadline passes before dispatch are swept out by
+// ExpireDeadlines() and reported as timed out — an overloaded engine sheds
+// load explicitly instead of building unbounded queues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/types.hpp"
+
+namespace eta::serve {
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues `request`; returns false (reject) if the queue is full.
+  bool Admit(const Request& request);
+
+  bool Empty() const { return queue_.empty(); }
+  size_t Depth() const { return queue_.size(); }
+
+  /// Removes and returns every queued request whose start deadline lies
+  /// strictly before `now_ms`, in admission order.
+  std::vector<Request> ExpireDeadlines(double now_ms);
+
+  /// Pops the highest-priority (then oldest) request; nullopt when empty.
+  std::optional<Request> PopNext();
+
+  /// Pops up to `max_count` queued requests running `algo`, in
+  /// priority/FIFO order — the batcher's fold operation.
+  std::vector<Request> PopCompatible(core::Algo algo, uint32_t max_count);
+
+ private:
+  struct Entry {
+    Request request;
+    uint64_t seq = 0;  // admission order, the FIFO tiebreaker
+  };
+
+  /// Index of the best dispatchable entry among `queue_` entries matching
+  /// `pred`; SIZE_MAX when none.
+  template <typename Pred>
+  size_t BestIndex(Pred&& pred) const {
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (!pred(queue_[i].request)) continue;
+      if (best == SIZE_MAX ||
+          queue_[i].request.priority > queue_[best].request.priority ||
+          (queue_[i].request.priority == queue_[best].request.priority &&
+           queue_[i].seq < queue_[best].seq)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> queue_;
+};
+
+}  // namespace eta::serve

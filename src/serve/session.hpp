@@ -1,0 +1,51 @@
+// GraphSession — a standing device deployment of one graph.
+//
+// The serving layer's unit of graph residency: construction stages the CSR
+// onto a persistent simulated device (core::ResidentGraph) and the session
+// then serves any number of queries, each charged only its incremental
+// transfer and kernel time. Unified-memory residency and cache state stay
+// warm between queries, which is precisely the amortization the serving
+// engine sells over the naive run-per-query path.
+#pragma once
+
+#include <span>
+
+#include "core/framework.hpp"
+#include "graph/csr.hpp"
+
+namespace eta::serve {
+
+class GraphSession {
+ public:
+  /// Stages `csr` (weights included iff the CSR has them, so weighted
+  /// queries are servable). The CSR must outlive the session.
+  explicit GraphSession(const graph::Csr& csr, core::EtaGraphOptions options = {})
+      : resident_(csr, options) {}
+
+  /// False if device allocation failed; no queries can be served then.
+  bool Loaded() const { return !resident_.Oom(); }
+  /// Simulated time spent staging the graph (the session's startup cost).
+  double LoadMs() const { return resident_.LoadMs(); }
+  /// Absolute session clock.
+  double NowMs() const { return resident_.NowMs(); }
+  uint64_t QueriesServed() const { return resident_.QueriesServed(); }
+  const graph::Csr& Graph() const { return resident_.Graph(); }
+
+  /// One query against the resident topology; report.query_ms is its
+  /// incremental simulated cost.
+  core::RunReport RunQuery(core::Algo algo, graph::VertexId source) {
+    return resident_.Run(algo, source);
+  }
+
+  /// One attributed multi-source launch for a folded batch; the report's
+  /// per_source_reached lets the batcher demultiplex exact per-request
+  /// reachability.
+  core::RunReport RunBatch(core::Algo algo, std::span<const graph::VertexId> sources) {
+    return resident_.RunMultiSource(algo, sources, /*attribute_sources=*/true);
+  }
+
+ private:
+  core::ResidentGraph resident_;
+};
+
+}  // namespace eta::serve

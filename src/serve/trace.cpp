@@ -1,0 +1,45 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eta::serve {
+
+std::vector<Request> GenerateTrace(graph::VertexId num_vertices,
+                                   const TraceOptions& options) {
+  ETA_CHECK(num_vertices > 0);
+  ETA_CHECK(options.mean_interarrival_ms > 0);
+  ETA_CHECK(options.bfs_fraction + options.sssp_fraction <= 1.0 + 1e-9);
+
+  // Independent streams per attribute: changing e.g. the algorithm mix
+  // leaves arrival times and sources untouched.
+  util::SplitMix64 arrivals = util::SplitMix64::Stream(options.seed, 1);
+  util::SplitMix64 sources = util::SplitMix64::Stream(options.seed, 2);
+  util::SplitMix64 algos = util::SplitMix64::Stream(options.seed, 3);
+  util::SplitMix64 priorities = util::SplitMix64::Stream(options.seed, 4);
+
+  std::vector<Request> trace;
+  trace.reserve(options.num_requests);
+  double t = 0;
+  for (uint32_t i = 0; i < options.num_requests; ++i) {
+    // Exponential inter-arrival: -mean * ln(1 - U), U in [0, 1).
+    t += -options.mean_interarrival_ms * std::log1p(-arrivals.NextDouble());
+
+    Request r;
+    r.id = i;
+    r.arrival_ms = t;
+    r.source = static_cast<graph::VertexId>(sources.NextBounded(num_vertices));
+    double u = algos.NextDouble();
+    r.algo = u < options.bfs_fraction ? core::Algo::kBfs
+             : u < options.bfs_fraction + options.sssp_fraction ? core::Algo::kSssp
+                                                                : core::Algo::kSswp;
+    r.priority = priorities.NextDouble() < options.priority_fraction ? 1 : 0;
+    r.deadline_ms = options.deadline_ms;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace eta::serve

@@ -1,0 +1,23 @@
+#include "serve/types.hpp"
+
+namespace eta::serve {
+
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kNaivePerQuery: return "naive";
+    case ServeMode::kSession: return "session";
+    case ServeMode::kSessionBatched: return "session+batch";
+  }
+  return "?";
+}
+
+}  // namespace eta::serve

@@ -1,0 +1,87 @@
+// Request/result vocabulary of the query-serving engine.
+//
+// A Request is one client query (algorithm + source vertex) with an arrival
+// time on the simulated clock, an optional queueing deadline, and a
+// priority. The engine answers each request with a QueryResult carrying an
+// explicit terminal status — admission rejection and deadline expiry are
+// first-class outcomes, never crashes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/options.hpp"
+#include "core/traversal.hpp"
+#include "graph/types.hpp"
+
+namespace eta::serve {
+
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+struct Request {
+  uint64_t id = 0;
+  core::Algo algo = core::Algo::kBfs;
+  graph::VertexId source = 0;
+  /// Arrival on the simulated clock (ms).
+  double arrival_ms = 0;
+  /// Maximum queueing delay before the query must be dispatched; requests
+  /// still queued past arrival_ms + deadline_ms time out. kNoDeadline
+  /// disables the limit.
+  double deadline_ms = kNoDeadline;
+  /// Higher values are dispatched first; FIFO within a priority level.
+  int32_t priority = 0;
+
+  double StartDeadline() const { return arrival_ms + deadline_ms; }
+};
+
+enum class QueryStatus : uint8_t {
+  kOk,        // served; reached_vertices is valid
+  kRejected,  // admission queue was full on arrival
+  kTimedOut,  // still queued when the start deadline passed
+};
+const char* QueryStatusName(QueryStatus status);
+
+struct QueryResult {
+  uint64_t id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  core::Algo algo = core::Algo::kBfs;
+  graph::VertexId source = 0;
+  /// Vertices reachable from this request's source — bit-identical whether
+  /// the query ran alone or folded into a multi-source batch (per-source
+  /// attribution, see core::ResidentGraph::RunMultiSource).
+  uint64_t reached_vertices = 0;
+  /// Requests sharing this query's launch (1 = ran alone); 0 if not served.
+  uint32_t batch_size = 0;
+  double arrival_ms = 0;
+  double start_ms = 0;   // dispatch time on the simulated clock
+  double finish_ms = 0;  // completion time on the simulated clock
+
+  double QueueMs() const { return start_ms - arrival_ms; }
+  double LatencyMs() const { return finish_ms - arrival_ms; }
+};
+
+enum class ServeMode : uint8_t {
+  /// One fresh device per query: allocate, stage the topology, run, tear
+  /// down. The no-serving-layer strawman.
+  kNaivePerQuery,
+  /// One persistent GraphSession; queries run back to back against the
+  /// resident topology.
+  kSession,
+  /// Session plus multi-source batching of compatible requests.
+  kSessionBatched,
+};
+const char* ServeModeName(ServeMode mode);
+
+struct ServeOptions {
+  ServeMode mode = ServeMode::kSessionBatched;
+  core::EtaGraphOptions graph{};
+  /// Bounded admission queue; arrivals that find it full are rejected.
+  size_t queue_capacity = 64;
+  /// How long a forming batch stays open for further compatible arrivals.
+  double batch_window_ms = 2.0;
+  /// Requests folded into one multi-source launch, at most
+  /// core::ResidentGraph::kMaxAttributedSources.
+  uint32_t max_batch = 16;
+};
+
+}  // namespace eta::serve

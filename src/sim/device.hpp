@@ -140,6 +140,12 @@ class WarpCtx {
   void AtomicAdd(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
                  const LaneArray<T>& val, uint32_t mask, LaneArray<T>& old);
 
+  /// Warp atomic or; used for per-source reach-mask accumulation in
+  /// attributed multi-source traversals.
+  template <typename T>
+  void AtomicOr(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                const LaneArray<T>& val, uint32_t mask, LaneArray<T>& old);
+
   /// Convenience: iterate set bits of mask.
   template <typename F>
   static void ForActive(uint32_t mask, F&& fn) {
@@ -466,6 +472,13 @@ void WarpCtx::AtomicAdd(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
                         const LaneArray<T>& val, uint32_t mask, LaneArray<T>& old) {
   AtomicOp(buf, idx, val, mask, old,
            [](T* slot, T v) { T o = *slot; *slot = o + v; return o; });
+}
+
+template <typename T>
+void WarpCtx::AtomicOr(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                       const LaneArray<T>& val, uint32_t mask, LaneArray<T>& old) {
+  AtomicOp(buf, idx, val, mask, old,
+           [](T* slot, T v) { T o = *slot; *slot = o | v; return o; });
 }
 
 }  // namespace eta::sim

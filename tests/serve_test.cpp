@@ -1,0 +1,253 @@
+// Tests for the query-serving engine: per-source attribution exactness,
+// persistent-session reuse, batching equivalence, deadline/overflow
+// handling, and report determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "serve/engine.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+#include "serve/trace.hpp"
+
+namespace eta::serve {
+namespace {
+
+graph::Csr RandomGraph(uint64_t seed) {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.num_edges = 4000;
+  params.seed = seed;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(seed * 3 + 1);
+  return csr;
+}
+
+uint64_t CountReached(core::Algo algo, const std::vector<graph::Weight>& labels) {
+  uint64_t reached = 0;
+  for (graph::Weight label : labels) reached += core::Reached(algo, label) ? 1 : 0;
+  return reached;
+}
+
+// --- Per-source attribution (the batcher's demux primitive) -------------------
+
+class AttributionTest : public ::testing::TestWithParam<core::Algo> {};
+
+TEST_P(AttributionTest, MatchesSequentialSingleSourceRuns) {
+  const core::Algo algo = GetParam();
+  graph::Csr csr = RandomGraph(11);
+  std::vector<graph::VertexId> sources = {0, 97, 350, 501};
+
+  core::EtaGraph engine;
+  auto batched = engine.RunMultiSource(csr, algo, sources, /*attribute_sources=*/true);
+  ASSERT_FALSE(batched.oom);
+  ASSERT_EQ(batched.per_source_reached.size(), sources.size());
+
+  std::vector<graph::Weight> expected_merge(csr.NumVertices(), core::kInf);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto single = engine.Run(csr, algo, sources[i]);
+    ASSERT_FALSE(single.oom);
+    // Demuxed per-source reachability is bit-identical to running alone.
+    EXPECT_EQ(batched.per_source_reached[i], CountReached(algo, single.labels))
+        << "source " << sources[i];
+    for (size_t v = 0; v < single.labels.size(); ++v) {
+      expected_merge[v] = std::min(expected_merge[v], single.labels[v]);
+    }
+  }
+  // Attribution must not perturb the merged labels.
+  EXPECT_EQ(batched.labels, expected_merge);
+}
+
+INSTANTIATE_TEST_SUITE_P(BfsAndSssp, AttributionTest,
+                         ::testing::Values(core::Algo::kBfs, core::Algo::kSssp));
+
+// --- Persistent sessions ------------------------------------------------------
+
+TEST(GraphSession, ReusesResidentGraphAcrossQueries) {
+  graph::Csr csr = RandomGraph(12);
+  auto one_shot = core::EtaGraph().Run(csr, core::Algo::kBfs, 5);
+  ASSERT_FALSE(one_shot.oom);
+
+  GraphSession session(csr);
+  ASSERT_TRUE(session.Loaded());
+
+  auto first = session.RunQuery(core::Algo::kBfs, 5);
+  auto second = session.RunQuery(core::Algo::kBfs, 5);
+  ASSERT_FALSE(first.oom);
+  ASSERT_FALSE(second.oom);
+  // Same answers as a cold one-shot run...
+  EXPECT_EQ(first.labels, one_shot.labels);
+  EXPECT_EQ(second.labels, one_shot.labels);
+  // ...but repeat queries skip staging: cheaper than the cold total.
+  EXPECT_LT(second.query_ms, one_shot.total_ms);
+  EXPECT_EQ(session.QueriesServed(), 2u);
+}
+
+TEST(GraphSession, ExplicitCopyStagingIsChargedOnceUpFront) {
+  graph::Csr csr = RandomGraph(12);
+  core::EtaGraphOptions options;
+  options.memory_mode = core::MemoryMode::kExplicitCopy;
+  auto one_shot = core::EtaGraph(options).Run(csr, core::Algo::kBfs, 5);
+  ASSERT_FALSE(one_shot.oom);
+
+  GraphSession session(csr, options);
+  ASSERT_TRUE(session.Loaded());
+  // Explicit mode pays the topology transfer at load time, not per query.
+  EXPECT_GT(session.LoadMs(), 0.0);
+  auto first = session.RunQuery(core::Algo::kBfs, 5);
+  auto second = session.RunQuery(core::Algo::kBfs, 5);
+  EXPECT_EQ(first.labels, one_shot.labels);
+  EXPECT_EQ(second.labels, one_shot.labels);
+  EXPECT_LT(second.query_ms, one_shot.total_ms);
+}
+
+TEST(GraphSession, ServesMixedAlgorithms) {
+  graph::Csr csr = RandomGraph(13);
+  GraphSession session(csr);
+  ASSERT_TRUE(session.Loaded());
+  for (core::Algo algo :
+       {core::Algo::kBfs, core::Algo::kSssp, core::Algo::kSswp}) {
+    auto report = session.RunQuery(algo, 7);
+    ASSERT_FALSE(report.oom);
+    EXPECT_EQ(report.labels, core::CpuReference(csr, algo, 7));
+  }
+}
+
+// --- Scheduler ----------------------------------------------------------------
+
+TEST(QueryScheduler, PriorityThenFifoOrder) {
+  QueryScheduler sched(8);
+  Request a{.id = 1, .priority = 0};
+  Request b{.id = 2, .priority = 1};
+  Request c{.id = 3, .priority = 1};
+  ASSERT_TRUE(sched.Admit(a));
+  ASSERT_TRUE(sched.Admit(b));
+  ASSERT_TRUE(sched.Admit(c));
+  EXPECT_EQ(sched.PopNext()->id, 2u);  // highest priority, admitted first
+  EXPECT_EQ(sched.PopNext()->id, 3u);
+  EXPECT_EQ(sched.PopNext()->id, 1u);
+  EXPECT_FALSE(sched.PopNext().has_value());
+}
+
+TEST(QueryScheduler, RejectsWhenFullAndExpiresDeadlines) {
+  QueryScheduler sched(2);
+  Request a{.id = 1, .arrival_ms = 0, .deadline_ms = 1.0};
+  Request b{.id = 2, .arrival_ms = 0, .deadline_ms = 100.0};
+  Request c{.id = 3};
+  EXPECT_TRUE(sched.Admit(a));
+  EXPECT_TRUE(sched.Admit(b));
+  EXPECT_FALSE(sched.Admit(c));  // full
+  auto expired = sched.ExpireDeadlines(5.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(sched.Depth(), 1u);
+}
+
+TEST(QueryScheduler, PopCompatibleFiltersByAlgorithm) {
+  QueryScheduler sched(8);
+  sched.Admit({.id = 1, .algo = core::Algo::kBfs});
+  sched.Admit({.id = 2, .algo = core::Algo::kSssp});
+  sched.Admit({.id = 3, .algo = core::Algo::kBfs});
+  auto batch = sched.PopCompatible(core::Algo::kBfs, 8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1u);
+  EXPECT_EQ(batch[1].id, 3u);
+  EXPECT_EQ(sched.Depth(), 1u);
+}
+
+// --- Engine end-to-end --------------------------------------------------------
+
+TEST(ServeEngine, BatchedResultsMatchSequentialSession) {
+  graph::Csr csr = RandomGraph(14);
+  TraceOptions trace_options;
+  trace_options.num_requests = 32;
+  auto trace = GenerateTrace(csr.NumVertices(), trace_options);
+
+  ServeOptions sequential;
+  sequential.mode = ServeMode::kSession;
+  ServeOptions batched;
+  batched.mode = ServeMode::kSessionBatched;
+  auto seq_report = ServeEngine(sequential).Serve(csr, trace);
+  auto bat_report = ServeEngine(batched).Serve(csr, trace);
+
+  ASSERT_EQ(seq_report.completed, trace.size());
+  ASSERT_EQ(bat_report.completed, trace.size());
+  // Folding must actually happen on this trace...
+  EXPECT_GT(bat_report.batch_occupancy.Max(), 1u);
+  // ...and must not change any request's answer.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(bat_report.results[i].id, seq_report.results[i].id);
+    EXPECT_EQ(bat_report.results[i].status, QueryStatus::kOk);
+    EXPECT_EQ(bat_report.results[i].reached_vertices,
+              seq_report.results[i].reached_vertices)
+        << "request " << i;
+  }
+}
+
+TEST(ServeEngine, ExpiredDeadlinesBecomeTimeouts) {
+  graph::Csr csr = RandomGraph(15);
+  // All requests arrive while the graph is still loading; the impatient
+  // ones can never be dispatched before their start deadline.
+  std::vector<Request> trace;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Request r;
+    r.id = i;
+    r.algo = core::Algo::kBfs;
+    r.source = static_cast<graph::VertexId>(i);
+    r.arrival_ms = 0;
+    r.deadline_ms = i == 0 ? kNoDeadline : 1e-6;
+    trace.push_back(r);
+  }
+  ServeOptions options;
+  options.mode = ServeMode::kSession;
+  auto report = ServeEngine(options).Serve(csr, trace);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.timed_out, 3u);
+  EXPECT_EQ(report.results[0].status, QueryStatus::kOk);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(report.results[i].status, QueryStatus::kTimedOut);
+  }
+}
+
+TEST(ServeEngine, OverflowingQueueRejectsExplicitly) {
+  graph::Csr csr = RandomGraph(16);
+  std::vector<Request> trace;
+  for (uint64_t i = 0; i < 4; ++i) {
+    trace.push_back({.id = i, .algo = core::Algo::kBfs,
+                     .source = static_cast<graph::VertexId>(i), .arrival_ms = 0});
+  }
+  ServeOptions options;
+  options.mode = ServeMode::kSession;
+  options.queue_capacity = 1;
+  auto report = ServeEngine(options).Serve(csr, trace);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.rejected, 3u);
+  EXPECT_EQ(report.results[0].status, QueryStatus::kOk);
+}
+
+TEST(ServeEngine, ReportIsDeterministic) {
+  graph::Csr csr = RandomGraph(17);
+  TraceOptions trace_options;
+  trace_options.num_requests = 24;
+  trace_options.deadline_ms = 50.0;
+  auto trace = GenerateTrace(csr.NumVertices(), trace_options);
+
+  ServeOptions options;  // kSessionBatched default
+  auto first = ServeEngine(options).Serve(csr, trace);
+  auto second = ServeEngine(options).Serve(csr, trace);
+  EXPECT_EQ(first.Render("replay"), second.Render("replay"));
+  EXPECT_EQ(first.Json(), second.Json());
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].status, second.results[i].status);
+    EXPECT_EQ(first.results[i].reached_vertices, second.results[i].reached_vertices);
+    EXPECT_DOUBLE_EQ(first.results[i].finish_ms, second.results[i].finish_ms);
+  }
+}
+
+}  // namespace
+}  // namespace eta::serve

@@ -1,0 +1,124 @@
+// etagraph_serve — replay a deterministic synthetic query trace against the
+// query-serving engine and print the fleet report.
+//
+//   etagraph_serve --dataset=slashdot --requests=64 --mode=batched
+//   etagraph_serve --graph=path/to/graph.gr --mode=session --deadline=5
+//   etagraph_serve --dataset=rmat --scale=0.25 --mode=naive --requests=16
+//
+// Flags:
+//   --dataset       one of the seven stand-ins  (or use --graph)
+//   --graph         path to a Galois .gr or text edge-list file
+//   --scale         dataset stand-in scale in (0,1]             (default 1)
+//   --requests      trace length                                (default 64)
+//   --mean-arrival  mean inter-arrival time in ms               (default 1.5)
+//   --mode          naive | session | batched                   (default batched)
+//   --window        batching window in ms                       (default 2)
+//   --max-batch     max requests folded per launch              (default 16)
+//   --queue-cap     admission queue capacity                    (default 64)
+//   --deadline      per-request queueing deadline in ms; 0=none (default 0)
+//   --bfs-frac      fraction of BFS requests                    (default 0.5)
+//   --sssp-frac     fraction of SSSP requests (rest are SSWP)   (default 0.35)
+//   --seed          trace RNG seed                              (default 1)
+//   --detail        print one line per request
+#include <cstdio>
+#include <string>
+
+#include "graph/datasets.hpp"
+#include "graph/io.hpp"
+#include "serve/engine.hpp"
+#include "serve/trace.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+using namespace eta;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "etagraph_serve: %s\n", message.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  auto cl = util::CommandLine::Parse(argc, argv, &error);
+  if (!cl) return Fail(error);
+
+  const std::string dataset = cl->GetString("dataset", "");
+  const std::string graph_path = cl->GetString("graph", "");
+  const double scale = cl->GetDouble("scale", 1.0);
+  const auto requests = static_cast<uint32_t>(cl->GetInt("requests", 64));
+  const double mean_arrival = cl->GetDouble("mean-arrival", 1.5);
+  const std::string mode_name = cl->GetString("mode", "batched");
+  const double window = cl->GetDouble("window", 2.0);
+  const auto max_batch = static_cast<uint32_t>(cl->GetInt("max-batch", 16));
+  const auto queue_cap = static_cast<size_t>(cl->GetInt("queue-cap", 64));
+  const double deadline = cl->GetDouble("deadline", 0.0);
+  const double bfs_frac = cl->GetDouble("bfs-frac", 0.5);
+  const double sssp_frac = cl->GetDouble("sssp-frac", 0.35);
+  const auto seed = static_cast<uint64_t>(cl->GetInt("seed", 1));
+  const bool detail = cl->GetBool("detail", false);
+  if (auto unused = cl->UnusedFlags(); !unused.empty()) {
+    return Fail("unknown flag --" + unused.front());
+  }
+
+  // Validate flags before the (potentially slow) graph load.
+  serve::ServeOptions options;
+  if (mode_name == "naive") {
+    options.mode = serve::ServeMode::kNaivePerQuery;
+  } else if (mode_name == "session") {
+    options.mode = serve::ServeMode::kSession;
+  } else if (mode_name == "batched") {
+    options.mode = serve::ServeMode::kSessionBatched;
+  } else {
+    return Fail("unknown --mode '" + mode_name + "' (naive | session | batched)");
+  }
+  options.queue_capacity = queue_cap;
+  options.batch_window_ms = window;
+  options.max_batch = max_batch;
+
+  graph::Csr csr;
+  if (!graph_path.empty()) {
+    csr = graph_path.size() > 3 && graph_path.ends_with(".gr")
+              ? graph::ReadGaloisGr(graph_path)
+              : graph::ReadEdgeListText(graph_path);
+  } else if (!dataset.empty()) {
+    if (!graph::FindDataset(dataset)) return Fail("unknown dataset '" + dataset + "'");
+    csr = graph::BuildDatasetCached(dataset, "eta_dataset_cache", scale);
+  } else {
+    return Fail("pass --dataset=<name> or --graph=<path>; datasets: slashdot, "
+                "livejournal, orkut, rmat, uk2005, sk2005, uk2006");
+  }
+  // Weighted requests (SSSP/SSWP) need edge weights on the resident graph.
+  if (!csr.HasWeights()) csr.DeriveWeights(1);
+  std::printf("graph: %u vertices, %u edges, topology %s\n", csr.NumVertices(),
+              csr.NumEdges(), util::FormatBytes(csr.TopologyBytes()).c_str());
+
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = requests;
+  trace_options.mean_interarrival_ms = mean_arrival;
+  trace_options.bfs_fraction = bfs_frac;
+  trace_options.sssp_fraction = sssp_frac;
+  trace_options.deadline_ms = deadline > 0 ? deadline : serve::kNoDeadline;
+  trace_options.seed = seed;
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  serve::ServeEngine engine(options);
+  serve::ServeReport report = engine.Serve(csr, trace);
+  std::printf("%s\n", report.Render("etagraph serve — trace replay").c_str());
+
+  if (detail) {
+    for (const auto& q : report.results) {
+      std::printf("  #%-4llu %-5s %-9s src=%-8u batch=%-2u queue=%8.3f ms "
+                  "latency=%8.3f ms reached=%llu\n",
+                  static_cast<unsigned long long>(q.id), core::AlgoName(q.algo),
+                  serve::QueryStatusName(q.status), q.source, q.batch_size,
+                  q.status == serve::QueryStatus::kOk ? q.QueueMs() : 0.0,
+                  q.status == serve::QueryStatus::kOk ? q.LatencyMs() : 0.0,
+                  static_cast<unsigned long long>(q.reached_vertices));
+    }
+  }
+  return 0;
+}
