@@ -7,13 +7,37 @@
 # runs the full test suite. Usage:
 #
 #   scripts/check.sh [build-dir]
+#   scripts/check.sh --sanitize [build-dir]
+#
+# --sanitize builds into a second build tree (default build-asan) with
+# AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
+# so any report is fatal) and runs the full test suite under it. The
+# simulated kernels execute against real host backing memory, which is
+# exactly what makes host ASan meaningful here: a simulator indexing bug
+# that slipped past etacheck would be a real heap-buffer-overflow.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=1
+  shift
+fi
+
+if [[ "$SANITIZE" == "1" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+else
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S .
+fi
+
 LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
 
-cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)" 2>&1 | tee "$LOG"
 
 # eta_serve builds with -Werror, so warnings there already fail the build;

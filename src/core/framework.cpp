@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/udc.hpp"
+#include "sanitizer/sanitizer.hpp"
 #include "sim/device.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -145,6 +146,9 @@ struct TraverseParams {
   /// Attributed multi-source mode: propagate per-vertex source bitmasks
   /// alongside the labels, reactivating vertices whose mask grows.
   bool attribute = false;
+  /// Fault injection (EtaGraphOptions::inject): replace the reach-mask
+  /// AtomicOr with a plain read-modify-write.
+  bool drop_reach_atomic = false;
 };
 
 /// The traversal kernel of Procedure 1: one thread per shadow vertex.
@@ -242,7 +246,20 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
     uint32_t gmask = 0;
     if (p.attribute) {
       LaneArray<uint32_t> old_mask{};
-      w.AtomicOr(d.reach_mask, u_idx, src_mask, jmask, old_mask);
+      if (p.drop_reach_atomic) {
+        // Injected bug: the unsynchronized read-modify-write a dropped
+        // AtomicOr degenerates to. Lanes of one warp targeting the same
+        // destination lose updates; racecheck must flag both the store
+        // over the foreign read and the store over the foreign store.
+        w.Gather(d.reach_mask, u_idx, jmask, old_mask);
+        LaneArray<uint32_t> new_mask{};
+        WarpCtx::ForActive(jmask, [&](uint32_t lane) {
+          new_mask[lane] = old_mask[lane] | src_mask[lane];
+        });
+        w.Scatter(d.reach_mask, u_idx, new_mask, jmask);
+      } else {
+        w.AtomicOr(d.reach_mask, u_idx, src_mask, jmask, old_mask);
+      }
       WarpCtx::ForActive(jmask, [&](uint32_t lane) {
         if (src_mask[lane] & ~old_mask[lane]) gmask |= 1u << lane;
       });
@@ -297,6 +314,9 @@ const char* MemoryModeName(MemoryMode mode) { return ModeNameImpl(mode); }
 /// whole lifetime so UM residency, cache state, and the chunk window carry
 /// across queries.
 struct ResidentGraph::State {
+  /// Declared before the device: the device holds a raw observer pointer
+  /// into the checker, so the checker must be destroyed last.
+  std::unique_ptr<sanitizer::Sanitizer> checker;
   sim::Device device;
   DeviceState d;
   ChunkStream stream;
@@ -333,6 +353,11 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
   sim::Device& device = state_->device;
   DeviceState& d = state_->d;
   ChunkStream& stream = state_->stream;
+  if (options_.check.Enabled()) {
+    // Attach before any allocation so the checker shadows every buffer.
+    state_->checker = std::make_unique<sanitizer::Sanitizer>(options_.check);
+    device.SetObserver(state_->checker.get());
+  }
   try {
     d.row = device.Alloc<EdgeId>(n + 1, row_kind, "row_offsets");
     d.col = device.Alloc<VertexId>(m, adj_kind, "col_indices");
@@ -358,7 +383,8 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
     }
     d.labels = device.Alloc<Weight>(n, sim::MemKind::kDevice, "labels");
     d.stamp = device.Alloc<uint32_t>(n, sim::MemKind::kDevice, "stamp");
-    d.act_set = device.Alloc<VertexId>(n, sim::MemKind::kDevice, "act_set");
+    const uint64_t act_cap = options_.inject.shrink_frontier && n > 1 ? n - 1 : n;
+    d.act_set = device.Alloc<VertexId>(act_cap, sim::MemKind::kDevice, "act_set");
     d.act_count = device.Alloc<uint32_t>(1, sim::MemKind::kDevice, "act_count");
     uint64_t shadow_cap = ShadowCapacity(csr, k) + 1;
     d.full_id = device.Alloc<VertexId>(shadow_cap, sim::MemKind::kDevice, "full_id");
@@ -393,6 +419,16 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
     device.CopyToDevice(d.col, csr.ColIndices());
     if (weights_staged_) device.CopyToDevice(d.wts, csr.Weights());
   }
+  if (unified || chunked) {
+    // The std::copy staging above wrote through HostSpan, which the device
+    // cannot see; tell an attached checker those bytes are defined.
+    device.MarkHostInitialized(d.row);
+    device.MarkHostInitialized(d.col);
+    if (weights_staged_) device.MarkHostInitialized(d.wts);
+  }
+  // The stamp array relies on the allocator's zero-fill (stamp 0 = "never
+  // appended") plus host-side scattered seeding in Execute.
+  device.MarkHostInitialized(d.stamp);
   load_ms_ = device.NowMs();
 }
 
@@ -567,6 +603,7 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
     params.iteration = stamp_base_ + iter + 1;  // stamps compare against the *next* set
     params.copy_label = copy_label;
     params.attribute = attribute_sources;
+    params.drop_reach_atomic = options_.inject.drop_reach_atomic;
     if (vc[0] > 0) {
       params.full_set = true;
       auto r = device.Launch("traverse_full", {vc[0], options_.block_size},
@@ -620,9 +657,16 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
       (chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes()) -
       migrated_start;
 
+  if (state_->checker != nullptr) report.check = state_->checker->Report();
+
   stamp_base_ += report.iterations + 1;
   ++queries_served_;
   return report;
+}
+
+const sanitizer::SanitizerReport* ResidentGraph::CheckReport() const {
+  return state_ != nullptr && state_->checker != nullptr ? &state_->checker->Report()
+                                                         : nullptr;
 }
 
 RunReport EtaGraph::Run(const graph::Csr& csr, Algo algo, VertexId source) const {

@@ -71,6 +71,10 @@ class ResidentGraph {
   const graph::Csr& Graph() const { return csr_; }
   const EtaGraphOptions& Options() const { return options_; }
 
+  /// The session's etacheck report, or nullptr when options.check is off.
+  /// Covers everything the session's device has executed so far.
+  const sanitizer::SanitizerReport* CheckReport() const;
+
   /// Single-source traversal against the resident topology.
   RunReport Run(Algo algo, graph::VertexId source);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/traversal.hpp"
+#include "sanitizer/sanitizer.hpp"
 #include "sim/device.hpp"
 #include "util/check.hpp"
 
@@ -167,14 +168,18 @@ void BottomUpKernel(WarpCtx& w, BfsState& d, uint32_t iter) {
       if (p_level[lane] == iter - 1) claim |= 1u << lane;
     });
     if (!claim) continue;
-    // Plain store: each vertex is owned by exactly one thread in pull mode.
+    // Relaxed store: each vertex is owned by exactly one thread in pull
+    // mode, but other threads concurrently Gather levels for their parent
+    // checks — the single-writer protocol a real kernel would express with
+    // a volatile/st.relaxed store, declared here so racecheck knows it is
+    // the design, not a dropped atomic.
     LaneArray<uint64_t> self{};
     LaneArray<Weight> lvl{};
     WarpCtx::ForActive(claim, [&](uint32_t lane) {
       self[lane] = base + lane;
       lvl[lane] = iter;
     });
-    w.Scatter(d.levels, self, lvl, claim);
+    w.ScatterRelaxed(d.levels, self, lvl, claim);
     LaneArray<uint32_t> dummy{};
     w.AtomicAdd(d.counters, zero_idx, one, claim, dummy);
     active &= ~claim;  // early exit for claimed lanes
@@ -223,7 +228,9 @@ HybridBfsResult RunHybridBfs(const graph::Csr& csr, VertexId source,
   // Preprocessing (untimed, like every framework's format conversion).
   graph::Csr transpose = csr.Transpose();
 
+  sanitizer::Sanitizer checker(options.check);
   sim::Device device(options.spec);
+  if (options.check.Enabled()) device.SetObserver(&checker);
   BfsState d;
   try {
     d.row = device.Alloc<EdgeId>(n + 1, sim::MemKind::kUnified, "row");
@@ -245,6 +252,10 @@ HybridBfsResult RunHybridBfs(const graph::Csr& csr, VertexId source,
             d.trow.HostSpan().begin());
   std::copy(transpose.ColIndices().begin(), transpose.ColIndices().end(),
             d.tcol.HostSpan().begin());
+  device.MarkHostInitialized(d.row);
+  device.MarkHostInitialized(d.col);
+  device.MarkHostInitialized(d.trow);
+  device.MarkHostInitialized(d.tcol);
 
   std::vector<Weight> init(n, kInf);
   init[source] = 0;
@@ -308,6 +319,7 @@ HybridBfsResult RunHybridBfs(const graph::Csr& csr, VertexId source,
   result.kernel_ms = kernel_ms;
   result.total_ms = device.NowMs();
   result.counters = device.TotalCounters();
+  if (options.check.Enabled()) result.check = checker.Report();
   return result;
 }
 

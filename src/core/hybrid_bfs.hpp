@@ -16,6 +16,8 @@
 
 #include "core/options.hpp"
 #include "graph/csr.hpp"
+#include "sanitizer/config.hpp"
+#include "sanitizer/report.hpp"
 #include "sim/profiler.hpp"
 
 namespace eta::core {
@@ -31,6 +33,8 @@ struct HybridBfsOptions {
   sim::DeviceSpec spec{};
   uint32_t block_size = 256;
   uint32_t max_iterations = 100000;
+  /// etacheck instrumentation; see EtaGraphOptions::check.
+  sanitizer::Config check{};
 };
 
 struct HybridBfsResult {
@@ -41,6 +45,7 @@ struct HybridBfsResult {
   double kernel_ms = 0;
   double total_ms = 0;
   sim::Counters counters;
+  sanitizer::SanitizerReport check;
 };
 
 /// Runs direction-optimizing BFS from `source`. `csr` is the out-edge

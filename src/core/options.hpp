@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "sanitizer/config.hpp"
 #include "sim/spec.hpp"
 
 namespace eta::core {
@@ -39,6 +40,22 @@ struct EtaGraphOptions {
   uint32_t block_size = 256;
   /// Safety valve; traversals converge long before this.
   uint32_t max_iterations = 100000;
+  /// etacheck instrumentation (memcheck / racecheck / synccheck). Off by
+  /// default: no observer is attached and every simulated counter and
+  /// timestamp is identical to an unchecked run. Findings land in
+  /// RunReport::check.
+  sanitizer::Config check{};
+  /// Test-only fault injection: reintroduces the bug classes etacheck
+  /// exists to catch, inside the real shipping kernels, so the planted-bug
+  /// suite can assert exact reports. Never enable outside tests.
+  struct FaultInjection {
+    /// Replace the reach-mask AtomicOr with a plain read-modify-write —
+    /// the dropped-atomic race.
+    bool drop_reach_atomic = false;
+    /// Under-allocate the frontier (act_set) by one element — the
+    /// off-by-one overflow memcheck catches.
+    bool shrink_frontier = false;
+  } inject{};
 };
 
 }  // namespace eta::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/udc.hpp"
+#include "sanitizer/sanitizer.hpp"
 #include "sim/device.hpp"
 #include "util/check.hpp"
 
@@ -46,7 +47,9 @@ PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options
   const bool unified = options.memory_mode != MemoryMode::kExplicitCopy;
   const sim::MemKind topo_kind = unified ? sim::MemKind::kUnified : sim::MemKind::kDevice;
 
+  sanitizer::Sanitizer checker(options.check);
   sim::Device device(options.spec);
+  if (options.check.Enabled()) device.SetObserver(&checker);
   PrState d;
   // Host-side UDC of the full vertex set (static, reused every iteration;
   // the device transform is exercised by the traversal path — here the
@@ -77,6 +80,8 @@ PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options
   if (unified) {
     std::copy(csr.RowOffsets().begin(), csr.RowOffsets().end(), d.row.HostSpan().begin());
     std::copy(csr.ColIndices().begin(), csr.ColIndices().end(), d.col.HostSpan().begin());
+    device.MarkHostInitialized(d.row);
+    device.MarkHostInitialized(d.col);
   } else {
     device.CopyToDevice(d.row, csr.RowOffsets());
     device.CopyToDevice(d.col, csr.ColIndices());
@@ -103,6 +108,9 @@ PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options
     device.PrefetchAsync(d.row);
     device.PrefetchAsync(d.col);
   }
+  // delta_max relies on alloc-time zero fill: the first iteration's
+  // AtomicMax reads it before any host write reaches it.
+  device.MarkHostInitialized(d.delta_max);
 
   const float base_rank =
       (1.0f - static_cast<float>(options.damping)) / static_cast<float>(n);
@@ -225,6 +233,7 @@ PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options
   result.kernel_ms = kernel_ms;
   result.total_ms = device.NowMs();
   result.counters = device.TotalCounters();
+  if (options.check.Enabled()) result.check = checker.Report();
   return result;
 }
 

@@ -15,6 +15,8 @@
 
 #include "core/options.hpp"
 #include "graph/csr.hpp"
+#include "sanitizer/config.hpp"
+#include "sanitizer/report.hpp"
 #include "sim/profiler.hpp"
 
 namespace eta::core {
@@ -29,6 +31,8 @@ struct PageRankOptions {
   MemoryMode memory_mode = MemoryMode::kUnifiedPrefetch;
   sim::DeviceSpec spec{};
   uint32_t block_size = 256;
+  /// etacheck instrumentation; see EtaGraphOptions::check.
+  sanitizer::Config check{};
 };
 
 struct PageRankResult {
@@ -38,6 +42,7 @@ struct PageRankResult {
   double kernel_ms = 0;
   double total_ms = 0;
   sim::Counters counters;
+  sanitizer::SanitizerReport check;
 };
 
 /// Runs push-style PageRank until convergence. Ranks are device-side f32;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/traversal.hpp"
+#include "sanitizer/report.hpp"
 #include "sim/profiler.hpp"
 #include "sim/timeline.hpp"
 
@@ -65,6 +66,11 @@ struct RunReport {
   uint64_t migrated_bytes = 0;
 
   uint64_t device_bytes_peak = 0;
+
+  /// etacheck findings accumulated over the session so far; empty (and
+  /// launches_checked == 0) unless EtaGraphOptions::check enabled a
+  /// checker.
+  sanitizer::SanitizerReport check;
 
   /// Final labels (host copy) for verification against CpuReference.
   std::vector<graph::Weight> labels;

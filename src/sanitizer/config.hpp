@@ -1,0 +1,47 @@
+// Which etacheck checkers run. Mirrors compute-sanitizer's tool selection
+// (--tool memcheck|racecheck|synccheck), except the simulator can run all
+// three in one pass because instrumentation is exact, not sampled.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eta::sanitizer {
+
+struct Config {
+  bool memcheck = false;   // out-of-bounds, use-after-free, uninitialized reads
+  bool racecheck = false;  // unsynchronized same-address conflicts within a launch
+  bool synccheck = false;  // divergent or missed block barriers
+
+  /// Anything on? Off (the default) means no observer is attached anywhere
+  /// and the simulation runs byte-identical to an unchecked build.
+  bool Enabled() const { return memcheck || racecheck || synccheck; }
+
+  static Config All() { return Config{true, true, true}; }
+
+  /// Parses a comma-separated tool list: "memcheck,racecheck", "synccheck",
+  /// "all", or "" (empty also means all — `--check` with no value enables
+  /// everything). Returns nullopt on an unknown tool name.
+  static std::optional<Config> Parse(std::string_view list) {
+    if (list.empty() || list == "all" || list == "true") return All();
+    Config config;
+    while (!list.empty()) {
+      auto comma = list.find(',');
+      std::string_view tool = list.substr(0, comma);
+      list = comma == std::string_view::npos ? std::string_view{} : list.substr(comma + 1);
+      if (tool == "memcheck") {
+        config.memcheck = true;
+      } else if (tool == "racecheck") {
+        config.racecheck = true;
+      } else if (tool == "synccheck") {
+        config.synccheck = true;
+      } else {
+        return std::nullopt;
+      }
+    }
+    return config;
+  }
+};
+
+}  // namespace eta::sanitizer

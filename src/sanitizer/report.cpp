@@ -1,0 +1,196 @@
+#include "sanitizer/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace eta::sanitizer {
+
+namespace {
+
+/// snprintf into a std::string, matching the serve-layer JSON style.
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+const char* CheckerName(Checker checker) {
+  switch (checker) {
+    case Checker::kMemcheck: return "memcheck";
+    case Checker::kRacecheck: return "racecheck";
+    case Checker::kSynccheck: return "synccheck";
+  }
+  return "?";
+}
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOobRead: return "oob-read";
+    case FindingKind::kOobWrite: return "oob-write";
+    case FindingKind::kUninitRead: return "uninit-read";
+    case FindingKind::kUseAfterFree: return "use-after-free";
+    case FindingKind::kRaceWriteWrite: return "race-write-write";
+    case FindingKind::kRaceReadWrite: return "race-read-write";
+    case FindingKind::kRaceAtomicWrite: return "race-atomic-write";
+    case FindingKind::kRaceWriteAtomic: return "race-write-atomic";
+    case FindingKind::kRaceWriteRead: return "race-write-read";
+    case FindingKind::kBarrierDivergence: return "barrier-divergence";
+    case FindingKind::kBarrierMismatch: return "barrier-mismatch";
+  }
+  return "?";
+}
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kError ? "ERROR" : "WARNING";
+}
+
+Checker FindingChecker(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOobRead:
+    case FindingKind::kOobWrite:
+    case FindingKind::kUninitRead:
+    case FindingKind::kUseAfterFree:
+      return Checker::kMemcheck;
+    case FindingKind::kRaceWriteWrite:
+    case FindingKind::kRaceReadWrite:
+    case FindingKind::kRaceAtomicWrite:
+    case FindingKind::kRaceWriteAtomic:
+    case FindingKind::kRaceWriteRead:
+      return Checker::kRacecheck;
+    case FindingKind::kBarrierDivergence:
+    case FindingKind::kBarrierMismatch:
+      return Checker::kSynccheck;
+  }
+  return Checker::kMemcheck;
+}
+
+Severity FindingSeverity(FindingKind kind) {
+  return kind == FindingKind::kRaceWriteRead ? Severity::kWarning : Severity::kError;
+}
+
+namespace {
+
+const char* KindDescription(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOobRead: return "read past the end of";
+    case FindingKind::kOobWrite: return "write past the end of";
+    case FindingKind::kUninitRead: return "read of uninitialized element in";
+    case FindingKind::kUseAfterFree: return "access to freed buffer";
+    case FindingKind::kRaceWriteWrite:
+      return "plain store over another thread's plain store to";
+    case FindingKind::kRaceReadWrite:
+      return "plain store over a value another thread read from";
+    case FindingKind::kRaceAtomicWrite:
+      return "plain store over another thread's atomic to";
+    case FindingKind::kRaceWriteAtomic:
+      return "atomic over another thread's plain store to";
+    case FindingKind::kRaceWriteRead:
+      return "read of another thread's unsynchronized store to";
+    case FindingKind::kBarrierDivergence: return "divergent barrier in";
+    case FindingKind::kBarrierMismatch: return "barrier count mismatch in";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Finding::Message() const {
+  std::string out;
+  Appendf(out, "%s [%s] %s: %s", SeverityName(SeverityLevel()),
+          CheckerName(FindingChecker(kind)), FindingKindName(kind),
+          KindDescription(kind));
+  if (!buffer.empty()) {
+    Appendf(out, " %s[%" PRIu64 "]", buffer.c_str(), elem_index);
+  } else if (kind == FindingKind::kBarrierMismatch) {
+    Appendf(out, " block %" PRIu64, elem_index);
+  }
+  if (!kernel.empty()) Appendf(out, " in '%s'", kernel.c_str());
+  Appendf(out, " by warp %" PRIu64 " lane %u", warp, lane);
+  if (other_thread != kNoThread) {
+    Appendf(out, " (peer thread %" PRIu64 ")", other_thread);
+  }
+  Appendf(out, " at step %" PRIu64, step);
+  if (occurrences > 1) Appendf(out, " (x%" PRIu64 ")", occurrences);
+  if (!note.empty()) out += " — " + note;
+  return out;
+}
+
+uint64_t SanitizerReport::ErrorCount() const {
+  uint64_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.SeverityLevel() == Severity::kError) n += f.occurrences;
+  }
+  return n;
+}
+
+uint64_t SanitizerReport::WarningCount() const {
+  uint64_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.SeverityLevel() == Severity::kWarning) n += f.occurrences;
+  }
+  return n;
+}
+
+void SanitizerReport::Merge(const SanitizerReport& other) {
+  launches_checked += other.launches_checked;
+  accesses_checked += other.accesses_checked;
+  for (const Finding& f : other.findings) {
+    bool merged = false;
+    for (Finding& mine : findings) {
+      if (mine.kind == f.kind && mine.kernel == f.kernel && mine.buffer == f.buffer) {
+        mine.occurrences += f.occurrences;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) findings.push_back(f);
+  }
+}
+
+std::string SanitizerReport::Render(bool verbose) const {
+  if (findings.empty() && !verbose) return "";
+  std::string out;
+  Appendf(out,
+          "========= etacheck: %" PRIu64 " error(s), %" PRIu64
+          " warning(s) over %" PRIu64 " launch(es), %" PRIu64 " access(es)\n",
+          ErrorCount(), WarningCount(), launches_checked, accesses_checked);
+  for (const Finding& f : findings) {
+    out += "=========   " + f.Message() + "\n";
+  }
+  return out;
+}
+
+std::string SanitizerReport::Json() const {
+  std::string out = "{\n";
+  Appendf(out, "  \"errors\": %" PRIu64 ",\n", ErrorCount());
+  Appendf(out, "  \"warnings\": %" PRIu64 ",\n", WarningCount());
+  Appendf(out, "  \"launches_checked\": %" PRIu64 ",\n", launches_checked);
+  Appendf(out, "  \"accesses_checked\": %" PRIu64 ",\n", accesses_checked);
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    Appendf(out, "\"checker\": \"%s\", ", CheckerName(FindingChecker(f.kind)));
+    Appendf(out, "\"kind\": \"%s\", ", FindingKindName(f.kind));
+    Appendf(out, "\"severity\": \"%s\", ", SeverityName(f.SeverityLevel()));
+    Appendf(out, "\"kernel\": \"%s\", ", f.kernel.c_str());
+    Appendf(out, "\"buffer\": \"%s\", ", f.buffer.c_str());
+    Appendf(out, "\"elem_index\": %" PRIu64 ", ", f.elem_index);
+    Appendf(out, "\"warp\": %" PRIu64 ", ", f.warp);
+    Appendf(out, "\"lane\": %u, ", f.lane);
+    if (f.other_thread != Finding::kNoThread) {
+      Appendf(out, "\"other_thread\": %" PRIu64 ", ", f.other_thread);
+    }
+    Appendf(out, "\"step\": %" PRIu64 ", ", f.step);
+    Appendf(out, "\"occurrences\": %" PRIu64 "}", f.occurrences);
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}";
+  return out;
+}
+
+}  // namespace eta::sanitizer

@@ -1,0 +1,262 @@
+#include "sanitizer/sanitizer.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/device.hpp"
+#include "util/check.hpp"
+
+namespace eta::sanitizer {
+
+namespace {
+
+constexpr uint64_t kAllValid = ~uint64_t{0};
+
+bool IsWrite(sim::AccessKind kind) {
+  return kind == sim::AccessKind::kWrite || kind == sim::AccessKind::kRelaxedWrite ||
+         kind == sim::AccessKind::kAtomic;
+}
+
+bool IsRead(sim::AccessKind kind) {
+  // Atomics are read-modify-write: the old value feeds back into the kernel.
+  return kind == sim::AccessKind::kRead || kind == sim::AccessKind::kAtomic;
+}
+
+}  // namespace
+
+Sanitizer::Sanitizer(Config config) : config_(config) {}
+
+Sanitizer::~Sanitizer() = default;
+
+Sanitizer::Shadow* Sanitizer::FindShadow(uint64_t buffer_id) {
+  auto it = shadows_.find(buffer_id);
+  return it == shadows_.end() ? nullptr : &it->second;
+}
+
+void Sanitizer::OnAlloc(const sim::RawBuffer& buffer, const std::string& name) {
+  Shadow shadow;
+  shadow.name = name;
+  shadow.bytes = buffer.bytes;
+  if (config_.memcheck) {
+    shadow.valid.assign((buffer.bytes / 4 + 63) / 64, 0);
+  }
+  shadows_[buffer.id] = std::move(shadow);
+}
+
+void Sanitizer::OnFree(const sim::RawBuffer& buffer) {
+  Shadow* shadow = FindShadow(buffer.id);
+  if (shadow == nullptr) return;
+  shadow->live = false;
+  // Drop the bulk shadow state: a freed buffer only needs its name and the
+  // dead flag to diagnose use-after-free.
+  shadow->valid.clear();
+  shadow->valid.shrink_to_fit();
+  shadow->cells.clear();
+  shadow->cells.shrink_to_fit();
+}
+
+void Sanitizer::OnHostWrite(const sim::RawBuffer& buffer, uint64_t offset,
+                            uint64_t bytes) {
+  if (!config_.memcheck) return;
+  Shadow* shadow = FindShadow(buffer.id);
+  if (shadow == nullptr || !shadow->live) return;
+  // Mark the fully covered 4-byte words (every call site is word-aligned).
+  uint64_t first = (offset + 3) / 4;
+  uint64_t last = (offset + bytes) / 4;
+  if (last > first) MarkWords(shadow->valid, first, last - first);
+}
+
+void Sanitizer::OnLaunchBegin(const std::string& label,
+                              const sim::LaunchConfig& config) {
+  in_launch_ = true;
+  kernel_ = label;
+  step_ = 0;
+  ++launch_epoch_;
+  ++report_.launches_checked;
+  warps_per_block_ = std::max(1u, config.block_size / sim::kWarpSize);
+  num_threads_ = config.num_threads;
+  num_warps_ = (config.num_threads + sim::kWarpSize - 1) / sim::kWarpSize;
+  if (config_.synccheck) barrier_counts_.assign(num_warps_, 0);
+}
+
+void Sanitizer::OnLaunchEnd() {
+  if (config_.synccheck) {
+    // Warps of one block must agree on how many barriers they executed;
+    // a disagreement is the missed-__syncthreads hang.
+    for (uint64_t block_first = 0; block_first < num_warps_;
+         block_first += warps_per_block_) {
+      uint64_t block_last = std::min<uint64_t>(block_first + warps_per_block_, num_warps_);
+      uint64_t lo_warp = block_first;
+      uint64_t hi_warp = block_first;
+      for (uint64_t w = block_first; w < block_last; ++w) {
+        if (barrier_counts_[w] < barrier_counts_[lo_warp]) lo_warp = w;
+        if (barrier_counts_[w] > barrier_counts_[hi_warp]) hi_warp = w;
+      }
+      if (barrier_counts_[lo_warp] != barrier_counts_[hi_warp]) {
+        std::string note = "warp " + std::to_string(lo_warp) + " hit " +
+                           std::to_string(barrier_counts_[lo_warp]) +
+                           " barrier(s), warp " + std::to_string(hi_warp) + " hit " +
+                           std::to_string(barrier_counts_[hi_warp]);
+        AddFinding(FindingKind::kBarrierMismatch, "", block_first / warps_per_block_,
+                   lo_warp, 0, Finding::kNoThread, note);
+      }
+    }
+  }
+  in_launch_ = false;
+  kernel_.clear();
+}
+
+void Sanitizer::OnDeviceAccess(const sim::DeviceAccess& access) {
+  ++step_;
+  ++report_.accesses_checked;
+  Shadow* shadow = FindShadow(access.buffer->id);
+  if (shadow == nullptr) return;  // allocated before the sanitizer attached
+  if (!shadow->live) {
+    AddFinding(FindingKind::kUseAfterFree, shadow->name, access.elem_index,
+               access.warp, access.lane, Finding::kNoThread);
+    return;
+  }
+  // Clamped in-bounds element range; the out-of-bounds tail is reported by
+  // CheckMemory, and the shadow updates below only apply to real elements.
+  uint64_t begin = std::min(access.elem_index, access.buffer_elems);
+  uint64_t end = std::min(access.elem_index + access.elem_count, access.buffer_elems);
+  if (config_.memcheck) CheckMemory(*shadow, access, begin, end);
+  if (config_.racecheck && in_launch_) CheckRace(*shadow, access, begin, end);
+}
+
+void Sanitizer::CheckMemory(Shadow& shadow, const sim::DeviceAccess& access,
+                            uint64_t begin, uint64_t end) {
+  if (access.elem_index + access.elem_count > access.buffer_elems) {
+    FindingKind kind =
+        IsWrite(access.kind) ? FindingKind::kOobWrite : FindingKind::kOobRead;
+    AddFinding(kind, shadow.name, std::max(access.elem_index, access.buffer_elems),
+               access.warp, access.lane, Finding::kNoThread);
+  }
+  if (begin >= end || access.elem_bytes % 4 != 0) return;
+  const uint64_t words_per_elem = access.elem_bytes / 4;
+  const uint64_t first_word = begin * words_per_elem;
+  const uint64_t word_count = (end - begin) * words_per_elem;
+  if (IsRead(access.kind)) {
+    uint64_t bad = FirstInvalidWord(shadow.valid, first_word, word_count);
+    if (bad != kAllValid) {
+      AddFinding(FindingKind::kUninitRead, shadow.name, bad / words_per_elem,
+                 access.warp, access.lane, Finding::kNoThread);
+    }
+  }
+  if (IsWrite(access.kind)) MarkWords(shadow.valid, first_word, word_count);
+}
+
+void Sanitizer::CheckRace(Shadow& shadow, const sim::DeviceAccess& access,
+                          uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  if (shadow.cells.size() < end) shadow.cells.resize(end);
+  const uint64_t thread = access.warp * sim::kWarpSize + access.lane;
+  const uint64_t tagged = thread + 1;  // 0 means "no access yet"
+  for (uint64_t e = begin; e < end; ++e) {
+    RaceCell& cell = shadow.cells[e];
+    if (cell.epoch != launch_epoch_) cell = RaceCell{launch_epoch_, 0, 0, 0};
+    switch (access.kind) {
+      case sim::AccessKind::kRead:
+        if (cell.writer != 0 && cell.writer != tagged) {
+          AddFinding(FindingKind::kRaceWriteRead, shadow.name, e, access.warp,
+                     access.lane, cell.writer - 1);
+        }
+        cell.reader = tagged;
+        break;
+      case sim::AccessKind::kWrite:
+        if (cell.writer != 0 && cell.writer != tagged) {
+          AddFinding(FindingKind::kRaceWriteWrite, shadow.name, e, access.warp,
+                     access.lane, cell.writer - 1);
+        } else if (cell.atomiker != 0 && cell.atomiker != tagged) {
+          AddFinding(FindingKind::kRaceAtomicWrite, shadow.name, e, access.warp,
+                     access.lane, cell.atomiker - 1);
+        } else if (cell.reader != 0 && cell.reader != tagged) {
+          AddFinding(FindingKind::kRaceReadWrite, shadow.name, e, access.warp,
+                     access.lane, cell.reader - 1);
+        }
+        cell.writer = tagged;
+        break;
+      case sim::AccessKind::kRelaxedWrite:
+      case sim::AccessKind::kAtomic:
+        if (cell.writer != 0 && cell.writer != tagged) {
+          AddFinding(FindingKind::kRaceWriteAtomic, shadow.name, e, access.warp,
+                     access.lane, cell.writer - 1);
+        }
+        cell.atomiker = tagged;
+        break;
+    }
+  }
+}
+
+void Sanitizer::OnBarrier(uint64_t warp, uint64_t block, uint32_t arrive_mask,
+                          uint32_t active_mask) {
+  ++step_;
+  if (!config_.synccheck || !in_launch_) return;
+  if (warp < barrier_counts_.size()) ++barrier_counts_[warp];
+  if (arrive_mask != active_mask) {
+    AddFinding(FindingKind::kBarrierDivergence, "", block, warp,
+               static_cast<uint32_t>(std::countr_zero(arrive_mask | 1u)),
+               Finding::kNoThread);
+  }
+}
+
+void Sanitizer::AddFinding(FindingKind kind, const std::string& buffer_name,
+                           uint64_t elem_index, uint64_t warp, uint32_t lane,
+                           uint64_t other_thread, const std::string& note) {
+  auto key = std::make_tuple(kind, kernel_, buffer_name);
+  auto it = finding_index_.find(key);
+  if (it != finding_index_.end()) {
+    ++report_.findings[it->second].occurrences;
+    return;
+  }
+  Finding finding;
+  finding.kind = kind;
+  finding.kernel = kernel_;
+  finding.buffer = buffer_name;
+  finding.elem_index = elem_index;
+  finding.warp = warp;
+  finding.lane = lane;
+  finding.other_thread = other_thread;
+  finding.step = step_;
+  finding.note = note;
+  finding_index_[key] = report_.findings.size();
+  report_.findings.push_back(std::move(finding));
+}
+
+void Sanitizer::MarkWords(std::vector<uint64_t>& valid, uint64_t first, uint64_t count) {
+  if (count == 0) return;
+  uint64_t word = first / 64;
+  uint64_t bit = first % 64;
+  ETA_DCHECK((first + count + 63) / 64 <= valid.size());
+  while (count > 0) {
+    uint64_t span = std::min<uint64_t>(64 - bit, count);
+    uint64_t mask = span == 64 ? kAllValid : ((uint64_t{1} << span) - 1) << bit;
+    valid[word] |= mask;
+    count -= span;
+    ++word;
+    bit = 0;
+  }
+}
+
+uint64_t Sanitizer::FirstInvalidWord(const std::vector<uint64_t>& valid, uint64_t first,
+                                     uint64_t count) {
+  uint64_t word = first / 64;
+  uint64_t bit = first % 64;
+  uint64_t index = first;
+  ETA_DCHECK((first + count + 63) / 64 <= valid.size());
+  while (count > 0) {
+    uint64_t span = std::min<uint64_t>(64 - bit, count);
+    uint64_t mask = span == 64 ? kAllValid : ((uint64_t{1} << span) - 1) << bit;
+    uint64_t missing = mask & ~valid[word];
+    if (missing != 0) {
+      return index + static_cast<uint64_t>(std::countr_zero(missing)) - bit;
+    }
+    index += span;
+    count -= span;
+    ++word;
+    bit = 0;
+  }
+  return kAllValid;
+}
+
+}  // namespace eta::sanitizer

@@ -1,0 +1,110 @@
+// etacheck — a compute-sanitizer analog for the simulated GPU.
+//
+// Attach with device.SetObserver(&sanitizer) *before* allocating buffers;
+// the checker shadows every allocation and watches every warp memory
+// operation the device executes:
+//
+//   memcheck   per-allocation shadow ranges: out-of-bounds element ranges,
+//              use-after-free, and uninitialized reads tracked by per-word
+//              valid bits seeded at CopyToDevice / MarkHostInitialized and
+//              by device-side stores.
+//   racecheck  a per-element access log scoped to one launch: two different
+//              threads touching the same element where at least one side is
+//              a plain store — i.e. a write that should have been an
+//              AtomicMin/Max/Add/Or or a declared ScatterRelaxed.
+//   synccheck  block barriers reached under divergent lane masks, and warps
+//              of one block disagreeing on how many barriers they hit.
+//
+// All bookkeeping lives on the host side of the simulator: the checker
+// never charges cycles, so a checked run reports exactly the counters and
+// timings of an unchecked one. See DESIGN.md "The etacheck sanitizer".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "sanitizer/config.hpp"
+#include "sanitizer/report.hpp"
+#include "sim/observer.hpp"
+
+namespace eta::sanitizer {
+
+class Sanitizer : public sim::AccessObserver {
+ public:
+  explicit Sanitizer(Config config = Config::All());
+  ~Sanitizer() override;
+
+  const Config& Options() const { return config_; }
+  const SanitizerReport& Report() const { return report_; }
+
+  // sim::AccessObserver
+  void OnAlloc(const sim::RawBuffer& buffer, const std::string& name) override;
+  void OnFree(const sim::RawBuffer& buffer) override;
+  void OnHostWrite(const sim::RawBuffer& buffer, uint64_t offset,
+                   uint64_t bytes) override;
+  void OnLaunchBegin(const std::string& label, const sim::LaunchConfig& config) override;
+  void OnLaunchEnd() override;
+  void OnDeviceAccess(const sim::DeviceAccess& access) override;
+  void OnBarrier(uint64_t warp, uint64_t block, uint32_t arrive_mask,
+                 uint32_t active_mask) override;
+
+ private:
+  /// Last-access state of one element within the current launch. Thread ids
+  /// are stored +1 so zero means "untouched"; `epoch` versions the cell so
+  /// the whole table resets per launch without a clearing pass.
+  struct RaceCell {
+    uint32_t epoch = 0;
+    uint64_t reader = 0;
+    uint64_t writer = 0;   // plain stores only
+    uint64_t atomiker = 0; // atomics and relaxed stores
+  };
+
+  /// Shadow state of one allocation, keyed by the allocator's never-reused
+  /// buffer id.
+  struct Shadow {
+    std::string name;
+    uint64_t bytes = 0;  // page-rounded allocation size
+    bool live = true;
+    std::vector<uint64_t> valid;     // 1 bit per 4-byte word, lazily sized
+    std::vector<RaceCell> cells;     // 1 per element, lazily sized
+  };
+
+  Shadow* FindShadow(uint64_t buffer_id);
+  void AddFinding(FindingKind kind, const std::string& buffer_name, uint64_t elem_index,
+                  uint64_t warp, uint32_t lane, uint64_t other_thread,
+                  const std::string& note = "");
+  void CheckMemory(Shadow& shadow, const sim::DeviceAccess& access, uint64_t begin,
+                   uint64_t end);
+  void CheckRace(Shadow& shadow, const sim::DeviceAccess& access, uint64_t begin,
+                 uint64_t end);
+
+  // Valid-bit helpers over 4-byte words of the allocation.
+  static void MarkWords(std::vector<uint64_t>& valid, uint64_t first, uint64_t count);
+  /// Returns the first invalid word in [first, first + count), or ~0 if all
+  /// are valid.
+  static uint64_t FirstInvalidWord(const std::vector<uint64_t>& valid, uint64_t first,
+                                   uint64_t count);
+
+  Config config_;
+  SanitizerReport report_;
+  std::unordered_map<uint64_t, Shadow> shadows_;
+
+  // Aggregation: (kind, kernel, buffer name) -> index into report_.findings.
+  std::map<std::tuple<FindingKind, std::string, std::string>, size_t> finding_index_;
+
+  // Per-launch state.
+  bool in_launch_ = false;
+  uint32_t launch_epoch_ = 0;
+  std::string kernel_;
+  uint64_t step_ = 0;
+  uint32_t warps_per_block_ = 1;
+  uint64_t num_warps_ = 0;
+  uint64_t num_threads_ = 0;
+  std::vector<uint32_t> barrier_counts_;  // per warp, synccheck only
+};
+
+}  // namespace eta::sanitizer

@@ -145,6 +145,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         core::EtaGraph engine(options_.graph);
         core::RunReport run = engine.Run(csr, r.algo, r.source);
         ETA_CHECK(!run.oom);
+        report.check.Merge(run.check);
         QueryResult q;
         q.id = r.id;
         q.status = QueryStatus::kOk;
@@ -172,6 +173,9 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   }
 
   report.makespan_ms = now;
+  if (use_session) {
+    if (const sanitizer::SanitizerReport* c = session->CheckReport()) report.check = *c;
+  }
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
   ETA_CHECK(report.results.size() == trace.size());

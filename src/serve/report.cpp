@@ -38,6 +38,11 @@ std::string ServeReport::Render(const std::string& title) const {
   row("mean batch occupancy", util::FormatDouble(MeanBatchOccupancy(), 2));
   row("max batch occupancy", std::to_string(batch_occupancy.Max()));
   row("reached vertices (sum)", std::to_string(reached_total));
+  if (check.launches_checked > 0) {
+    row("etacheck launches", std::to_string(check.launches_checked));
+    row("etacheck errors", std::to_string(check.ErrorCount()));
+    row("etacheck warnings", std::to_string(check.WarningCount()));
+  }
   return table.Render(title);
 }
 
@@ -49,11 +54,14 @@ std::string ServeReport::Json() const {
       ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"dispatches\":%" PRIu64
       ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
       ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
-      ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64 "}",
+      ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64
+      ",\"check_launches\":%" PRIu64 ",\"check_errors\":%" PRIu64
+      ",\"check_warnings\":%" PRIu64 "}",
       ServeModeName(mode), total_requests, completed, rejected, timed_out, batches,
       load_ms, makespan_ms, ThroughputQps(), LatencyPercentileMs(0.50),
       LatencyPercentileMs(0.95), LatencyPercentileMs(0.99), MeanBatchOccupancy(),
-      reached_total);
+      reached_total, check.launches_checked, static_cast<uint64_t>(check.ErrorCount()),
+      static_cast<uint64_t>(check.WarningCount()));
   return buf;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sanitizer/report.hpp"
 #include "serve/types.hpp"
 #include "util/histogram.hpp"
 
@@ -44,6 +45,12 @@ struct ServeReport {
 
   /// Per-request outcomes, sorted by request id.
   std::vector<QueryResult> results;
+
+  /// etacheck findings over every device the replay touched (the session
+  /// device, or each naive per-query device, merged); empty with
+  /// launches_checked == 0 unless ServeOptions::graph.check enabled a
+  /// checker.
+  sanitizer::SanitizerReport check;
 
   /// Completed requests per simulated second of makespan.
   double ThroughputQps() const;

@@ -44,6 +44,12 @@ class GraphSession {
     return resident_.RunMultiSource(algo, sources, /*attribute_sources=*/true);
   }
 
+  /// The session's etacheck report (covers every query served so far), or
+  /// nullptr when the session's options.check is off.
+  const sanitizer::SanitizerReport* CheckReport() const {
+    return resident_.CheckReport();
+  }
+
  private:
   core::ResidentGraph resident_;
 };

@@ -1,0 +1,126 @@
+#include "serve/trace_file.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace eta::serve {
+namespace {
+
+bool ParseDoubleTok(const std::string& tok, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || tok.empty() || errno != 0) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseI64Tok(const std::string& tok, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end != tok.c_str() + tok.size() || tok.empty() || errno != 0) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseAlgoTok(std::string tok, core::Algo* out) {
+  for (char& c : tok) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (tok == "bfs") {
+    *out = core::Algo::kBfs;
+  } else if (tok == "sssp") {
+    *out = core::Algo::kSssp;
+  } else if (tok == "sswp") {
+    *out = core::Algo::kSswp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Request>> Fail(std::string* error, size_t line_no,
+                                         const std::string& what) {
+  if (error != nullptr) {
+    *error = "trace line " + std::to_string(line_no) + ": " + what;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Request>> ParseTraceText(std::string_view text,
+                                                   std::string* error) {
+  std::vector<Request> trace;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (fields >> t) {
+      if (t[0] == '#') break;  // trailing comment
+      tok.push_back(t);
+    }
+    if (tok.empty()) continue;  // blank or comment-only line
+    if (tok.size() < 3 || tok.size() > 5) {
+      return Fail(error, line_no,
+                  "expected 'arrival_ms algo source [deadline_ms] [priority]', got " +
+                      std::to_string(tok.size()) + " field(s)");
+    }
+
+    Request r;
+    r.id = trace.size();
+    if (!ParseDoubleTok(tok[0], &r.arrival_ms) || r.arrival_ms < 0) {
+      return Fail(error, line_no, "bad arrival_ms '" + tok[0] + "'");
+    }
+    if (!ParseAlgoTok(tok[1], &r.algo)) {
+      return Fail(error, line_no,
+                  "unknown algo '" + tok[1] + "' (want bfs, sssp, or sswp)");
+    }
+    long long source = 0;
+    if (!ParseI64Tok(tok[2], &source) || source < 0) {
+      return Fail(error, line_no, "bad source '" + tok[2] + "'");
+    }
+    r.source = static_cast<graph::VertexId>(source);
+    if (tok.size() >= 4) {
+      double deadline = 0;
+      if (!ParseDoubleTok(tok[3], &deadline) || deadline < 0) {
+        return Fail(error, line_no, "bad deadline_ms '" + tok[3] + "'");
+      }
+      r.deadline_ms = deadline == 0 ? kNoDeadline : deadline;
+    }
+    if (tok.size() == 5) {
+      long long prio = 0;
+      if (!ParseI64Tok(tok[4], &prio) || prio < INT32_MIN || prio > INT32_MAX) {
+        return Fail(error, line_no, "bad priority '" + tok[4] + "'");
+      }
+      r.priority = static_cast<int32_t>(prio);
+    }
+    if (!trace.empty() && r.arrival_ms < trace.back().arrival_ms) {
+      return Fail(error, line_no,
+                  "arrival_ms goes backwards (" + tok[0] + " after " +
+                      std::to_string(trace.back().arrival_ms) + ")");
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::optional<std::vector<Request>> LoadTraceFile(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open trace file '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseTraceText(text.str(), error);
+}
+
+}  // namespace eta::serve

@@ -1,0 +1,35 @@
+// Text trace files for the serving engine — replay recorded workloads.
+//
+// One request per line, whitespace-separated:
+//
+//   arrival_ms algo source [deadline_ms] [priority]
+//
+// where algo is bfs | sssp | sswp (case-insensitive), deadline_ms of 0
+// means no deadline (kNoDeadline), and priority defaults to 0. Blank lines
+// and lines starting with '#' are ignored. Requests must appear in
+// non-decreasing arrival order (the engine's replay contract); ids are
+// assigned 0..n-1 in file order. Parse failures return std::nullopt with a
+// line-numbered message in *error.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/types.hpp"
+
+namespace eta::serve {
+
+/// Parses trace text (see file header for the format). On failure returns
+/// std::nullopt and, when `error` is non-null, a message naming the
+/// offending line.
+std::optional<std::vector<Request>> ParseTraceText(std::string_view text,
+                                                   std::string* error);
+
+/// Reads and parses the trace file at `path`. Unreadable files report
+/// through `error` like a parse failure.
+std::optional<std::vector<Request>> LoadTraceFile(const std::string& path,
+                                                  std::string* error);
+
+}  // namespace eta::serve

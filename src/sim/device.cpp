@@ -20,6 +20,8 @@ uint32_t CoalesceSectors(const LaneArray<uint64_t>& addrs, uint32_t mask,
 
 }  // namespace internal
 
+AccessObserver::~AccessObserver() = default;
+
 Device::Device(DeviceSpec spec)
     : spec_(spec),
       mem_(spec_.device_memory_bytes, spec_.page_bytes),
@@ -178,6 +180,17 @@ void Device::TouchManaged(uint64_t addr, bool write) {
 }
 
 // --- WarpCtx cost accounting -------------------------------------------------
+
+void WarpCtx::Barrier(uint32_t arrive_mask) {
+  Counters& c = device_.accum_.c;
+  c.warp_instructions += 1;
+  c.thread_instructions += PopCount(arrive_mask);
+  if (device_.observer_ != nullptr) {
+    const uint32_t warps_per_block = std::max(1u, config_.block_size / kWarpSize);
+    device_.observer_->OnBarrier(warp_id_, warp_id_ / warps_per_block, arrive_mask,
+                                 ActiveMask());
+  }
+}
 
 void WarpCtx::ChargeAlu(uint32_t instructions, uint32_t mask) {
   Counters& c = device_.accum_.c;

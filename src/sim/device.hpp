@@ -31,6 +31,7 @@
 
 #include "sim/cache.hpp"
 #include "sim/memory.hpp"
+#include "sim/observer.hpp"
 #include "sim/profiler.hpp"
 #include "sim/spec.hpp"
 #include "sim/timeline.hpp"
@@ -124,6 +125,21 @@ class WarpCtx {
   void Scatter(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
                const LaneArray<T>& val, uint32_t mask);
 
+  /// Scatter declared race-tolerant — the CUDA `st.relaxed` / volatile-store
+  /// idiom for single-writer protocols where concurrent readers are part of
+  /// the design (e.g. pull-phase level claiming in hybrid BFS). Identical
+  /// cost and functional behaviour to Scatter; racecheck treats it like an
+  /// atomic instead of a hazard, while memcheck still bounds-checks it.
+  template <typename T>
+  void ScatterRelaxed(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                      const LaneArray<T>& val, uint32_t mask);
+
+  /// Block-level barrier (__syncthreads). `arrive_mask` is the lane mask the
+  /// warp arrives with; arriving under a mask narrower than ActiveMask()
+  /// is the classic divergent-barrier hang that synccheck flags. Charges one
+  /// warp instruction.
+  void Barrier(uint32_t arrive_mask);
+
   /// Warp atomic min: old values returned. Lanes targeting the same
   /// element serialize.
   template <typename T>
@@ -171,13 +187,19 @@ class WarpCtx {
                 uint32_t mask, LaneArray<T>& old, Op op);
 
   template <typename T>
-  void CollectAddrs(const Buffer<T>& buf, const LaneArray<uint64_t>& idx, uint32_t mask,
-                    LaneArray<uint64_t>& addrs) const {
-    ForActive(mask, [&](uint32_t lane) {
-      ETA_DCHECK(idx[lane] < buf.count);
-      addrs[lane] = buf.AddrOf(idx[lane]);
-    });
-  }
+  void ScatterImpl(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                   const LaneArray<T>& val, uint32_t mask, AccessKind kind);
+
+  /// The checked device-side indexing path every warp memory op goes
+  /// through. Reports each lane's access to the attached observer (with the
+  /// raw, unclamped index so the sanitizer sees out-of-bounds attempts),
+  /// keeps the DCHECK for unchecked debug builds, and clamps into bounds so
+  /// a release build can never corrupt host memory on a buggy index —
+  /// `safe` is what the functional load/store must use.
+  template <typename T>
+  void CheckedAddrs(const Buffer<T>& buf, const LaneArray<uint64_t>& idx, uint32_t mask,
+                    AccessKind kind, LaneArray<uint64_t>& safe,
+                    LaneArray<uint64_t>& addrs) const;
 
   Device& device_;
   uint64_t warp_id_;
@@ -197,12 +219,14 @@ class Device {
     RawBuffer raw = mem_.Allocate(count * sizeof(T), kind, name);
     if (kind == MemKind::kUnified) um_.Register(raw.base_addr, raw.bytes);
     UpdateUmBudget();
+    if (observer_ != nullptr) observer_->OnAlloc(raw, name);
     return Buffer<T>{raw, count};
   }
 
   template <typename T>
   void Free(Buffer<T>& buffer) {
     if (!buffer.Valid()) return;
+    if (observer_ != nullptr) observer_->OnFree(buffer.raw);
     if (buffer.raw.kind == MemKind::kUnified) um_.Unregister(buffer.raw.base_addr);
     mem_.Free(buffer.raw);
     UpdateUmBudget();
@@ -218,6 +242,7 @@ class Device {
     ETA_CHECK(src.size() <= buffer.count);
     std::memcpy(buffer.raw.data, src.data(), src.size_bytes());
     RecordTransfer(src.size_bytes(), pageable, SpanKind::kTransferH2D, "h2d");
+    if (observer_ != nullptr) observer_->OnHostWrite(buffer.raw, 0, src.size_bytes());
   }
 
   /// H2D copy into a sub-range of the buffer (cudaMemcpy with an offset
@@ -229,6 +254,9 @@ class Device {
     ETA_CHECK(offset + src.size() <= buffer.count);
     std::memcpy(buffer.raw.data + offset * sizeof(T), src.data(), src.size_bytes());
     RecordTransfer(src.size_bytes(), pageable, SpanKind::kTransferH2D, "h2d");
+    if (observer_ != nullptr) {
+      observer_->OnHostWrite(buffer.raw, offset * sizeof(T), src.size_bytes());
+    }
   }
 
   template <typename T>
@@ -256,6 +284,18 @@ class Device {
   /// cudaDeviceSynchronize: waits out any in-flight prefetch.
   void Synchronize() { now_ms_ = std::max(now_ms_, pending_transfer_end_); }
 
+  /// Declares the buffer's contents host-initialized without charging a
+  /// transfer: call sites that stage data straight into HostSpan() (unified
+  /// memory, chunked streaming) or that rely on the allocator's zero-fill
+  /// use this to tell an attached sanitizer the bytes are defined. Free when
+  /// no observer is attached; never moves the simulated clock.
+  template <typename T>
+  void MarkHostInitialized(const Buffer<T>& buffer) {
+    if (observer_ != nullptr) {
+      observer_->OnHostWrite(buffer.raw, 0, buffer.count * sizeof(T));
+    }
+  }
+
   /// Charges a host->device transfer without moving bytes — used by
   /// frameworks that manage their own staging (e.g. GTS-style chunked
   /// streaming) where the functional data already lives in host-backed
@@ -274,6 +314,7 @@ class Device {
   template <typename F>
   LaunchResult Launch(const std::string& label, const LaunchConfig& config, F&& kernel) {
     BeginLaunch();
+    if (observer_ != nullptr) observer_->OnLaunchBegin(label, config);
     const uint32_t warps_per_block = std::max(1u, config.block_size / kWarpSize);
     const uint64_t num_warps =
         (config.num_threads + kWarpSize - 1) / kWarpSize;
@@ -283,6 +324,7 @@ class Device {
       WarpCtx ctx(*this, w, sm, config);
       kernel(ctx);
     }
+    if (observer_ != nullptr) observer_->OnLaunchEnd();
     return EndLaunch(label, config, num_warps);
   }
 
@@ -295,6 +337,13 @@ class Device {
   DeviceMemory& Mem() { return mem_; }
   const DeviceMemory& Mem() const { return mem_; }
   const LaunchResult& LastLaunch() const { return last_launch_; }
+
+  /// Attaches (or detaches, with nullptr) an instrumentation observer. The
+  /// observer must outlive every subsequent device operation; it sees only
+  /// events that happen while attached, so attach before allocating the
+  /// buffers it should know about.
+  void SetObserver(AccessObserver* observer) { observer_ = observer; }
+  AccessObserver* Observer() const { return observer_; }
 
  private:
   friend class WarpCtx;
@@ -334,6 +383,7 @@ class Device {
   bool in_launch_ = false;
   double now_ms_ = 0;
   double pending_transfer_end_ = 0;
+  AccessObserver* observer_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -352,17 +402,39 @@ uint32_t CoalesceSectors(const LaneArray<uint64_t>& addrs, uint32_t mask,
 }  // namespace internal
 
 template <typename T>
+void WarpCtx::CheckedAddrs(const Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                           uint32_t mask, AccessKind kind, LaneArray<uint64_t>& safe,
+                           LaneArray<uint64_t>& addrs) const {
+  AccessObserver* obs = device_.observer_;
+  ForActive(mask, [&](uint32_t lane) {
+    uint64_t i = idx[lane];
+    if (obs != nullptr) {
+      obs->OnDeviceAccess(DeviceAccess{&buf.raw, i, 1, sizeof(T), buf.count, kind,
+                                       warp_id_, lane});
+    } else {
+      ETA_DCHECK(i < buf.count);
+    }
+    if (i >= buf.count) i = buf.count > 0 ? buf.count - 1 : 0;
+    safe[lane] = i;
+    // Not AddrOf: after clamping the address is in range by construction,
+    // and AddrOf's own DCHECK stays armed for out-of-simulator callers.
+    addrs[lane] = buf.raw.base_addr + i * sizeof(T);
+  });
+}
+
+template <typename T>
 void WarpCtx::Gather(const Buffer<T>& buf, const LaneArray<uint64_t>& idx, uint32_t mask,
                      LaneArray<T>& out) {
   if (!mask) return;
+  LaneArray<uint64_t> safe;
   LaneArray<uint64_t> addrs;
-  CollectAddrs(buf, idx, mask, addrs);
+  CheckedAddrs(buf, idx, mask, AccessKind::kRead, safe, addrs);
   uint64_t sectors[kWarpSize];
   uint32_t n = internal::CoalesceSectors(addrs, mask, sizeof(T), sectors);
   uint32_t worst = device_.ReadSectors(sm_, sectors, n);
   AccumGatherCost(mask, n, worst);
   const T* data = reinterpret_cast<const T*>(buf.raw.data);
-  ForActive(mask, [&](uint32_t lane) { out[lane] = data[idx[lane]]; });
+  ForActive(mask, [&](uint32_t lane) { out[lane] = data[safe[lane]]; });
 }
 
 template <typename T>
@@ -379,6 +451,32 @@ void WarpCtx::GatherBulk(const Buffer<T>& buf, const LaneArray<uint64_t>& start,
                          const LaneArray<uint32_t>& count, uint32_t mask, T* out,
                          uint32_t stride) {
   if (!mask) return;
+  // Checked-indexing pass: report each lane's run to the observer with the
+  // raw range, then clamp the run into bounds so the streaming loops below
+  // never touch host memory past the allocation.
+  AccessObserver* obs = device_.observer_;
+  LaneArray<uint64_t> safe_start;
+  LaneArray<uint32_t> safe_count;
+  ForActive(mask, [&](uint32_t lane) {
+    uint64_t s = start[lane];
+    uint32_t c = count[lane];
+    if (c > 0) {
+      if (obs != nullptr) {
+        obs->OnDeviceAccess(DeviceAccess{&buf.raw, s, c, sizeof(T), buf.count,
+                                         AccessKind::kRead, warp_id_, lane});
+      } else {
+        ETA_DCHECK(s + c <= buf.count);
+      }
+    }
+    if (s >= buf.count) {
+      s = 0;
+      c = 0;
+    } else if (s + c > buf.count) {
+      c = static_cast<uint32_t>(buf.count - s);
+    }
+    safe_start[lane] = s;
+    safe_count[lane] = c;
+  });
   // Each lane's run is contiguous, so its sectors are requested exactly
   // once (the unrolled loads have nothing intervening to evict them); a
   // rare cross-lane duplicate simply hits in the L1 on its second probe.
@@ -387,12 +485,12 @@ void WarpCtx::GatherBulk(const Buffer<T>& buf, const LaneArray<uint64_t>& start,
   uint32_t total_sectors = 0;
   const uint32_t sector_bytes = device_.Spec().sector_bytes;
   ForActive(mask, [&](uint32_t lane) {
-    ETA_DCHECK(start[lane] + count[lane] <= buf.count);
-    max_count = std::max(max_count, count[lane]);
-    if (count[lane] == 0) return;
-    uint64_t first = buf.AddrOf(start[lane]) / sector_bytes;
-    uint64_t last = (buf.AddrOf(start[lane]) + uint64_t{count[lane]} * sizeof(T) - 1) /
-                    sector_bytes;
+    max_count = std::max(max_count, safe_count[lane]);
+    if (safe_count[lane] == 0) return;
+    uint64_t first = buf.AddrOf(safe_start[lane]) / sector_bytes;
+    uint64_t last =
+        (buf.AddrOf(safe_start[lane]) + uint64_t{safe_count[lane]} * sizeof(T) - 1) /
+        sector_bytes;
     uint64_t chunk[kWarpSize];
     uint32_t n = 0;
     for (uint64_t s = first; s <= last; ++s) {
@@ -412,32 +510,46 @@ void WarpCtx::GatherBulk(const Buffer<T>& buf, const LaneArray<uint64_t>& start,
 
   const T* data = reinterpret_cast<const T*>(buf.raw.data);
   ForActive(mask, [&](uint32_t lane) {
-    for (uint32_t j = 0; j < count[lane]; ++j) {
-      out[lane * stride + j] = data[start[lane] + j];
+    for (uint32_t j = 0; j < safe_count[lane]; ++j) {
+      out[lane * stride + j] = data[safe_start[lane] + j];
     }
   });
 }
 
 template <typename T>
-void WarpCtx::Scatter(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
-                      const LaneArray<T>& val, uint32_t mask) {
+void WarpCtx::ScatterImpl(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                          const LaneArray<T>& val, uint32_t mask, AccessKind kind) {
   if (!mask) return;
+  LaneArray<uint64_t> safe;
   LaneArray<uint64_t> addrs;
-  CollectAddrs(buf, idx, mask, addrs);
+  CheckedAddrs(buf, idx, mask, kind, safe, addrs);
   uint64_t sectors[kWarpSize];
   uint32_t n = internal::CoalesceSectors(addrs, mask, sizeof(T), sectors);
   device_.WriteSectors(sm_, sectors, n);
   AccumStoreCost(mask);
   T* data = reinterpret_cast<T*>(buf.raw.data);
-  ForActive(mask, [&](uint32_t lane) { data[idx[lane]] = val[lane]; });
+  ForActive(mask, [&](uint32_t lane) { data[safe[lane]] = val[lane]; });
+}
+
+template <typename T>
+void WarpCtx::Scatter(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                      const LaneArray<T>& val, uint32_t mask) {
+  ScatterImpl(buf, idx, val, mask, AccessKind::kWrite);
+}
+
+template <typename T>
+void WarpCtx::ScatterRelaxed(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
+                             const LaneArray<T>& val, uint32_t mask) {
+  ScatterImpl(buf, idx, val, mask, AccessKind::kRelaxedWrite);
 }
 
 template <typename T, typename Op>
 void WarpCtx::AtomicOp(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
                        const LaneArray<T>& val, uint32_t mask, LaneArray<T>& old, Op op) {
   if (!mask) return;
+  LaneArray<uint64_t> safe;
   LaneArray<uint64_t> addrs;
-  CollectAddrs(buf, idx, mask, addrs);
+  CheckedAddrs(buf, idx, mask, AccessKind::kAtomic, safe, addrs);
   uint64_t sectors[kWarpSize];
   uint32_t n = internal::CoalesceSectors(addrs, mask, sizeof(T), sectors);
   // Atomics resolve at the L2; same-address lanes serialize.
@@ -450,7 +562,7 @@ void WarpCtx::AtomicOp(Buffer<T>& buf, const LaneArray<uint64_t>& idx,
   });
   AccumAtomicCost(mask, max_mult);
   T* data = reinterpret_cast<T*>(buf.raw.data);
-  ForActive(mask, [&](uint32_t lane) { old[lane] = op(&data[idx[lane]], val[lane]); });
+  ForActive(mask, [&](uint32_t lane) { old[lane] = op(&data[safe[lane]], val[lane]); });
 }
 
 template <typename T>

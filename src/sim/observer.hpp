@@ -1,0 +1,98 @@
+// Instrumentation hook for the simulated device — the attachment point the
+// etacheck sanitizer (src/sanitizer/) uses to watch every allocation, host
+// write, kernel launch, device memory access and block barrier.
+//
+// The observer is deliberately passive: it sees accesses *before* they
+// execute but cannot veto or reprice them, so an attached observer changes
+// neither the functional results nor a single simulated cycle. When no
+// observer is attached (the default) the hooks reduce to one untaken branch
+// per operation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory.hpp"
+
+namespace eta::sim {
+
+struct LaunchConfig;
+
+/// How a device-side memory operation touches a buffer.
+enum class AccessKind : uint8_t {
+  kRead,          // Gather / GatherContiguous / GatherBulk
+  kWrite,         // Scatter (plain store)
+  kRelaxedWrite,  // ScatterRelaxed (declared race-tolerant store)
+  kAtomic,        // AtomicMin/Max/Add/Or (read-modify-write)
+};
+
+/// One warp-lane memory operation on a buffer, expressed as an element
+/// range: [elem_index, elem_index + elem_count) of elem_bytes-sized
+/// elements in a view of buffer_elems elements. The range is reported
+/// *unclamped*, so out-of-bounds indices are visible to the observer even
+/// though the simulator itself clamps before touching host memory.
+struct DeviceAccess {
+  const RawBuffer* buffer = nullptr;
+  uint64_t elem_index = 0;
+  uint64_t elem_count = 1;
+  uint32_t elem_bytes = 0;
+  uint64_t buffer_elems = 0;  // bound of the Buffer<T> view being accessed
+  AccessKind kind = AccessKind::kRead;
+  uint64_t warp = 0;
+  uint32_t lane = 0;
+};
+
+/// Interface the device notifies when instrumentation is attached via
+/// Device::SetObserver. Callbacks arrive in deterministic simulation order
+/// (warps execute sequentially), so observers can reconstruct exact
+/// interleavings without locks or timestamps.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver();
+
+  /// A buffer came to life (Device::Alloc). `buffer.bytes` is the
+  /// page-rounded allocation size; storage is zero-filled.
+  virtual void OnAlloc(const RawBuffer& buffer, const std::string& name) {
+    (void)buffer;
+    (void)name;
+  }
+
+  /// The buffer was freed; its id is never reused.
+  virtual void OnFree(const RawBuffer& buffer) { (void)buffer; }
+
+  /// The host defined `bytes` bytes starting at byte `offset`: either a
+  /// real CopyToDevice/CopyToDeviceRange or a Device::MarkHostInitialized
+  /// annotation for data staged directly through HostSpan().
+  virtual void OnHostWrite(const RawBuffer& buffer, uint64_t offset, uint64_t bytes) {
+    (void)buffer;
+    (void)offset;
+    (void)bytes;
+  }
+
+  /// A kernel launch is about to run its warps.
+  virtual void OnLaunchBegin(const std::string& label, const LaunchConfig& config) {
+    (void)label;
+    (void)config;
+  }
+
+  /// All warps of the current launch have retired.
+  virtual void OnLaunchEnd() {}
+
+  /// One lane's memory operation (called once per active lane, before the
+  /// functional read/write happens).
+  virtual void OnDeviceAccess(const DeviceAccess& access) { (void)access; }
+
+  /// A warp reached a block-level barrier (WarpCtx::Barrier).
+  /// `arrive_mask` is the lane mask the kernel arrived with; `active_mask`
+  /// is the warp's launch-bound mask. Divergence between them is the
+  /// synccheck hazard.
+  virtual void OnBarrier(uint64_t warp, uint64_t block, uint32_t arrive_mask,
+                         uint32_t active_mask) {
+    (void)warp;
+    (void)block;
+    (void)arrive_mask;
+    (void)active_mask;
+  }
+};
+
+}  // namespace eta::sim

@@ -27,8 +27,10 @@ class SplitMix64 {
   /// Uniform in [0, bound). bound must be nonzero.
   uint64_t NextBounded(uint64_t bound) {
     // Multiply-shift bounded rejection-free mapping (Lemire). The tiny
-    // modulo bias is irrelevant for graph generation.
-    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+    // modulo bias is irrelevant for graph generation. __int128 is a GCC/
+    // Clang extension; __extension__ keeps it clean under -Wpedantic.
+    __extension__ typedef unsigned __int128 uint128;
+    return static_cast<uint64_t>((static_cast<uint128>(Next()) * bound) >> 64);
   }
 
   /// Uniform double in [0, 1).

@@ -1,0 +1,136 @@
+// DeviceMemory edge behaviour: OOM arithmetic, double-free hard abort,
+// out-of-range cudaMemcpy, and kHostStaged's invisibility to the
+// unified-memory page machinery.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "util/units.hpp"
+
+namespace eta {
+namespace {
+
+sim::DeviceSpec TinySpec() {
+  sim::DeviceSpec spec;
+  spec.device_memory_bytes = 1 * util::kMiB;
+  return spec;
+}
+
+TEST(DeviceMemoryTest, OomErrorCarriesTheAllocationArithmetic) {
+  sim::Device device(TinySpec());
+  // 512 KiB of the 1 MiB capacity: exactly page-sized, no rounding slack.
+  auto half = device.Alloc<uint32_t>(128 * 1024, sim::MemKind::kDevice, "half");
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), 512 * util::kKiB);
+  try {
+    device.Alloc<uint32_t>(256 * 1024, sim::MemKind::kDevice, "toobig");
+    FAIL() << "expected OomError";
+  } catch (const sim::OomError& oom) {
+    EXPECT_EQ(oom.requested_bytes, 1 * util::kMiB);
+    EXPECT_EQ(oom.used_bytes, 512 * util::kKiB);
+    EXPECT_EQ(oom.capacity_bytes, 1 * util::kMiB);
+  }
+  // The failed allocation must not leak accounting.
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), 512 * util::kKiB);
+  device.Free(half);
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), 0u);
+}
+
+TEST(DeviceMemoryTest, RequestIsPageRounded) {
+  sim::Device device(TinySpec());
+  auto one = device.Alloc<uint32_t>(1, sim::MemKind::kDevice, "one");
+  EXPECT_EQ(one.raw.bytes, device.Spec().page_bytes);
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), device.Spec().page_bytes);
+  // Fresh allocations are zero-filled.
+  EXPECT_EQ(one.HostSpan()[0], 0u);
+  device.Free(one);
+}
+
+TEST(DeviceMemoryTest, UnifiedAllocationsOversubscribeInsteadOfThrowing) {
+  sim::Device device(TinySpec());
+  // 4 MiB managed on a 1 MiB device: must not throw (pages migrate/evict).
+  auto big = device.Alloc<uint32_t>(1024 * 1024, sim::MemKind::kUnified, "big");
+  EXPECT_TRUE(big.Valid());
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), 0u);
+  EXPECT_EQ(device.Mem().UnifiedBytesAllocated(), 4 * util::kMiB);
+  device.Free(big);
+  EXPECT_EQ(device.Mem().UnifiedBytesAllocated(), 0u);
+}
+
+TEST(DeviceMemoryDeathTest, DoubleFreeAborts) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "victim");
+  sim::RawBuffer stale = buf.raw;
+  device.Free(buf);  // also resets the handle, so Device::Free is now a no-op
+  EXPECT_DEATH(device.Mem().Free(stale), "CHECK failed");
+}
+
+TEST(DeviceMemoryDeathTest, MemcpyPastTheAllocationAborts) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(4, sim::MemKind::kDevice, "small");
+  std::vector<uint32_t> five(5, 1);
+  EXPECT_DEATH(device.CopyToDevice(buf, std::span<const uint32_t>(five)),
+               "CHECK failed");
+  std::vector<uint32_t> two(2, 1);
+  EXPECT_DEATH(
+      device.CopyToDeviceRange(buf, 3, std::span<const uint32_t>(two)),
+      "CHECK failed");
+}
+
+TEST(DeviceMemoryTest, FindResolvesAllocationsAndGuardPages) {
+  sim::Device device;
+  auto a = device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "a");
+  auto b = device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "b");
+  const sim::DeviceMemory& mem = device.Mem();
+  ASSERT_NE(mem.Find(a.raw.base_addr), nullptr);
+  EXPECT_EQ(mem.Find(a.raw.base_addr)->id, a.raw.id);
+  EXPECT_EQ(mem.Find(a.raw.base_addr + a.raw.bytes - 1)->id, a.raw.id);
+  // The guard page between allocations maps to nothing.
+  EXPECT_EQ(mem.Find(a.raw.base_addr + a.raw.bytes), nullptr);
+  EXPECT_EQ(mem.Find(b.raw.base_addr)->id, b.raw.id);
+  EXPECT_EQ(mem.Find(0), nullptr);
+  device.Free(a);
+  device.Free(b);
+}
+
+TEST(DeviceMemoryTest, HostStagedIsInvisibleToUnifiedMemory) {
+  sim::Device device;
+  auto staged = device.Alloc<uint32_t>(1024, sim::MemKind::kHostStaged, "staged");
+  auto managed = device.Alloc<uint32_t>(1024, sim::MemKind::kUnified, "managed");
+  for (uint64_t i = 0; i < 1024; ++i) {
+    staged.HostSpan()[i] = static_cast<uint32_t>(i);
+    managed.HostSpan()[i] = static_cast<uint32_t>(i);
+  }
+
+  // Only the managed range registers with the page machinery.
+  EXPECT_FALSE(device.Um().IsManaged(staged.raw.base_addr));
+  EXPECT_TRUE(device.Um().IsManaged(managed.raw.base_addr));
+  // Both count as non-device allocations at the allocator level.
+  EXPECT_EQ(device.Mem().UnifiedBytesAllocated(), staged.raw.bytes + managed.raw.bytes);
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), 0u);
+
+  // A kernel touching the staged buffer migrates nothing; the same touch on
+  // the managed buffer faults pages in.
+  auto read_first = [&](sim::Buffer<uint32_t>& buf) {
+    device.Launch("touch", {32, 256}, [&](sim::WarpCtx& w) {
+      uint32_t mask = w.ActiveMask();
+      if (!mask) return;
+      sim::LaneArray<uint64_t> idx{};
+      sim::WarpCtx::ForActive(mask, [&](uint32_t lane) { idx[lane] = lane; });
+      sim::LaneArray<uint32_t> out{};
+      w.Gather(buf, idx, mask, out);
+    });
+  };
+  read_first(staged);
+  EXPECT_EQ(device.Um().TotalMigratedBytes(), 0u);
+  read_first(managed);
+  EXPECT_GT(device.Um().TotalMigratedBytes(), 0u);
+
+  device.Free(staged);
+  device.Free(managed);
+  EXPECT_EQ(device.Mem().UnifiedBytesAllocated(), 0u);
+}
+
+}  // namespace
+}  // namespace eta

@@ -1,0 +1,128 @@
+// Text trace-file parsing for etagraph_serve --trace: field forms,
+// comments, defaults, and line-numbered diagnostics on every reject path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "serve/trace_file.hpp"
+
+namespace eta {
+namespace {
+
+using serve::kNoDeadline;
+using serve::ParseTraceText;
+using serve::Request;
+
+TEST(TraceFile, ParsesAllFieldForms) {
+  std::string error;
+  auto trace = ParseTraceText(
+      "# fleet replay, three request shapes\n"
+      "0.0  bfs   7\n"
+      "1.5  SSSP  12  4.5\n"
+      "\n"
+      "3.25 sswp  3   0    -2   # zero deadline = none; negative priority\n",
+      &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->size(), 3u);
+
+  const Request& a = (*trace)[0];
+  EXPECT_EQ(a.id, 0u);
+  EXPECT_EQ(a.algo, core::Algo::kBfs);
+  EXPECT_EQ(a.source, 7u);
+  EXPECT_EQ(a.arrival_ms, 0.0);
+  EXPECT_EQ(a.deadline_ms, kNoDeadline);
+  EXPECT_EQ(a.priority, 0);
+
+  const Request& b = (*trace)[1];
+  EXPECT_EQ(b.id, 1u);
+  EXPECT_EQ(b.algo, core::Algo::kSssp);  // algo names are case-insensitive
+  EXPECT_EQ(b.source, 12u);
+  EXPECT_EQ(b.arrival_ms, 1.5);
+  EXPECT_EQ(b.deadline_ms, 4.5);
+
+  const Request& c = (*trace)[2];
+  EXPECT_EQ(c.id, 2u);
+  EXPECT_EQ(c.algo, core::Algo::kSswp);
+  EXPECT_EQ(c.deadline_ms, kNoDeadline);  // explicit 0 means "no deadline"
+  EXPECT_EQ(c.priority, -2);
+}
+
+TEST(TraceFile, EmptyAndCommentOnlyInputIsAnEmptyTrace) {
+  std::string error;
+  auto trace = ParseTraceText("# nothing here\n\n   \n", &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_TRUE(trace->empty());
+}
+
+TEST(TraceFile, RejectsWrongFieldCount) {
+  std::string error;
+  EXPECT_FALSE(ParseTraceText("0.0 bfs\n", &error).has_value());
+  EXPECT_NE(error.find("trace line 1"), std::string::npos);
+  EXPECT_NE(error.find("2 field(s)"), std::string::npos);
+
+  EXPECT_FALSE(ParseTraceText("0 bfs 1 0 0 extra\n", &error).has_value());
+  EXPECT_NE(error.find("6 field(s)"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsBadArrival) {
+  std::string error;
+  EXPECT_FALSE(ParseTraceText("soon bfs 1\n", &error).has_value());
+  EXPECT_NE(error.find("trace line 1"), std::string::npos);
+  EXPECT_NE(error.find("bad arrival_ms 'soon'"), std::string::npos);
+
+  EXPECT_FALSE(ParseTraceText("-1 bfs 1\n", &error).has_value());
+  EXPECT_NE(error.find("bad arrival_ms '-1'"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsUnknownAlgo) {
+  std::string error;
+  EXPECT_FALSE(ParseTraceText("0 bfs 1\n1 pagerank 2\n", &error).has_value());
+  EXPECT_NE(error.find("trace line 2"), std::string::npos);
+  EXPECT_NE(error.find("unknown algo 'pagerank'"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsBadSourceDeadlineAndPriority) {
+  std::string error;
+  EXPECT_FALSE(ParseTraceText("0 bfs -3\n", &error).has_value());
+  EXPECT_NE(error.find("bad source '-3'"), std::string::npos);
+
+  EXPECT_FALSE(ParseTraceText("0 bfs 1 -0.5\n", &error).has_value());
+  EXPECT_NE(error.find("bad deadline_ms '-0.5'"), std::string::npos);
+
+  EXPECT_FALSE(ParseTraceText("0 bfs 1 0 99999999999\n", &error).has_value());
+  EXPECT_NE(error.find("bad priority '99999999999'"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsBackwardsArrivals) {
+  std::string error;
+  EXPECT_FALSE(ParseTraceText("5.0 bfs 1\n2.0 bfs 2\n", &error).has_value());
+  EXPECT_NE(error.find("trace line 2"), std::string::npos);
+  EXPECT_NE(error.find("arrival_ms goes backwards"), std::string::npos);
+}
+
+TEST(TraceFile, LoadReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(serve::LoadTraceFile("/nonexistent/trace.txt", &error).has_value());
+  EXPECT_NE(error.find("cannot open trace file"), std::string::npos);
+}
+
+TEST(TraceFile, LoadRoundTripsThroughDisk) {
+  std::string path = ::testing::TempDir() + "eta_trace_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0 bfs 4\n2.5 sssp 9 10 3\n", f);
+  std::fclose(f);
+
+  std::string error;
+  auto trace = serve::LoadTraceFile(path, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[1].source, 9u);
+  EXPECT_EQ((*trace)[1].deadline_ms, 10.0);
+  EXPECT_EQ((*trace)[1].priority, 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eta

@@ -20,7 +20,12 @@
 //   --scale       dataset stand-in scale in (0,1]             (default 1)
 //   --verify      check labels against the CPU reference      (default true)
 //   --timeline    print the transfer/compute strip chart
+//   --check       run etacheck: all, or a comma list of
+//                 memcheck,racecheck,synccheck (etagraph framework,
+//                 pagerank, hybrid-bfs, cc). Exit 1 on any error finding.
+//   --check-json  also write the findings as JSON to this path
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "baselines/cusha.hpp"
@@ -32,6 +37,8 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "sanitizer/config.hpp"
+#include "sanitizer/report.hpp"
 #include "util/cli.hpp"
 #include "util/units.hpp"
 
@@ -74,6 +81,18 @@ void PrintReport(const core::RunReport& r, bool timeline) {
   }
 }
 
+/// Prints the etacheck block and writes --check-json if asked. Returns the
+/// process exit code contribution: 1 when any error finding fired.
+int EmitCheck(const sanitizer::SanitizerReport& check, const std::string& json_path) {
+  std::printf("%s", check.Render(/*verbose=*/true).c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << check.Json() << "\n";
+    if (!out) return Fail("cannot write --check-json file '" + json_path + "'");
+  }
+  return check.ErrorCount() > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,8 +111,23 @@ int main(int argc, char** argv) {
   const double scale = cl->GetDouble("scale", 1.0);
   const bool verify = cl->GetBool("verify", true);
   const bool timeline = cl->GetBool("timeline", false);
+  const std::string check_spec = cl->GetString("check", "");
+  const std::string check_json = cl->GetString("check-json", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
+  }
+
+  sanitizer::Config check_cfg{};
+  if (!check_spec.empty()) {
+    auto parsed = sanitizer::Config::Parse(check_spec);
+    if (!parsed) {
+      return Fail("bad --check '" + check_spec +
+                  "' (want all, or a comma list of memcheck,racecheck,synccheck)");
+    }
+    check_cfg = *parsed;
+  }
+  if (!check_json.empty() && !check_cfg.Enabled()) {
+    return Fail("--check-json requires --check");
   }
 
   // --- Load the graph -------------------------------------------------------
@@ -119,11 +153,12 @@ int main(int argc, char** argv) {
     core::PageRankOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
+    options.check = check_cfg;
     auto result = core::RunPageRank(csr, options);
     if (result.oom) return Fail("device out of memory");
     std::printf("PageRank: %u iterations, kernel %.3f ms, total %.3f ms\n",
                 result.iterations, result.kernel_ms, result.total_ms);
-    return 0;
+    return check_cfg.Enabled() ? EmitCheck(result.check, check_json) : 0;
   }
 
   // --- Traversals -------------------------------------------------------------
@@ -135,13 +170,16 @@ int main(int argc, char** argv) {
   } else if (algo_name == "sswp") {
     algo = core::Algo::kSswp;
   } else if (algo_name == "cc") {
-    auto report = core::EtaGraph().RunConnectedComponents(csr);
+    core::EtaGraphOptions options;
+    options.check = check_cfg;
+    auto report = core::EtaGraph(options).RunConnectedComponents(csr);
     PrintReport(report, timeline);
-    return 0;
+    return check_cfg.Enabled() ? EmitCheck(report.check, check_json) : 0;
   } else if (algo_name == "hybrid-bfs") {
     core::HybridBfsOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
+    options.check = check_cfg;
     auto result = core::RunHybridBfs(csr, source, options);
     if (result.oom) return Fail("device out of memory");
     std::printf("Hybrid BFS: %u iterations (%u bottom-up), kernel %.3f ms, "
@@ -153,9 +191,13 @@ int main(int argc, char** argv) {
       std::printf("verify: %s\n", ok ? "OK" : "MISMATCH");
       if (!ok) return 1;
     }
-    return 0;
+    return check_cfg.Enabled() ? EmitCheck(result.check, check_json) : 0;
   } else {
     return Fail("unknown --algo '" + algo_name + "'");
+  }
+
+  if (check_cfg.Enabled() && framework != "etagraph") {
+    return Fail("--check supports --framework=etagraph only");
   }
 
   core::RunReport report;
@@ -163,6 +205,7 @@ int main(int argc, char** argv) {
     core::EtaGraphOptions options;
     options.degree_limit = k;
     options.use_smp = smp;
+    options.check = check_cfg;
     if (mode_name == "um+prefetch") {
       options.memory_mode = core::MemoryMode::kUnifiedPrefetch;
     } else if (mode_name == "um") {
@@ -191,5 +234,5 @@ int main(int argc, char** argv) {
     std::printf("  verify      %10s vs CPU reference\n", ok ? "OK" : "MISMATCH");
     if (!ok) return 1;
   }
-  return 0;
+  return check_cfg.Enabled() ? EmitCheck(report.check, check_json) : 0;
 }

@@ -20,13 +20,22 @@
 //   --sssp-frac     fraction of SSSP requests (rest are SSWP)   (default 0.35)
 //   --seed          trace RNG seed                              (default 1)
 //   --detail        print one line per request
+//   --trace         replay a text trace file instead of generating one
+//                   (per line: arrival_ms algo source [deadline_ms] [priority])
+//   --check         run etacheck on every device the replay touches: all, or
+//                   a comma list of memcheck,racecheck,synccheck. Exit 1 on
+//                   any error finding.
+//   --check-json    also write the findings as JSON to this path
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
+#include "sanitizer/config.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
+#include "serve/trace_file.hpp"
 #include "util/cli.hpp"
 #include "util/units.hpp"
 
@@ -60,8 +69,24 @@ int main(int argc, char** argv) {
   const double sssp_frac = cl->GetDouble("sssp-frac", 0.35);
   const auto seed = static_cast<uint64_t>(cl->GetInt("seed", 1));
   const bool detail = cl->GetBool("detail", false);
+  const std::string trace_path = cl->GetString("trace", "");
+  const std::string check_spec = cl->GetString("check", "");
+  const std::string check_json = cl->GetString("check-json", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
+  }
+
+  sanitizer::Config check_cfg{};
+  if (!check_spec.empty()) {
+    auto parsed = sanitizer::Config::Parse(check_spec);
+    if (!parsed) {
+      return Fail("bad --check '" + check_spec +
+                  "' (want all, or a comma list of memcheck,racecheck,synccheck)");
+    }
+    check_cfg = *parsed;
+  }
+  if (!check_json.empty() && !check_cfg.Enabled()) {
+    return Fail("--check-json requires --check");
   }
 
   // Validate flags before the (potentially slow) graph load.
@@ -78,6 +103,7 @@ int main(int argc, char** argv) {
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
   options.max_batch = max_batch;
+  options.graph.check = check_cfg;
 
   graph::Csr csr;
   if (!graph_path.empty()) {
@@ -96,14 +122,30 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %u edges, topology %s\n", csr.NumVertices(),
               csr.NumEdges(), util::FormatBytes(csr.TopologyBytes()).c_str());
 
-  serve::TraceOptions trace_options;
-  trace_options.num_requests = requests;
-  trace_options.mean_interarrival_ms = mean_arrival;
-  trace_options.bfs_fraction = bfs_frac;
-  trace_options.sssp_fraction = sssp_frac;
-  trace_options.deadline_ms = deadline > 0 ? deadline : serve::kNoDeadline;
-  trace_options.seed = seed;
-  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+  std::vector<serve::Request> trace;
+  if (!trace_path.empty()) {
+    std::string trace_error;
+    auto loaded = serve::LoadTraceFile(trace_path, &trace_error);
+    if (!loaded) return Fail(trace_error);
+    trace = std::move(*loaded);
+    for (const serve::Request& r : trace) {
+      if (r.source >= csr.NumVertices()) {
+        return Fail("trace request #" + std::to_string(r.id) + " source " +
+                    std::to_string(r.source) + " is out of range (graph has " +
+                    std::to_string(csr.NumVertices()) + " vertices)");
+      }
+    }
+    std::printf("trace: %zu request(s) from %s\n", trace.size(), trace_path.c_str());
+  } else {
+    serve::TraceOptions trace_options;
+    trace_options.num_requests = requests;
+    trace_options.mean_interarrival_ms = mean_arrival;
+    trace_options.bfs_fraction = bfs_frac;
+    trace_options.sssp_fraction = sssp_frac;
+    trace_options.deadline_ms = deadline > 0 ? deadline : serve::kNoDeadline;
+    trace_options.seed = seed;
+    trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+  }
 
   serve::ServeEngine engine(options);
   serve::ServeReport report = engine.Serve(csr, trace);
@@ -119,6 +161,16 @@ int main(int argc, char** argv) {
                   q.status == serve::QueryStatus::kOk ? q.LatencyMs() : 0.0,
                   static_cast<unsigned long long>(q.reached_vertices));
     }
+  }
+
+  if (check_cfg.Enabled()) {
+    std::printf("%s", report.check.Render(/*verbose=*/true).c_str());
+    if (!check_json.empty()) {
+      std::ofstream out(check_json);
+      out << report.check.Json() << "\n";
+      if (!out) return Fail("cannot write --check-json file '" + check_json + "'");
+    }
+    if (report.check.ErrorCount() > 0) return 1;
   }
   return 0;
 }
