@@ -8,6 +8,7 @@
 #
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --sanitize [build-dir]
+#   scripts/check.sh --faults [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -15,11 +16,20 @@
 # simulated kernels execute against real host backing memory, which is
 # exactly what makes host ASan meaningful here: a simulator indexing bug
 # that slipped past etacheck would be a real heap-buffer-overflow.
+#
+# --faults builds normally and then exercises the fault model end to end
+# (DESIGN.md section 8): the fault/recovery test binaries, a CLI fault
+# matrix (every fault class through etagraph and etagraph_serve, with a
+# replay-determinism diff), and the bench_fault_overhead zero-cost contract.
 set -euo pipefail
 
 SANITIZE=0
+FAULTS=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
+  shift
+elif [[ "${1:-}" == "--faults" ]]; then
+  FAULTS=1
   shift
 fi
 
@@ -46,6 +56,51 @@ if grep -E "warning:" "$LOG" | grep -q "serve/"; then
   echo "check.sh: warnings in src/serve/ are not allowed:" >&2
   grep -E "warning:" "$LOG" | grep "serve/" >&2
   exit 1
+fi
+
+if [[ "$FAULTS" == "1" ]]; then
+  # Fault-model gate: targeted test binaries first (fast, exact), then the
+  # CLI matrix — one run per fault class per algorithm family, each of which
+  # must recover (exit 0) or report the failure cleanly, never crash.
+  "$BUILD_DIR/tests/fault_test"
+  "$BUILD_DIR/tests/device_memory_test"
+
+  echo "== CLI fault matrix =="
+  for spec in "ecc=0.3" "uecc=0.05" "hang=0.05,watchdog=5" "alloc=0.1"; do
+    for algo in bfs sssp sswp; do
+      echo "-- etagraph --algo=$algo --faults=seed=3,$spec"
+      "$BUILD_DIR/src/etagraph_cli" --dataset=rmat --scale=0.1 --algo="$algo" \
+        --framework=etagraph --faults="seed=3,$spec" --verify > /dev/null
+    done
+  done
+  # Device loss at query 2 of a one-shot run is unrecoverable in-session:
+  # the CLI must fail loudly (exit 1), not pretend it has an answer.
+  if "$BUILD_DIR/src/etagraph_cli" --dataset=rmat --scale=0.1 --algo=bfs \
+      --framework=etagraph --faults=lost_at=2 > /dev/null; then
+    echo "check.sh: etagraph ignored an injected device loss" >&2
+    exit 1
+  fi
+
+  echo "== serve fault matrix + replay determinism =="
+  REPLAY_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$REPLAY_DIR"' EXIT
+  for spec in "ecc=0.3" "uecc=0.05" "hang=0.05,watchdog=5" "lost=0.01" "alloc=0.1" \
+              "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+    safe="${spec//[^a-zA-Z0-9]/_}"
+    for i in 1 2; do
+      "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=32 \
+        --faults="seed=3,$spec" --replay-out="$REPLAY_DIR/$safe.$i.txt" > /dev/null
+    done
+    if ! diff -u "$REPLAY_DIR/$safe.1.txt" "$REPLAY_DIR/$safe.2.txt"; then
+      echo "check.sh: replay diverged for --faults=$spec" >&2
+      exit 1
+    fi
+    echo "-- $spec: replays identical"
+  done
+
+  echo "== zero-cost contract =="
+  "$BUILD_DIR/bench/bench_fault_overhead" --datasets=rmat --scale=0.25
+  exit 0
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "core/udc.hpp"
 #include "sanitizer/sanitizer.hpp"
@@ -94,8 +95,14 @@ void UdcKernel(WarpCtx& w, DeviceState& d, uint32_t k) {
 
   uint32_t max_shadows = 0;
   LaneArray<uint32_t> nshadow{};
+  const uint32_t max_edges =
+      static_cast<uint32_t>(std::min<uint64_t>(d.col.count, UINT32_MAX));
   WarpCtx::ForActive(mask, [&](uint32_t lane) {
-    nshadow[lane] = (end[lane] - start[lane] + k - 1) / k;
+    // Row offsets can be corrupt after an ECC fault; an inverted or
+    // oversized pair must not inflate the shadow loop past the graph.
+    uint32_t degree =
+        end[lane] > start[lane] ? std::min(end[lane] - start[lane], max_edges) : 0;
+    nshadow[lane] = (degree + k - 1) / k;
     max_shadows = std::max(max_shadows, nshadow[lane]);
   });
 
@@ -179,7 +186,13 @@ void TraverseKernel(WarpCtx& w, DeviceState& d, const TraverseParams& p) {
   uint32_t max_deg = 0;
   WarpCtx::ForActive(mask, [&](uint32_t lane) {
     id_idx[lane] = id[lane];
-    deg[lane] = end[lane] - start[lane];
+    // Partition bounds are device-resident, so after an uncorrectable ECC
+    // hit they can be arbitrary — including inverted. Clamp to the build
+    // invariant (end >= start, degree <= k): the shared-memory stand-in
+    // below has exactly k slots per lane, and an unclamped degree would
+    // index past it.
+    deg[lane] =
+        end[lane] > start[lane] ? std::min(end[lane] - start[lane], p.k) : 0;
     max_deg = std::max(max_deg, deg[lane]);
   });
   LaneArray<Weight> src_label{};
@@ -317,6 +330,8 @@ struct ResidentGraph::State {
   /// Declared before the device: the device holds a raw observer pointer
   /// into the checker, so the checker must be destroyed last.
   std::unique_ptr<sanitizer::Sanitizer> checker;
+  /// Same lifetime rule as the checker: the device holds a raw pointer.
+  std::unique_ptr<sim::FaultInjector> injector;
   sim::Device device;
   DeviceState d;
   ChunkStream stream;
@@ -357,6 +372,12 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
     // Attach before any allocation so the checker shadows every buffer.
     state_->checker = std::make_unique<sanitizer::Sanitizer>(options_.check);
     device.SetObserver(state_->checker.get());
+  }
+  if (options_.faults.Enabled()) {
+    // Attach before any allocation so staging is already under injection;
+    // a session rebuilt from the same config replays the same schedule.
+    state_->injector = std::make_unique<sim::FaultInjector>(options_.faults);
+    device.SetFaultInjector(state_->injector.get());
   }
   try {
     d.row = device.Alloc<EdgeId>(n + 1, row_kind, "row_offsets");
@@ -432,7 +453,32 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
   load_ms_ = device.NowMs();
 }
 
-ResidentGraph::~ResidentGraph() = default;
+ResidentGraph::~ResidentGraph() { Shutdown(); }
+
+void ResidentGraph::Shutdown() {
+  if (shutdown_ || state_ == nullptr) return;
+  shutdown_ = true;
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  device.Free(d.row);
+  device.Free(d.col);
+  device.Free(d.wts);
+  device.Free(d.labels);
+  device.Free(d.stamp);
+  device.Free(d.act_set);
+  device.Free(d.act_count);
+  device.Free(d.full_id);
+  device.Free(d.full_start);
+  device.Free(d.part_id);
+  device.Free(d.part_start);
+  device.Free(d.part_end);
+  device.Free(d.virt_counts);
+  device.Free(d.reach_mask);
+  device.Free(state_->stream_window);
+  // Everything the session owns is gone; anything still live is a leak the
+  // sweep hands to an attached leakcheck observer.
+  device.ReportLeaks();
+}
 
 double ResidentGraph::NowMs() const { return state_->device.NowMs(); }
 
@@ -475,6 +521,7 @@ RunReport ResidentGraph::RunConnectedComponents() {
 RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
                                  std::span<const VertexId> initial_active,
                                  bool copy_label, bool attribute_sources) {
+  ETA_CHECK(!shutdown_);
   RunReport report;
   report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
                      (options_.use_smp ? "" : ",no-smp") + "]";
@@ -482,6 +529,10 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   if (oom_) {
     report.oom = true;
     report.oom_request_bytes = oom_request_bytes_;
+    return report;
+  }
+  if (device_lost_) {
+    report.faults.device_lost = true;
     return report;
   }
   const bool weighted = !copy_label && IsWeighted(algo);
@@ -492,7 +543,6 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   DeviceState& d = state_->d;
   ChunkStream& stream = state_->stream;
   const VertexId n = csr_.NumVertices();
-  const uint32_t k = options_.degree_limit;
   const bool chunked = options_.memory_mode == MemoryMode::kChunkedStream;
 
   const double start_clock = device.NowMs();
@@ -510,7 +560,97 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
     }
     device_bytes_peak_ = std::max(device_bytes_peak_, device.Mem().DeviceBytesUsed());
   }
+
+  // --- Attempt/retry loop (DESIGN.md section 8) ----------------------------
+  // A failed launch executes no warps, so recovery restarts the whole query:
+  // after a UECC, verify/re-stage the resident topology from its host
+  // shadows; charge exponential backoff to the simulated clock; run again.
+  // Device loss is terminal for the session.
+  FaultStats faults;
+  const uint32_t max_attempts = 1 + options_.recovery.max_retries;
+  for (uint32_t attempt = 0;; ++attempt) {
+    AttemptFailure failure;
+    RunReport attempt_report =
+        ExecuteAttempt(algo, init_labels, initial_active, copy_label, attribute_sources,
+                       start_clock, &faults, &failure);
+    if (!failure.failed) {
+      report = std::move(attempt_report);
+      break;
+    }
+    // The aborted attempt may have stamped vertices up to its failing
+    // iteration; start the next epoch above them so stale stamps never
+    // suppress appends.
+    stamp_base_ += failure.iter + 2;
+    ++faults.launch_failures;
+    switch (failure.status) {
+      case sim::LaunchStatus::kEccUncorrectable: ++faults.ecc_uncorrectable; break;
+      case sim::LaunchStatus::kKernelTimeout: ++faults.hangs; break;
+      case sim::LaunchStatus::kDeviceLost: faults.device_lost = true; break;
+      case sim::LaunchStatus::kOk: break;
+    }
+    if (failure.status == sim::LaunchStatus::kDeviceLost) {
+      device_lost_ = true;
+      report = std::move(attempt_report);
+      break;
+    }
+    if (attempt + 1 >= max_attempts) {
+      faults.exhausted = true;
+      report = std::move(attempt_report);
+      break;
+    }
+    if (failure.status == sim::LaunchStatus::kEccUncorrectable) {
+      RestageCorrupted(&faults);
+    }
+    const double delay = options_.recovery.backoff_base_ms *
+                         std::pow(options_.recovery.backoff_multiplier, attempt);
+    device.ChargeDelay(delay, "fault-backoff");
+    faults.backoff_ms += delay;
+    ++faults.retries;
+  }
+
+  report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
+                     (options_.use_smp ? "" : ",no-smp") + "]";
+  report.algo = algo;
+  report.faults = faults;
   report.device_bytes_peak = device_bytes_peak_;
+  report.total_ms = device.NowMs();
+  report.query_ms = device.NowMs() - start_clock;
+  report.counters = device.TotalCounters();
+  report.timeline = device.GetTimeline();
+  const auto& sizes = device.Um().MigrationSizes().Values();
+  report.migration_sizes.assign(sizes.begin() + static_cast<long>(migration_ops_start),
+                                sizes.end());
+  report.migrated_bytes =
+      (chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes()) -
+      migrated_start;
+  if (state_->checker != nullptr) report.check = state_->checker->Report();
+  ++queries_served_;
+  return report;
+}
+
+RunReport ResidentGraph::ExecuteAttempt(Algo algo, const std::vector<Weight>& init_labels,
+                                        std::span<const VertexId> initial_active,
+                                        bool copy_label, bool attribute_sources,
+                                        double query_start_clock, FaultStats* faults,
+                                        AttemptFailure* failure) {
+  (void)query_start_clock;
+  RunReport report;
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  ChunkStream& stream = state_->stream;
+  const VertexId n = csr_.NumVertices();
+  const uint32_t k = options_.degree_limit;
+  const bool chunked = options_.memory_mode == MemoryMode::kChunkedStream;
+
+  // Folds one launch's fault outcome into the attempt; false = abort.
+  auto launch_ok = [&](const sim::LaunchResult& r, uint32_t iter) {
+    faults->ecc_corrected += r.ecc_corrected;
+    if (r.Ok()) return true;
+    failure->failed = true;
+    failure->status = r.status;
+    failure->iter = iter;
+    return false;
+  };
 
   // --- Init labels and the active set --------------------------------------
   device.CopyToDevice(d.labels, std::span<const Weight>(init_labels));
@@ -558,9 +698,21 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
     auto udc = device.Launch("udc", {act_count, options_.block_size},
                              [&](WarpCtx& w) { UdcKernel(w, d, k); });
     kernel_ms += udc.compute_ms;
+    if (!launch_ok(udc, iter)) {
+      report.kernel_ms = kernel_ms;
+      return report;
+    }
 
     uint32_t vc[2] = {0, 0};
     device.CopyToHost(std::span<uint32_t>(vc, 2), d.virt_counts, false);
+    // Shadow counts come back from device memory; a fault-corrupted count
+    // must never launch a grid bigger than the staging arrays it indexes.
+    // Only active under injection: the planted-bug paths (options_.inject)
+    // deliberately let etacheck observe raw overflows.
+    if (options_.faults.Enabled()) {
+      vc[0] = static_cast<uint32_t>(std::min<uint64_t>(vc[0], d.full_id.count));
+      vc[1] = static_cast<uint32_t>(std::min<uint64_t>(vc[1], d.part_id.count));
+    }
     uint64_t prev_active = act_count;
 
     if (chunked && prev_active > 0) {
@@ -574,7 +726,9 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
       uint64_t new_bytes = 0;
       for (uint64_t i = 0; i < prev_active; ++i) {
         VertexId v = act_host[i];
-        if (csr_.OutDegree(v) == 0) continue;
+        // Active-set entries are device data: skip ids a fault pushed out
+        // of range instead of indexing the host CSR with them.
+        if (v >= csr_.NumVertices() || csr_.OutDegree(v) == 0) continue;
         uint64_t first =
             uint64_t{csr_.RowStart(v)} * sizeof(VertexId) / stream.chunk_bytes;
         uint64_t last =
@@ -609,15 +763,29 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
       auto r = device.Launch("traverse_full", {vc[0], options_.block_size},
                              [&](WarpCtx& w) { TraverseKernel(w, d, params); });
       kernel_ms += r.compute_ms;
+      if (!launch_ok(r, iter)) {
+        report.kernel_ms = kernel_ms;
+        return report;
+      }
     }
     if (vc[1] > 0) {
       params.full_set = false;
       auto r = device.Launch("traverse_part", {vc[1], options_.block_size},
                              [&](WarpCtx& w) { TraverseKernel(w, d, params); });
       kernel_ms += r.compute_ms;
+      if (!launch_ok(r, iter)) {
+        report.kernel_ms = kernel_ms;
+        return report;
+      }
     }
 
     device.CopyToHost(std::span<uint32_t>(&act_count, 1), d.act_count, false);
+    // Same contract as vc above: the next launch bound and the host-side
+    // chunk walk must stay inside the active-set allocation.
+    if (options_.faults.Enabled()) {
+      act_count =
+          static_cast<uint32_t>(std::min<uint64_t>(act_count, d.act_set.count));
+    }
     activated_cum += act_count;
     report.iteration_stats.push_back({iter, prev_active, uint64_t{vc[0]} + vc[1],
                                       device.NowMs(), activated_cum});
@@ -641,27 +809,64 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   }
 
   report.kernel_ms = kernel_ms;
-  report.total_ms = device.NowMs();
-  report.query_ms = device.NowMs() - start_clock;
   report.iterations = static_cast<uint32_t>(report.iteration_stats.size());
   for (Weight label : report.labels) {
     if (Reached(algo, label)) ++report.activated;
   }
   report.activated_fraction = n ? static_cast<double>(report.activated) / n : 0;
-  report.counters = device.TotalCounters();
-  report.timeline = device.GetTimeline();
-  const auto& sizes = device.Um().MigrationSizes().Values();
-  report.migration_sizes.assign(sizes.begin() + static_cast<long>(migration_ops_start),
-                                sizes.end());
-  report.migrated_bytes =
-      (chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes()) -
-      migrated_start;
-
-  if (state_->checker != nullptr) report.check = state_->checker->Report();
 
   stamp_base_ += report.iterations + 1;
-  ++queries_served_;
   return report;
+}
+
+void ResidentGraph::RestageCorrupted(FaultStats* faults) {
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  ChunkStream& stream = state_->stream;
+
+  auto restage = [&](auto& buf, auto host, const char* label) {
+    if (!buf.Valid()) return;
+    auto dev = buf.HostSpan();
+    if (std::equal(host.begin(), host.end(), dev.begin())) return;
+    if (buf.raw.kind == sim::MemKind::kDevice) {
+      device.CopyToDevice(buf, host, /*pageable=*/false);
+    } else if (buf.raw.kind == sim::MemKind::kUnified) {
+      // Restore the backing pages and charge their re-migration.
+      std::copy(host.begin(), host.end(), dev.begin());
+      device.ChargeHostToDevice(host.size_bytes(), /*pageable=*/false,
+                                std::string(label) + ":restage");
+      device.MarkHostInitialized(buf);
+    } else {
+      // kHostStaged: the host storage is the functional truth; fixing it
+      // costs nothing here, and the streamed window is dropped below so the
+      // chunks re-ship through the normal (charged) path.
+      std::copy(host.begin(), host.end(), dev.begin());
+      device.MarkHostInitialized(buf);
+    }
+    ++faults->restaged_buffers;
+    faults->restaged_bytes += host.size_bytes();
+  };
+
+  restage(d.row, std::span<const EdgeId>(csr_.RowOffsets()), "row");
+  const uint64_t before_adj = faults->restaged_buffers;
+  restage(d.col, std::span<const VertexId>(csr_.ColIndices()), "col");
+  if (weights_staged_) restage(d.wts, std::span<const Weight>(csr_.Weights()), "wts");
+  if (options_.memory_mode == MemoryMode::kChunkedStream &&
+      faults->restaged_buffers != before_adj) {
+    std::fill(stream.resident.begin(), stream.resident.end(), 0);
+    stream.fifo.clear();
+    stream.fifo_head = 0;
+  }
+
+  // The stamp array is the one piece of dynamic state a retry does not fully
+  // rewrite, and it has no host shadow to verify against: re-zero it
+  // (charged) and restart the stamp epoch.
+  const VertexId n = csr_.NumVertices();
+  std::vector<uint32_t> zeros(n, 0);
+  device.CopyToDevice(d.stamp, std::span<const uint32_t>(zeros), /*pageable=*/false);
+  ++faults->restaged_buffers;
+  faults->restaged_bytes += uint64_t{n} * sizeof(uint32_t);
+  stamp_base_ = 0;
 }
 
 const sanitizer::SanitizerReport* ResidentGraph::CheckReport() const {
@@ -669,21 +874,35 @@ const sanitizer::SanitizerReport* ResidentGraph::CheckReport() const {
                                                          : nullptr;
 }
 
+namespace {
+
+/// One-shot epilogue: tear the session down (running the leakcheck sweep)
+/// and re-copy the checker report so teardown findings reach the caller.
+RunReport FinishOneShot(ResidentGraph& session, RunReport report) {
+  session.Shutdown();
+  if (const sanitizer::SanitizerReport* check = session.CheckReport()) {
+    report.check = *check;
+  }
+  return report;
+}
+
+}  // namespace
+
 RunReport EtaGraph::Run(const graph::Csr& csr, Algo algo, VertexId source) const {
   ResidentGraph session(csr, options_, /*stage_weights=*/IsWeighted(algo));
-  return session.Run(algo, source);
+  return FinishOneShot(session, session.Run(algo, source));
 }
 
 RunReport EtaGraph::RunMultiSource(const graph::Csr& csr, Algo algo,
                                    std::span<const VertexId> sources,
                                    bool attribute_sources) const {
   ResidentGraph session(csr, options_, /*stage_weights=*/IsWeighted(algo));
-  return session.RunMultiSource(algo, sources, attribute_sources);
+  return FinishOneShot(session, session.RunMultiSource(algo, sources, attribute_sources));
 }
 
 RunReport EtaGraph::RunConnectedComponents(const graph::Csr& csr) const {
   ResidentGraph session(csr, options_, /*stage_weights=*/false);
-  return session.RunConnectedComponents();
+  return FinishOneShot(session, session.RunConnectedComponents());
 }
 
 }  // namespace eta::core

@@ -62,6 +62,9 @@ class ResidentGraph {
   ResidentGraph& operator=(const ResidentGraph&) = delete;
 
   bool Oom() const { return oom_; }
+  /// True once the simulated device has been lost to an injected fault;
+  /// every further query fails immediately (the session must be rebuilt).
+  bool DeviceLost() const { return device_lost_; }
   /// Simulated clock when topology staging finished (graph-load latency).
   double LoadMs() const { return load_ms_; }
   /// Current absolute session clock.
@@ -89,14 +92,41 @@ class ResidentGraph {
   /// Min-label propagation (connected components on symmetric graphs).
   RunReport RunConnectedComponents();
 
+  /// Tears the session down: frees every resident device buffer, then runs
+  /// the leakcheck sweep (Device::ReportLeaks) so an attached checker can
+  /// report anything still allocated. Idempotent; the destructor calls it.
+  /// No queries may run afterwards.
+  void Shutdown();
+
  private:
   friend class EtaGraph;
 
   struct State;  // device + resident buffers; defined in framework.cpp
 
+  /// How one execution attempt of a query failed (empty = it succeeded).
+  struct AttemptFailure {
+    bool failed = false;
+    sim::LaunchStatus status = sim::LaunchStatus::kOk;
+    uint32_t iter = 0;  // loop iteration the failing launch belonged to
+  };
+
   RunReport Execute(Algo algo, std::vector<graph::Weight> init_labels,
                     std::span<const graph::VertexId> initial_active, bool copy_label,
                     bool attribute_sources);
+
+  /// One start-to-finish execution of the query body. On a failed launch it
+  /// returns early with *failure filled; correctable-ECC counts accumulate
+  /// into *faults either way.
+  RunReport ExecuteAttempt(Algo algo, const std::vector<graph::Weight>& init_labels,
+                           std::span<const graph::VertexId> initial_active,
+                           bool copy_label, bool attribute_sources,
+                           double query_start_clock, FaultStats* faults,
+                           AttemptFailure* failure);
+
+  /// Post-UECC recovery: verifies the resident topology against the host
+  /// CSR and re-stages (charged) whatever diverged; re-zeroes the stamp
+  /// array, whose expected contents have no host shadow.
+  void RestageCorrupted(FaultStats* faults);
 
   const graph::Csr& csr_;
   EtaGraphOptions options_;
@@ -104,6 +134,8 @@ class ResidentGraph {
   bool weights_staged_ = false;
   bool oom_ = false;
   uint64_t oom_request_bytes_ = 0;
+  bool device_lost_ = false;
+  bool shutdown_ = false;
   bool prefetched_ = false;
   /// Largest frontier stamp issued so far; each query's stamps start above
   /// it, so stale stamps from earlier queries never suppress appends and

@@ -53,8 +53,14 @@ void TopDownKernel(WarpCtx& w, BfsState& d, uint32_t frontier_size, uint32_t ite
 
   LaneArray<uint32_t> deg{};
   uint32_t max_deg = 0;
+  const uint32_t max_edges =
+      static_cast<uint32_t>(std::min<uint64_t>(d.col.count, UINT32_MAX));
   WarpCtx::ForActive(mask, [&](uint32_t lane) {
-    deg[lane] = end[lane] - start[lane];
+    // Row offsets are device-resident and may be corrupt after an ECC
+    // fault; no vertex has more edges than the graph, and an inverted
+    // pair must not underflow into a ~2^32-long edge loop.
+    deg[lane] =
+        end[lane] > start[lane] ? std::min(end[lane] - start[lane], max_edges) : 0;
     max_deg = std::max(max_deg, deg[lane]);
   });
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sanitizer/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/spec.hpp"
 
 namespace eta::core {
@@ -45,6 +46,20 @@ struct EtaGraphOptions {
   /// timestamp is identical to an unchecked run. Findings land in
   /// RunReport::check.
   sanitizer::Config check{};
+  /// Hardware fault injection (DESIGN.md section 8). Off by default: no
+  /// injector is attached and every simulated counter is bit-identical to a
+  /// faultless run (bench_fault_overhead enforces this). When enabled, the
+  /// session draws deterministic launch/alloc fates from faults.seed and
+  /// recovers per `recovery`; the outcome lands in RunReport::faults.
+  sim::FaultConfig faults{};
+  /// Recovery policy for failed launches: bounded retries with exponential
+  /// backoff charged to the simulated clock (delay = base * multiplier^i
+  /// before retry i). A device loss is never retried in-session.
+  struct Recovery {
+    uint32_t max_retries = 3;
+    double backoff_base_ms = 0.5;
+    double backoff_multiplier = 2.0;
+  } recovery{};
   /// Test-only fault injection: reintroduces the bug classes etacheck
   /// exists to catch, inside the real shipping kernels, so the planted-bug
   /// suite can assert exact reports. Never enable outside tests.

@@ -150,7 +150,11 @@ PageRankResult RunPageRank(const graph::Csr& csr, const PageRankOptions& options
           uint32_t max_deg = 0;
           WarpCtx::ForActive(mask, [&](uint32_t lane) {
             id_idx[lane] = id[lane];
-            deg[lane] = end[lane] - start[lane];
+            // Shadow bounds are device-resident; clamp values an ECC fault
+            // corrupted to the build invariant (end >= start, degree <= k)
+            // so the staging buffer below stays in bounds.
+            deg[lane] =
+                end[lane] > start[lane] ? std::min(end[lane] - start[lane], k) : 0;
             max_deg = std::max(max_deg, deg[lane]);
           });
           LaneArray<float> rank{}, inv{};

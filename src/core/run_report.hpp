@@ -29,6 +29,37 @@ struct IterationStat {
   uint64_t activated_cum = 0;
 };
 
+/// Outcome of the fault-injection/recovery machinery for one run
+/// (DESIGN.md section 8). All-zero when no injector is attached.
+struct FaultStats {
+  uint64_t ecc_corrected = 0;      // correctable ECC events (logged only)
+  uint64_t ecc_uncorrectable = 0;  // launches aborted by a UECC
+  uint64_t hangs = 0;              // launches killed by the watchdog
+  uint64_t launch_failures = 0;    // total failed launches (all classes)
+  uint64_t retries = 0;            // attempts restarted after a failure
+  uint64_t restaged_buffers = 0;   // buffers re-shipped from host shadows
+  uint64_t restaged_bytes = 0;
+  double backoff_ms = 0;           // simulated time burned backing off
+  bool device_lost = false;        // device fell off the bus (sticky)
+  bool exhausted = false;          // retry budget spent without success
+
+  /// The query produced no result over the device path.
+  bool Failed() const { return device_lost || exhausted; }
+
+  void Merge(const FaultStats& other) {
+    ecc_corrected += other.ecc_corrected;
+    ecc_uncorrectable += other.ecc_uncorrectable;
+    hangs += other.hangs;
+    launch_failures += other.launch_failures;
+    retries += other.retries;
+    restaged_buffers += other.restaged_buffers;
+    restaged_bytes += other.restaged_bytes;
+    backoff_ms += other.backoff_ms;
+    device_lost = device_lost || other.device_lost;
+    exhausted = exhausted || other.exhausted;
+  }
+};
+
 struct RunReport {
   std::string framework;
   std::string dataset;
@@ -37,6 +68,13 @@ struct RunReport {
   /// Out of device memory (Table III "O.O.M"): the run did not execute.
   bool oom = false;
   uint64_t oom_request_bytes = 0;
+
+  /// Fault-injection outcome; faults.Failed() means the device path gave up
+  /// (treat like oom: labels are not meaningful).
+  FaultStats faults;
+
+  /// The run produced no usable labels over the device path.
+  bool DeviceFailed() const { return oom || faults.Failed(); }
 
   double kernel_ms = 0;  // sum of kernel roofline times
   double total_ms = 0;   // simulated end-to-end: transfers + kernels + stalls

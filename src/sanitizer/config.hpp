@@ -13,14 +13,15 @@ struct Config {
   bool memcheck = false;   // out-of-bounds, use-after-free, uninitialized reads
   bool racecheck = false;  // unsynchronized same-address conflicts within a launch
   bool synccheck = false;  // divergent or missed block barriers
+  bool leakcheck = false;  // device buffers still allocated at session teardown
 
   /// Anything on? Off (the default) means no observer is attached anywhere
   /// and the simulation runs byte-identical to an unchecked build.
-  bool Enabled() const { return memcheck || racecheck || synccheck; }
+  bool Enabled() const { return memcheck || racecheck || synccheck || leakcheck; }
 
-  static Config All() { return Config{true, true, true}; }
+  static Config All() { return Config{true, true, true, true}; }
 
-  /// Parses a comma-separated tool list: "memcheck,racecheck", "synccheck",
+  /// Parses a comma-separated tool list: "memcheck,racecheck", "leakcheck",
   /// "all", or "" (empty also means all — `--check` with no value enables
   /// everything). Returns nullopt on an unknown tool name.
   static std::optional<Config> Parse(std::string_view list) {
@@ -36,6 +37,8 @@ struct Config {
         config.racecheck = true;
       } else if (tool == "synccheck") {
         config.synccheck = true;
+      } else if (tool == "leakcheck") {
+        config.leakcheck = true;
       } else {
         return std::nullopt;
       }

@@ -22,6 +22,7 @@ const char* CheckerName(Checker checker) {
     case Checker::kMemcheck: return "memcheck";
     case Checker::kRacecheck: return "racecheck";
     case Checker::kSynccheck: return "synccheck";
+    case Checker::kLeakcheck: return "leakcheck";
   }
   return "?";
 }
@@ -39,6 +40,7 @@ const char* FindingKindName(FindingKind kind) {
     case FindingKind::kRaceWriteRead: return "race-write-read";
     case FindingKind::kBarrierDivergence: return "barrier-divergence";
     case FindingKind::kBarrierMismatch: return "barrier-mismatch";
+    case FindingKind::kLeakedBuffer: return "leaked-buffer";
   }
   return "?";
 }
@@ -63,6 +65,8 @@ Checker FindingChecker(FindingKind kind) {
     case FindingKind::kBarrierDivergence:
     case FindingKind::kBarrierMismatch:
       return Checker::kSynccheck;
+    case FindingKind::kLeakedBuffer:
+      return Checker::kLeakcheck;
   }
   return Checker::kMemcheck;
 }
@@ -91,6 +95,7 @@ const char* KindDescription(FindingKind kind) {
       return "read of another thread's unsynchronized store to";
     case FindingKind::kBarrierDivergence: return "divergent barrier in";
     case FindingKind::kBarrierMismatch: return "barrier count mismatch in";
+    case FindingKind::kLeakedBuffer: return "buffer still allocated at teardown:";
   }
   return "?";
 }
@@ -102,10 +107,17 @@ std::string Finding::Message() const {
   Appendf(out, "%s [%s] %s: %s", SeverityName(SeverityLevel()),
           CheckerName(FindingChecker(kind)), FindingKindName(kind),
           KindDescription(kind));
-  if (!buffer.empty()) {
+  if (kind == FindingKind::kLeakedBuffer) {
+    Appendf(out, " %s", buffer.c_str());
+  } else if (!buffer.empty()) {
     Appendf(out, " %s[%" PRIu64 "]", buffer.c_str(), elem_index);
   } else if (kind == FindingKind::kBarrierMismatch) {
     Appendf(out, " block %" PRIu64, elem_index);
+  }
+  if (kind == FindingKind::kLeakedBuffer) {
+    if (occurrences > 1) Appendf(out, " (x%" PRIu64 ")", occurrences);
+    if (!note.empty()) out += " — " + note;
+    return out;
   }
   if (!kernel.empty()) Appendf(out, " in '%s'", kernel.c_str());
   Appendf(out, " by warp %" PRIu64 " lane %u", warp, lane);

@@ -10,7 +10,7 @@
 
 namespace eta::sanitizer {
 
-enum class Checker : uint8_t { kMemcheck, kRacecheck, kSynccheck };
+enum class Checker : uint8_t { kMemcheck, kRacecheck, kSynccheck, kLeakcheck };
 enum class Severity : uint8_t { kError, kWarning };
 
 enum class FindingKind : uint8_t {
@@ -29,6 +29,8 @@ enum class FindingKind : uint8_t {
   // synccheck
   kBarrierDivergence,  // barrier reached under a mask narrower than the warp's
   kBarrierMismatch,    // warps of one block hit different barrier counts
+  // leakcheck
+  kLeakedBuffer,  // still allocated when the session's teardown sweep ran
 };
 
 const char* CheckerName(Checker checker);

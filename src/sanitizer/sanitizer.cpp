@@ -200,6 +200,15 @@ void Sanitizer::OnBarrier(uint64_t warp, uint64_t block, uint32_t arrive_mask,
   }
 }
 
+void Sanitizer::OnLeakedBuffer(const sim::RawBuffer& buffer, const std::string& name) {
+  if (!config_.leakcheck) return;
+  // One finding per leaked allocation; the sweep runs outside any launch, so
+  // kernel_ is empty and the (kind, "", name) key aggregates same-named
+  // buffers leaked by repeated sessions.
+  AddFinding(FindingKind::kLeakedBuffer, name, 0, 0, 0, Finding::kNoThread,
+             std::to_string(buffer.bytes) + " byte(s)");
+}
+
 void Sanitizer::AddFinding(FindingKind kind, const std::string& buffer_name,
                            uint64_t elem_index, uint64_t warp, uint32_t lane,
                            uint64_t other_thread, const std::string& note) {

@@ -14,6 +14,9 @@
 //              AtomicMin/Max/Add/Or or a declared ScatterRelaxed.
 //   synccheck  block barriers reached under divergent lane masks, and warps
 //              of one block disagreeing on how many barriers they hit.
+//   leakcheck  device buffers still allocated when the session's teardown
+//              sweep (Device::ReportLeaks) runs — the cudaFree the serving
+//              path forgot.
 //
 // All bookkeeping lives on the host side of the simulator: the checker
 // never charges cycles, so a checked run reports exactly the counters and
@@ -51,6 +54,7 @@ class Sanitizer : public sim::AccessObserver {
   void OnDeviceAccess(const sim::DeviceAccess& access) override;
   void OnBarrier(uint64_t warp, uint64_t block, uint32_t arrive_mask,
                  uint32_t active_mask) override;
+  void OnLeakedBuffer(const sim::RawBuffer& buffer, const std::string& name) override;
 
  private:
   /// Last-access state of one element within the current launch. Thread ids

@@ -8,11 +8,10 @@ bool Batchable(core::Algo algo) {
   return algo == core::Algo::kBfs || algo == core::Algo::kSssp;
 }
 
-std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
-                                      double start_ms, double* duration_ms) {
+BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms) {
   ETA_CHECK(!batch.requests.empty());
-  std::vector<QueryResult> results;
-  results.reserve(batch.requests.size());
+  BatchOutcome out;
+  out.results.reserve(batch.requests.size());
 
   auto base_result = [&](const Request& r) {
     QueryResult q;
@@ -32,7 +31,14 @@ std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
       sources.push_back(r.source);
     }
     core::RunReport report = session.RunBatch(batch.algo, sources);
-    ETA_CHECK(!report.oom);
+    out.faults.Merge(report.faults);
+    out.duration_ms = report.query_ms;
+    if (report.DeviceFailed()) {
+      // All-or-nothing: a folded launch that died answers nobody.
+      out.unserved = batch.requests;
+      out.device_failed = true;
+      return out;
+    }
     ETA_CHECK(report.per_source_reached.size() == batch.requests.size());
     for (size_t i = 0; i < batch.requests.size(); ++i) {
       QueryResult q = base_result(batch.requests[i]);
@@ -40,27 +46,36 @@ std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
       q.batch_size = static_cast<uint32_t>(batch.requests.size());
       q.start_ms = start_ms;
       q.finish_ms = start_ms + report.query_ms;
-      results.push_back(q);
+      out.results.push_back(q);
     }
-    *duration_ms = report.query_ms;
-    return results;
+    return out;
   }
 
   // Sequential fallback: run each request on its own, back to back.
   double t = start_ms;
-  for (const Request& r : batch.requests) {
+  for (size_t i = 0; i < batch.requests.size(); ++i) {
+    const Request& r = batch.requests[i];
     core::RunReport report = session.RunQuery(r.algo, r.source);
-    ETA_CHECK(!report.oom);
+    out.faults.Merge(report.faults);
+    t += report.query_ms;
+    if (report.DeviceFailed()) {
+      // This request and everything behind it goes back to the engine; a
+      // session that just exhausted its retry budget (or lost its device)
+      // is not a place to keep dispatching.
+      out.unserved.assign(batch.requests.begin() + static_cast<long>(i),
+                          batch.requests.end());
+      out.device_failed = true;
+      break;
+    }
     QueryResult q = base_result(r);
     q.reached_vertices = report.activated;
     q.batch_size = 1;
-    q.start_ms = t;
-    t += report.query_ms;
+    q.start_ms = t - report.query_ms;
     q.finish_ms = t;
-    results.push_back(q);
+    out.results.push_back(q);
   }
-  *duration_ms = t - start_ms;
-  return results;
+  out.duration_ms = t - start_ms;
+  return out;
 }
 
 }  // namespace eta::serve

@@ -29,12 +29,31 @@ struct Batch {
 /// True if `algo` queries may be folded into one multi-source launch.
 bool Batchable(core::Algo algo);
 
-/// Executes `batch` on `session` starting at simulated time `start_ms` and
-/// returns per-request results in request order. Multi-request batches run
-/// as one attributed multi-source launch and are demultiplexed; size-one or
-/// non-batchable batches run sequentially (the correctness fallback).
-/// `*duration_ms` receives the batch's total simulated execution time.
-std::vector<QueryResult> ExecuteBatch(GraphSession& session, const Batch& batch,
-                                      double start_ms, double* duration_ms);
+/// What one dispatch did. A device failure (retry budget exhausted, device
+/// lost, or mid-query OOM) is an outcome, not a crash: the requests the
+/// device could not answer come back in `unserved` for the engine to retry
+/// on a rebuilt session or hand to the CPU fallback.
+struct BatchOutcome {
+  /// Per-request results for everything the device answered, in request
+  /// order.
+  std::vector<QueryResult> results;
+  /// Requests left unanswered by a device failure, in request order.
+  std::vector<Request> unserved;
+  /// Fault/recovery counters accumulated across the batch's runs (including
+  /// failed ones).
+  core::FaultStats faults;
+  /// Total simulated time the dispatch consumed — failed attempts, retries,
+  /// and backoff included.
+  double duration_ms = 0;
+  /// A run came back DeviceFailed(); `unserved` is non-empty.
+  bool device_failed = false;
+};
+
+/// Executes `batch` on `session` starting at simulated time `start_ms`.
+/// Multi-request batches run as one attributed multi-source launch and are
+/// demultiplexed; size-one or non-batchable batches run sequentially (the
+/// correctness fallback). On a device failure the remaining requests are
+/// returned unserved rather than half-answered.
+BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms);
 
 }  // namespace eta::serve

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/framework.hpp"
+#include "cpu/reference.hpp"
 #include "serve/batcher.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
@@ -34,11 +35,50 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   const bool use_session = options_.mode != ServeMode::kNaivePerQuery;
   std::unique_ptr<GraphSession> session;
   double now = 0;
-  if (use_session) {
+  uint32_t rebuilds_left = options_.max_session_rebuilds;
+
+  /// Simulated cost of answering one query on the host CPU instead of the
+  /// device — a flat (n + m) / throughput bill, deterministic by design.
+  const double cpu_query_ms =
+      static_cast<double>(csr.NumVertices() + csr.NumEdges()) /
+      std::max(1.0, options_.cpu_fallback_units_per_ms);
+
+  /// Tears the current session down (running the leakcheck sweep) and folds
+  /// its etacheck report into the fleet report before dropping it.
+  auto retire_session = [&]() {
+    if (session == nullptr) return;
+    session->Shutdown();
+    if (const sanitizer::SanitizerReport* c = session->CheckReport()) {
+      report.check.Merge(*c);
+    }
+    session.reset();
+  };
+
+  /// Stages a fresh session, charging its load time to the serve clock.
+  /// Returns false (and retires the carcass) when staging itself failed.
+  auto build_session = [&]() {
     session = std::make_unique<GraphSession>(csr, options_.graph);
-    ETA_CHECK(session->Loaded());
-    report.load_ms = session->LoadMs();
-    now = report.load_ms;  // queries cannot start before the graph is resident
+    now += session->LoadMs();
+    if (!session->Loaded()) {
+      retire_session();
+      return false;
+    }
+    return true;
+  };
+
+  if (use_session) {
+    if (build_session()) {
+      report.load_ms = session->LoadMs();
+    } else {
+      // The very first staging failed (an injected allocation fault).
+      // Rebuilding is the only play; if the budget runs dry the whole
+      // replay is served degraded on the CPU.
+      while (session == nullptr && rebuilds_left > 0) {
+        --rebuilds_left;
+        ++report.session_rebuilds;
+        if (build_session()) report.load_ms = session->LoadMs();
+      }
+    }
   }
 
   QueryScheduler sched(options_.queue_capacity);
@@ -75,6 +115,24 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   auto expire_at = [&](double t) {
     for (const Request& r : sched.ExpireDeadlines(t)) time_out(r, t);
   };
+  /// Serves `r` on the host CPU reference — the degraded terminal state.
+  /// The answer is exact (same labels the device would converge to); only
+  /// the latency is worse.
+  auto serve_cpu = [&](const Request& r, double start) {
+    std::vector<graph::Weight> labels = core::CpuReference(csr, r.algo, r.source);
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kDegraded;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    q.reached_vertices = cpu::CountReached(labels, core::IsWidest(r.algo));
+    q.batch_size = 0;
+    q.start_ms = start;
+    q.finish_ms = start + cpu_query_ms;
+    ++report.degraded;
+    return q;
+  };
 
   while (true) {
     admit_until(now);
@@ -91,7 +149,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     batch.algo = head->algo;
     batch.requests.push_back(*head);
 
-    if (options_.mode == ServeMode::kSessionBatched && Batchable(head->algo)) {
+    if (options_.mode == ServeMode::kSessionBatched && session != nullptr &&
+        Batchable(head->algo)) {
       const uint32_t limit = std::min<uint32_t>(
           std::max<uint32_t>(options_.max_batch, 1),
           core::ResidentGraph::kMaxAttributedSources);
@@ -119,7 +178,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       std::vector<Request> live;
       live.reserve(batch.requests.size());
       for (const Request& r : batch.requests) {
-        if (r.StartDeadline() < now) {
+        if (r.ExpiredAt(now)) {
           time_out(r, now);
         } else {
           live.push_back(r);
@@ -134,18 +193,48 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     ++report.batches;
 
     std::vector<QueryResult> outcomes;
-    double duration_ms = 0;
+    // Requests the device has not answered yet; drains to empty via the
+    // device path, session rebuilds, or the CPU fallback.
+    std::vector<Request> pending = std::move(batch.requests);
+
     if (use_session) {
-      outcomes = ExecuteBatch(*session, batch, now, &duration_ms);
+      if (session != nullptr) {
+        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
+        report.faults.Merge(out.faults);
+        now += out.duration_ms;
+        outcomes = std::move(out.results);
+        pending = std::move(out.unserved);
+      }
+      // Quarantine-and-rebuild: an unhealthy session (device lost, or never
+      // staged) is torn down and re-staged, then the leftover requests are
+      // retried on the fresh device. A session that is healthy but
+      // exhausted its retry budget falls through to the CPU — re-running
+      // the same doomed query forever is not a recovery strategy.
+      while (!pending.empty() && rebuilds_left > 0 &&
+             (session == nullptr || !session->Healthy())) {
+        --rebuilds_left;
+        ++report.session_rebuilds;
+        retire_session();
+        if (!build_session()) continue;
+        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
+        report.faults.Merge(out.faults);
+        now += out.duration_ms;
+        for (QueryResult& q : out.results) outcomes.push_back(std::move(q));
+        pending = std::move(out.unserved);
+      }
     } else {
       // Naive strawman: a fresh device per query — allocate, stage the full
       // topology, run, tear down. total_ms is that query's whole bill.
-      double t = now;
-      for (const Request& r : batch.requests) {
+      for (const Request& r : pending) {
         core::EtaGraph engine(options_.graph);
         core::RunReport run = engine.Run(csr, r.algo, r.source);
-        ETA_CHECK(!run.oom);
+        report.faults.Merge(run.faults);
         report.check.Merge(run.check);
+        if (run.DeviceFailed()) {
+          outcomes.push_back(serve_cpu(r, now));
+          now += cpu_query_ms;
+          continue;
+        }
         QueryResult q;
         q.id = r.id;
         q.status = QueryStatus::kOk;
@@ -154,14 +243,19 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         q.arrival_ms = r.arrival_ms;
         q.reached_vertices = run.activated;
         q.batch_size = 1;
-        q.start_ms = t;
-        t += run.total_ms;
-        q.finish_ms = t;
+        q.start_ms = now;
+        now += run.total_ms;
+        q.finish_ms = now;
         outcomes.push_back(q);
       }
-      duration_ms = t - now;
+      pending.clear();
     }
-    now += duration_ms;
+
+    // Whatever the device path could not answer is served degraded.
+    for (const Request& r : pending) {
+      outcomes.push_back(serve_cpu(r, now));
+      now += cpu_query_ms;
+    }
 
     for (const QueryResult& q : outcomes) {
       ++report.completed;
@@ -173,9 +267,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   }
 
   report.makespan_ms = now;
-  if (use_session) {
-    if (const sanitizer::SanitizerReport* c = session->CheckReport()) report.check = *c;
-  }
+  retire_session();
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
   ETA_CHECK(report.results.size() == trace.size());

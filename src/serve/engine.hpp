@@ -10,6 +10,15 @@
 // come from the simulated device (RunReport::query_ms, or total_ms for the
 // naive rebuild-per-query mode), so the whole replay is deterministic:
 // identical trace + options produce an identical ServeReport.
+//
+// Fault tolerance (DESIGN.md section 8): when ServeOptions::graph.faults
+// injects device faults, a dispatch can come back with unserved requests.
+// The engine quarantines an unhealthy session (device lost or staging
+// failed), rebuilds it up to max_session_rebuilds times — charging each
+// re-staging to the serve clock — and retries the leftover batch on the
+// fresh device. Requests the device path still cannot answer are served by
+// the host CPU reference at a deterministic degraded cost and finish with
+// QueryStatus::kDegraded: correct answers, honest latency, no crash.
 #pragma once
 
 #include <vector>

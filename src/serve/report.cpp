@@ -26,7 +26,18 @@ std::string ServeReport::Render(const std::string& title) const {
   row("completed", std::to_string(completed));
   row("rejected", std::to_string(rejected));
   row("timed out", std::to_string(timed_out));
+  row("degraded (cpu fallback)", std::to_string(degraded));
   row("dispatches", std::to_string(batches));
+  if (session_rebuilds > 0) row("session rebuilds", std::to_string(session_rebuilds));
+  if (faults.launch_failures > 0 || faults.ecc_corrected > 0) {
+    row("launch failures", std::to_string(faults.launch_failures));
+    row("query retries", std::to_string(faults.retries));
+    row("ecc corrected", std::to_string(faults.ecc_corrected));
+    row("restaged buffers", std::to_string(faults.restaged_buffers));
+    row("restaged bytes", std::to_string(faults.restaged_bytes));
+    row("backoff (ms)", util::FormatDouble(faults.backoff_ms, 3));
+    row("device lost", faults.device_lost ? "yes" : "no");
+  }
   row("graph load (ms)", util::FormatDouble(load_ms, 3));
   row("makespan (ms)", util::FormatDouble(makespan_ms, 3));
   row("throughput (qps, simulated)", util::FormatDouble(ThroughputQps(), 1));
@@ -47,20 +58,27 @@ std::string ServeReport::Render(const std::string& title) const {
 }
 
 std::string ServeReport::Json() const {
-  char buf[768];
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "{\"mode\":\"%s\",\"requests\":%" PRIu64 ",\"completed\":%" PRIu64
-      ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"dispatches\":%" PRIu64
+      ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"degraded\":%" PRIu64
+      ",\"dispatches\":%" PRIu64 ",\"session_rebuilds\":%" PRIu64
       ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
       ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
       ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64
+      ",\"launch_failures\":%" PRIu64 ",\"query_retries\":%" PRIu64
+      ",\"ecc_corrected\":%" PRIu64 ",\"restaged_buffers\":%" PRIu64
+      ",\"restaged_bytes\":%" PRIu64 ",\"backoff_ms\":%.4f,\"device_lost\":%s"
       ",\"check_launches\":%" PRIu64 ",\"check_errors\":%" PRIu64
       ",\"check_warnings\":%" PRIu64 "}",
-      ServeModeName(mode), total_requests, completed, rejected, timed_out, batches,
-      load_ms, makespan_ms, ThroughputQps(), LatencyPercentileMs(0.50),
-      LatencyPercentileMs(0.95), LatencyPercentileMs(0.99), MeanBatchOccupancy(),
-      reached_total, check.launches_checked, static_cast<uint64_t>(check.ErrorCount()),
+      ServeModeName(mode), total_requests, completed, rejected, timed_out, degraded,
+      batches, session_rebuilds, load_ms, makespan_ms, ThroughputQps(),
+      LatencyPercentileMs(0.50), LatencyPercentileMs(0.95), LatencyPercentileMs(0.99),
+      MeanBatchOccupancy(), reached_total, faults.launch_failures, faults.retries,
+      faults.ecc_corrected, faults.restaged_buffers, faults.restaged_bytes,
+      faults.backoff_ms, faults.device_lost ? "true" : "false",
+      check.launches_checked, static_cast<uint64_t>(check.ErrorCount()),
       static_cast<uint64_t>(check.WarningCount()));
   return buf;
 }

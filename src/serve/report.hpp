@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_report.hpp"
 #include "sanitizer/report.hpp"
 #include "serve/types.hpp"
 #include "util/histogram.hpp"
@@ -24,8 +25,18 @@ struct ServeReport {
   uint64_t completed = 0;
   uint64_t rejected = 0;
   uint64_t timed_out = 0;
+  /// Requests the device path could not answer (faults exhausted every
+  /// retry and rebuild) that were served by the CPU fallback instead.
+  /// Counted inside `completed` — a degraded answer is still an answer.
+  uint64_t degraded = 0;
+  /// Unhealthy sessions torn down and re-staged mid-replay.
+  uint64_t session_rebuilds = 0;
   /// Dispatches (a folded batch counts once).
   uint64_t batches = 0;
+
+  /// Fault-injection/recovery counters aggregated over every run the replay
+  /// executed (all-zero when ServeOptions::graph.faults is off).
+  core::FaultStats faults;
 
   /// Graph staging time (zero in naive mode, where every query restages).
   double load_ms = 0;

@@ -13,7 +13,7 @@ bool QueryScheduler::Admit(const Request& request) {
 std::vector<Request> QueryScheduler::ExpireDeadlines(double now_ms) {
   std::vector<Entry> expired;
   auto split = std::stable_partition(queue_.begin(), queue_.end(), [&](const Entry& e) {
-    return e.request.StartDeadline() >= now_ms;
+    return !e.request.ExpiredAt(now_ms);
   });
   expired.assign(split, queue_.end());
   queue_.erase(split, queue_.end());

@@ -27,8 +27,10 @@ class QueryScheduler {
   bool Empty() const { return queue_.empty(); }
   size_t Depth() const { return queue_.size(); }
 
-  /// Removes and returns every queued request whose start deadline lies
-  /// strictly before `now_ms`, in admission order.
+  /// Removes and returns every queued request that Request::ExpiredAt(now_ms)
+  /// — i.e. whose start deadline lies strictly before `now_ms`; a request
+  /// whose deadline equals `now_ms` stays queued and dispatchable. Returned
+  /// in admission order.
   std::vector<Request> ExpireDeadlines(double now_ms);
 
   /// Pops the highest-priority (then oldest) request; nullopt when empty.

@@ -24,6 +24,11 @@ class GraphSession {
 
   /// False if device allocation failed; no queries can be served then.
   bool Loaded() const { return !resident_.Oom(); }
+  /// True once the session's simulated device has been lost to an injected
+  /// fault; the session must be torn down and rebuilt.
+  bool DeviceLost() const { return resident_.DeviceLost(); }
+  /// Loaded and not lost — the engine dispatches only to healthy sessions.
+  bool Healthy() const { return Loaded() && !DeviceLost(); }
   /// Simulated time spent staging the graph (the session's startup cost).
   double LoadMs() const { return resident_.LoadMs(); }
   /// Absolute session clock.
@@ -49,6 +54,10 @@ class GraphSession {
   const sanitizer::SanitizerReport* CheckReport() const {
     return resident_.CheckReport();
   }
+
+  /// Tears the session down (frees resident buffers, runs the leakcheck
+  /// sweep). CheckReport() stays readable afterwards; queries do not.
+  void Shutdown() { resident_.Shutdown(); }
 
  private:
   core::ResidentGraph resident_;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -109,6 +111,78 @@ std::optional<std::vector<Request>> ParseTraceText(std::string_view text,
     trace.push_back(r);
   }
   return trace;
+}
+
+std::string RenderReplayText(const std::vector<QueryResult>& results) {
+  std::string out = "# id status algo source reached batch start_ms finish_ms\n";
+  char buf[160];
+  for (const QueryResult& q : results) {
+    const char* algo = q.algo == core::Algo::kBfs    ? "bfs"
+                       : q.algo == core::Algo::kSssp ? "sssp"
+                                                     : "sswp";
+    std::snprintf(buf, sizeof(buf),
+                  "%llu %s %s %llu %llu %u %.4f %.4f\n",
+                  static_cast<unsigned long long>(q.id), QueryStatusName(q.status),
+                  algo, static_cast<unsigned long long>(q.source),
+                  static_cast<unsigned long long>(q.reached_vertices), q.batch_size,
+                  q.start_ms, q.finish_ms);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<std::vector<QueryResult>> ParseReplayText(std::string_view text,
+                                                        std::string* error) {
+  std::vector<QueryResult> results;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&](const std::string& what) -> std::optional<std::vector<QueryResult>> {
+    if (error != nullptr) {
+      *error = "replay line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (fields >> t) {
+      if (t[0] == '#') break;
+      tok.push_back(t);
+    }
+    if (tok.empty()) continue;
+    if (tok.size() != 8) {
+      return fail("expected 8 fields 'id status algo source reached batch "
+                  "start_ms finish_ms', got " +
+                  std::to_string(tok.size()));
+    }
+    QueryResult q;
+    long long v = 0;
+    if (!ParseI64Tok(tok[0], &v) || v < 0) return fail("bad id '" + tok[0] + "'");
+    q.id = static_cast<uint64_t>(v);
+    std::optional<QueryStatus> status = ParseQueryStatus(tok[1]);
+    if (!status.has_value()) return fail("unknown status '" + tok[1] + "'");
+    q.status = *status;
+    if (!ParseAlgoTok(tok[2], &q.algo)) return fail("unknown algo '" + tok[2] + "'");
+    if (!ParseI64Tok(tok[3], &v) || v < 0) return fail("bad source '" + tok[3] + "'");
+    q.source = static_cast<graph::VertexId>(v);
+    if (!ParseI64Tok(tok[4], &v) || v < 0) return fail("bad reached '" + tok[4] + "'");
+    q.reached_vertices = static_cast<uint64_t>(v);
+    if (!ParseI64Tok(tok[5], &v) || v < 0 || v > UINT32_MAX) {
+      return fail("bad batch '" + tok[5] + "'");
+    }
+    q.batch_size = static_cast<uint32_t>(v);
+    if (!ParseDoubleTok(tok[6], &q.start_ms) || q.start_ms < 0) {
+      return fail("bad start_ms '" + tok[6] + "'");
+    }
+    if (!ParseDoubleTok(tok[7], &q.finish_ms) || q.finish_ms < q.start_ms) {
+      return fail("bad finish_ms '" + tok[7] + "'");
+    }
+    results.push_back(q);
+  }
+  return results;
 }
 
 std::optional<std::vector<Request>> LoadTraceFile(const std::string& path,

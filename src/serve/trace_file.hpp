@@ -32,4 +32,21 @@ std::optional<std::vector<Request>> ParseTraceText(std::string_view text,
 std::optional<std::vector<Request>> LoadTraceFile(const std::string& path,
                                                   std::string* error);
 
+/// Renders per-request terminal outcomes as diffable replay text — one line
+/// per result, in the order given (the engine sorts by id):
+///
+///   id status algo source reached batch start_ms finish_ms
+///
+/// where status is ok | rejected | timed-out | degraded and the two times
+/// are fixed four-decimal simulated milliseconds. A '#' header names the
+/// columns. Two identical replays render byte-identical text, so the files
+/// diff cleanly across runs, seeds, and fault configurations.
+std::string RenderReplayText(const std::vector<QueryResult>& results);
+
+/// Inverse of RenderReplayText (blank lines and '#' comments ignored).
+/// Returns the parsed results, or nullopt with a line-numbered message in
+/// *error. Fields not present in the text (queue metrics) are zero.
+std::optional<std::vector<QueryResult>> ParseReplayText(std::string_view text,
+                                                        std::string* error);
+
 }  // namespace eta::serve

@@ -7,8 +7,17 @@ const char* QueryStatusName(QueryStatus status) {
     case QueryStatus::kOk: return "ok";
     case QueryStatus::kRejected: return "rejected";
     case QueryStatus::kTimedOut: return "timed-out";
+    case QueryStatus::kDegraded: return "degraded";
   }
   return "?";
+}
+
+std::optional<QueryStatus> ParseQueryStatus(std::string_view name) {
+  if (name == "ok") return QueryStatus::kOk;
+  if (name == "rejected") return QueryStatus::kRejected;
+  if (name == "timed-out") return QueryStatus::kTimedOut;
+  if (name == "degraded") return QueryStatus::kDegraded;
+  return std::nullopt;
 }
 
 const char* ServeModeName(ServeMode mode) {

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string_view>
 
 #include "core/options.hpp"
 #include "core/traversal.hpp"
@@ -32,14 +34,24 @@ struct Request {
   int32_t priority = 0;
 
   double StartDeadline() const { return arrival_ms + deadline_ms; }
+
+  /// The single boundary rule for deadline expiry, shared by the scheduler
+  /// sweep and the engine's batch-window filter: a request expires only
+  /// when the clock has passed *strictly beyond* its start deadline, so a
+  /// request whose deadline equals `now_ms` is still dispatchable.
+  bool ExpiredAt(double now_ms) const { return now_ms > StartDeadline(); }
 };
 
 enum class QueryStatus : uint8_t {
-  kOk,        // served; reached_vertices is valid
+  kOk,        // served on the device; reached_vertices is valid
   kRejected,  // admission queue was full on arrival
   kTimedOut,  // still queued when the start deadline passed
+  kDegraded,  // device path exhausted; served by the CPU fallback instead
 };
 const char* QueryStatusName(QueryStatus status);
+/// Inverse of QueryStatusName (for replay-file round trips); nullopt on an
+/// unknown name.
+std::optional<QueryStatus> ParseQueryStatus(std::string_view name);
 
 struct QueryResult {
   uint64_t id = 0;
@@ -50,7 +62,8 @@ struct QueryResult {
   /// the query ran alone or folded into a multi-source batch (per-source
   /// attribution, see core::ResidentGraph::RunMultiSource).
   uint64_t reached_vertices = 0;
-  /// Requests sharing this query's launch (1 = ran alone); 0 if not served.
+  /// Requests sharing this query's launch (1 = ran alone); 0 if no device
+  /// launch produced the answer (not served, or served degraded on the CPU).
   uint32_t batch_size = 0;
   double arrival_ms = 0;
   double start_ms = 0;   // dispatch time on the simulated clock
@@ -82,6 +95,16 @@ struct ServeOptions {
   /// Requests folded into one multi-source launch, at most
   /// core::ResidentGraph::kMaxAttributedSources.
   uint32_t max_batch = 16;
+  /// How many times the engine may tear down and re-stage an unhealthy
+  /// session (device lost, or load failed) before giving up on the device
+  /// path for good. Each rebuild charges a fresh graph-staging on the serve
+  /// clock.
+  uint32_t max_session_rebuilds = 2;
+  /// Throughput of the CPU fallback that serves degraded queries, in
+  /// traversed units (n + m) per millisecond of simulated time. The default
+  /// models a ~0.1 GTEPS host — deliberately far below the simulated GPU,
+  /// so degradation is visible in the latency histograms.
+  double cpu_fallback_units_per_ms = 100000.0;
 };
 
 }  // namespace eta::serve

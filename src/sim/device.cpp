@@ -118,10 +118,89 @@ LaunchResult Device::EndLaunch(const std::string& label, const LaunchConfig& con
   result.counters.launches = 1;
   result.migrated_bytes = accum_.migrated_bytes;
   result.fault_ops = accum_.fault_ops;
+  result.ecc_corrected = pending_ecc_corrected_;
+  pending_ecc_corrected_ = 0;
 
   total_ += result.counters;
   last_launch_ = result;
   return result;
+}
+
+LaunchFault Device::DecideLaunchFault() {
+  if (lost_) {
+    LaunchFault fault;
+    fault.status = LaunchStatus::kDeviceLost;
+    return fault;
+  }
+  return fault_->NextLaunch();
+}
+
+LaunchResult Device::FailLaunch(const std::string& label, const LaunchFault& fate) {
+  const bool was_lost = lost_;
+  LaunchResult result;
+  result.status = fate.status;
+  result.ecc_corrected = fate.ecc_corrected;
+
+  double dur = 0;
+  switch (fate.status) {
+    case LaunchStatus::kKernelTimeout:
+      // The kernel never retires; the watchdog kills it after watchdog_ms of
+      // simulated time. The whole window is burned.
+      dur = fault_->Config().watchdog_ms;
+      break;
+    case LaunchStatus::kEccUncorrectable:
+    case LaunchStatus::kDeviceLost:
+      // The abort surfaces at the launch boundary: only the launch overhead
+      // is charged. A launch on an already-lost device fails instantly.
+      dur = was_lost ? 0.0 : spec_.kernel_launch_us / 1000.0;
+      break;
+    case LaunchStatus::kOk:
+      break;
+  }
+
+  if (fate.status == LaunchStatus::kEccUncorrectable) {
+    CorruptVictim(fate, &result.fault_buffer);
+  }
+  if (fate.status == LaunchStatus::kDeviceLost) lost_ = true;
+
+  double start = std::max(now_ms_, pending_transfer_end_);
+  double end = start + dur;
+  now_ms_ = end;
+  if (dur > 0) {
+    timeline_.Add(SpanKind::kCompute, start, end,
+                  label + ":" + LaunchStatusName(fate.status));
+  }
+  result.start_ms = start;
+  result.end_ms = end;
+  result.wall_ms = dur;
+  last_launch_ = result;
+  return result;
+}
+
+void Device::CorruptVictim(const LaunchFault& fate, std::string* victim_name) {
+  auto live = mem_.LiveAllocations();
+  if (live.empty()) return;
+  const auto& victim = live[fate.victim_entropy % live.size()];
+  const RawBuffer& buf = victim.first;
+  // Flip within the caller's payload, not the page-rounded tail padding —
+  // a fault that only ever hits padding would never need recovery.
+  uint64_t words = buf.payload_bytes / sizeof(uint32_t);
+  if (words == 0) return;
+  auto* data = reinterpret_cast<uint32_t*>(buf.data);
+  for (uint32_t i = 0; i < fault_->Config().corrupt_words; ++i) {
+    uint64_t w = (fate.offset_entropy + i * 0x9e3779b97f4a7c15ULL) % words;
+    // A double-bit flip pattern: guaranteed nonzero, varies per word.
+    data[w] ^= 0x80000001u + i;
+  }
+  *victim_name = victim.second;
+}
+
+void Device::ReportLeaks() {
+  if (leaks_reported_ || observer_ == nullptr) return;
+  leaks_reported_ = true;
+  for (const auto& [buf, name] : mem_.LiveAllocations()) {
+    observer_->OnLeakedBuffer(buf, name);
+  }
 }
 
 uint32_t Device::ReadSectors(uint32_t sm, const uint64_t* sectors, uint32_t count) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "sim/observer.hpp"
 #include "sim/profiler.hpp"
@@ -63,6 +64,15 @@ struct LaunchResult {
   Counters counters;            // this launch only
   uint64_t migrated_bytes = 0;  // UM pages pulled in by this launch
   uint32_t fault_ops = 0;
+  /// Terminal status. Anything but kOk means no warp executed: the launch
+  /// aborted at the boundary (callers must check before trusting outputs).
+  LaunchStatus status = LaunchStatus::kOk;
+  /// Correctable ECC events scrubbed during this launch (logged only).
+  uint32_t ecc_corrected = 0;
+  /// UECC victim allocation name (empty unless status == kEccUncorrectable).
+  std::string fault_buffer;
+
+  bool Ok() const { return status == LaunchStatus::kOk; }
 };
 
 class Device;
@@ -216,6 +226,11 @@ class Device {
   // --- Allocation ---------------------------------------------------------
   template <typename T>
   Buffer<T> Alloc(uint64_t count, MemKind kind, const std::string& name) {
+    if (fault_ != nullptr && (lost_ || fault_->NextAllocFails())) {
+      // Injected allocation failure (or allocation on a lost device)
+      // surfaces exactly like real memory pressure.
+      throw OomError(count * sizeof(T), mem_.DeviceBytesUsed(), mem_.CapacityBytes());
+    }
     RawBuffer raw = mem_.Allocate(count * sizeof(T), kind, name);
     if (kind == MemKind::kUnified) um_.Register(raw.base_addr, raw.bytes);
     UpdateUmBudget();
@@ -310,9 +325,23 @@ class Device {
     now_ms_ += dur * (1.0 - overlap);
   }
 
+  /// Advances the simulated clock by `ms` with no device activity — how
+  /// recovery layers charge retry backoff to simulated time. Recorded as a
+  /// kStall span so the timeline shows where a fault run lost its wall time.
+  void ChargeDelay(double ms, const std::string& label) {
+    if (ms <= 0) return;
+    timeline_.Add(SpanKind::kStall, now_ms_, now_ms_ + ms, label);
+    now_ms_ += ms;
+  }
+
   // --- Kernel launch --------------------------------------------------------
   template <typename F>
   LaunchResult Launch(const std::string& label, const LaunchConfig& config, F&& kernel) {
+    if (fault_ != nullptr) {
+      LaunchFault fate = DecideLaunchFault();
+      if (fate.status != LaunchStatus::kOk) return FailLaunch(label, fate);
+      pending_ecc_corrected_ = fate.ecc_corrected;
+    }
     BeginLaunch();
     if (observer_ != nullptr) observer_->OnLaunchBegin(label, config);
     const uint32_t warps_per_block = std::max(1u, config.block_size / kWarpSize);
@@ -345,6 +374,22 @@ class Device {
   void SetObserver(AccessObserver* observer) { observer_ = observer; }
   AccessObserver* Observer() const { return observer_; }
 
+  /// Attaches (or detaches) a fault injector. With none attached (the
+  /// default) every launch/alloc takes the zero-cost fast path and the
+  /// simulation is bit-identical to a faultless build. The injector must
+  /// outlive every subsequent launch and allocation.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+  /// True once a kDeviceLost fault has fired: the device fell off the bus
+  /// and every further launch/alloc fails until the Device is rebuilt.
+  bool Lost() const { return lost_; }
+
+  /// Leakcheck teardown sweep: reports every still-live allocation to the
+  /// attached observer via OnLeakedBuffer, in base-address order. Runs at
+  /// most once per device; call after freeing everything that should be
+  /// freed, before reading the sanitizer report.
+  void ReportLeaks();
+
  private:
   friend class WarpCtx;
 
@@ -359,6 +404,13 @@ class Device {
   void BeginLaunch();
   LaunchResult EndLaunch(const std::string& label, const LaunchConfig& config,
                          uint64_t num_warps);
+  /// Consults the injector (or the sticky lost flag) for the next launch.
+  LaunchFault DecideLaunchFault();
+  /// Aborts a launch without executing warps: charges the abort/watchdog
+  /// time, applies UECC corruption, and latches device loss.
+  LaunchResult FailLaunch(const std::string& label, const LaunchFault& fate);
+  /// Flips words in a deterministically chosen live allocation (UECC).
+  void CorruptVictim(const LaunchFault& fate, std::string* victim_name);
   void UpdateUmBudget();
   void RecordTransfer(uint64_t bytes, bool pageable, SpanKind kind,
                       const std::string& label);
@@ -384,6 +436,10 @@ class Device {
   double now_ms_ = 0;
   double pending_transfer_end_ = 0;
   AccessObserver* observer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  bool lost_ = false;
+  bool leaks_reported_ = false;
+  uint32_t pending_ecc_corrected_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -474,6 +530,9 @@ void WarpCtx::GatherBulk(const Buffer<T>& buf, const LaneArray<uint64_t>& start,
     } else if (s + c > buf.count) {
       c = static_cast<uint32_t>(buf.count - s);
     }
+    // `out` holds exactly `stride` slots per lane; a count beyond that
+    // (fault-corrupted device data) must not spill into neighbor lanes.
+    if (c > stride) c = stride;
     safe_start[lane] = s;
     safe_count[lane] = c;
   });

@@ -1,0 +1,156 @@
+#include "sim/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace eta::sim {
+
+namespace {
+
+// Stream tags; stable so fault schedules survive refactors.
+constexpr uint64_t kLaunchStream = 0xfa017;
+constexpr uint64_t kAllocStream = 0xfa02a;
+constexpr uint64_t kVictimStream = 0xfa03b;
+
+bool ParseDouble(std::string_view v, double* out) {
+  // std::from_chars<double> is spotty across libstdc++ versions; strtod on a
+  // bounded copy is portable and the spec strings are tiny.
+  char buf[64];
+  if (v.empty() || v.size() >= sizeof(buf)) return false;
+  v.copy(buf, v.size());
+  buf[v.size()] = '\0';
+  char* end = nullptr;
+  double d = std::strtod(buf, &end);
+  if (end != buf + v.size()) return false;
+  *out = d;
+  return true;
+}
+
+bool ParseU64(std::string_view v, uint64_t* out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+}  // namespace
+
+const char* LaunchStatusName(LaunchStatus status) {
+  switch (status) {
+    case LaunchStatus::kOk: return "ok";
+    case LaunchStatus::kEccUncorrectable: return "ecc-uncorrectable";
+    case LaunchStatus::kKernelTimeout: return "kernel-timeout";
+    case LaunchStatus::kDeviceLost: return "device-lost";
+  }
+  return "?";
+}
+
+std::optional<FaultConfig> FaultConfig::Parse(std::string_view spec, std::string* error) {
+  FaultConfig config;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view item = spec.substr(pos, comma == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) *error = "expected key=value, got '" + std::string(item) + "'";
+      return std::nullopt;
+    }
+    std::string_view key = item.substr(0, eq);
+    std::string_view val = item.substr(eq + 1);
+    bool ok = true;
+    double rate = 0;
+    if (key == "seed") {
+      ok = ParseU64(val, &config.seed);
+    } else if (key == "ecc") {
+      ok = ParseDouble(val, &config.ecc_correctable_rate);
+    } else if (key == "uecc") {
+      ok = ParseDouble(val, &config.ecc_uncorrectable_rate);
+    } else if (key == "hang") {
+      ok = ParseDouble(val, &config.hang_rate);
+    } else if (key == "lost") {
+      ok = ParseDouble(val, &config.device_loss_rate);
+    } else if (key == "alloc") {
+      ok = ParseDouble(val, &config.alloc_fail_rate);
+    } else if (key == "watchdog") {
+      ok = ParseDouble(val, &config.watchdog_ms) && config.watchdog_ms > 0;
+    } else if (key == "words") {
+      uint64_t w = 0;
+      ok = ParseU64(val, &w) && w > 0;
+      config.corrupt_words = static_cast<uint32_t>(w);
+    } else if (key == "ecc_at") {
+      ok = ParseU64(val, &config.ecc_at);
+    } else if (key == "uecc_at") {
+      ok = ParseU64(val, &config.uecc_at);
+    } else if (key == "hang_at") {
+      ok = ParseU64(val, &config.hang_at);
+    } else if (key == "lost_at") {
+      ok = ParseU64(val, &config.lost_at);
+    } else if (key == "alloc_at") {
+      ok = ParseU64(val, &config.alloc_fail_at);
+    } else {
+      if (error != nullptr) *error = "unknown --faults key '" + std::string(key) + "'";
+      return std::nullopt;
+    }
+    (void)rate;
+    if (!ok) {
+      if (error != nullptr) {
+        *error = "bad value for --faults key '" + std::string(key) + "': '" +
+                 std::string(val) + "'";
+      }
+      return std::nullopt;
+    }
+  }
+  for (double r : {config.ecc_correctable_rate, config.ecc_uncorrectable_rate,
+                   config.hang_rate, config.device_loss_rate, config.alloc_fail_rate}) {
+    if (r < 0 || r > 1) {
+      if (error != nullptr) *error = "--faults rates must be in [0,1]";
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config),
+      launch_rng_(util::SplitMix64::Stream(config.seed, kLaunchStream)),
+      alloc_rng_(util::SplitMix64::Stream(config.seed, kAllocStream)),
+      victim_rng_(util::SplitMix64::Stream(config.seed, kVictimStream)) {}
+
+LaunchFault FaultInjector::NextLaunch() {
+  ++launches_;
+  LaunchFault fault;
+  // One draw per class per launch, always consumed, so the schedule of one
+  // class never shifts when another class's rate changes.
+  double d_ecc = launch_rng_.NextDouble();
+  double d_uecc = launch_rng_.NextDouble();
+  double d_hang = launch_rng_.NextDouble();
+  double d_lost = launch_rng_.NextDouble();
+  uint64_t v1 = victim_rng_.Next();
+  uint64_t v2 = victim_rng_.Next();
+
+  if (config_.ecc_at == launches_ || d_ecc < config_.ecc_correctable_rate) {
+    fault.ecc_corrected = 1;
+  }
+  // Severity order: losing the device trumps a hang trumps a UECC abort.
+  if (config_.lost_at == launches_ || d_lost < config_.device_loss_rate) {
+    fault.status = LaunchStatus::kDeviceLost;
+  } else if (config_.hang_at == launches_ || d_hang < config_.hang_rate) {
+    fault.status = LaunchStatus::kKernelTimeout;
+  } else if (config_.uecc_at == launches_ || d_uecc < config_.ecc_uncorrectable_rate) {
+    fault.status = LaunchStatus::kEccUncorrectable;
+    fault.victim_entropy = v1;
+    fault.offset_entropy = v2;
+  }
+  return fault;
+}
+
+bool FaultInjector::NextAllocFails() {
+  ++allocs_;
+  double d = alloc_rng_.NextDouble();
+  return config_.alloc_fail_at == allocs_ || d < config_.alloc_fail_rate;
+}
+
+}  // namespace eta::sim

@@ -21,7 +21,12 @@ RawBuffer DeviceMemory::Allocate(uint64_t bytes, MemKind kind, const std::string
   record.storage = std::make_unique<std::byte[]>(rounded);
   std::memset(record.storage.get(), 0, rounded);
   record.name = name;
-  record.handle = RawBuffer{next_id_++, next_addr_, rounded, kind, record.storage.get()};
+  record.handle = RawBuffer{next_id_++,
+                            next_addr_,
+                            rounded,
+                            std::max<uint64_t>(bytes, 1),
+                            kind,
+                            record.storage.get()};
   next_addr_ += rounded + page_bytes_;  // guard page between allocations
 
   uint64_t id = record.handle.id;
@@ -48,6 +53,16 @@ void DeviceMemory::Free(const RawBuffer& buffer) {
   ETA_CHECK(rit != ranges_.end() && rit->second == buffer.id);
   ranges_.erase(rit);
   records_.erase(it);
+}
+
+std::vector<std::pair<RawBuffer, std::string>> DeviceMemory::LiveAllocations() const {
+  std::vector<std::pair<RawBuffer, std::string>> live;
+  live.reserve(ranges_.size());
+  for (const auto& [base, id] : ranges_) {
+    const Record& record = records_.at(id);
+    live.emplace_back(record.handle, record.name);
+  }
+  return live;
 }
 
 const RawBuffer* DeviceMemory::Find(uint64_t addr) const {

@@ -49,7 +49,8 @@ class OomError : public std::runtime_error {
 struct RawBuffer {
   uint64_t id = 0;
   uint64_t base_addr = 0;
-  uint64_t bytes = 0;
+  uint64_t bytes = 0;          // page-rounded; what capacity accounting charges
+  uint64_t payload_bytes = 0;  // caller-requested size; ECC faults only hit this
   MemKind kind = MemKind::kDevice;
   std::byte* data = nullptr;
 
@@ -94,6 +95,11 @@ class DeviceMemory {
   /// Looks up the allocation containing `addr`; nullptr if none. Used by
   /// the warp engine to route unified-memory accesses.
   const RawBuffer* Find(uint64_t addr) const;
+
+  /// Every live allocation with its name, ordered by base address — a
+  /// deterministic enumeration used for UECC victim selection and the
+  /// leakcheck teardown sweep.
+  std::vector<std::pair<RawBuffer, std::string>> LiveAllocations() const;
 
  private:
   struct Record {

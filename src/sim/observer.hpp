@@ -60,6 +60,14 @@ class AccessObserver {
   /// The buffer was freed; its id is never reused.
   virtual void OnFree(const RawBuffer& buffer) { (void)buffer; }
 
+  /// Leakcheck teardown sweep (Device::ReportLeaks): `buffer` is still
+  /// allocated after the owning session tore down everything it meant to
+  /// free.
+  virtual void OnLeakedBuffer(const RawBuffer& buffer, const std::string& name) {
+    (void)buffer;
+    (void)name;
+  }
+
   /// The host defined `bytes` bytes starting at byte `offset`: either a
   /// real CopyToDevice/CopyToDeviceRange or a Device::MarkHostInitialized
   /// annotation for data staged directly through HostSpan().

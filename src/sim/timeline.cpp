@@ -24,7 +24,7 @@ double Timeline::OverlapMs() const {
   for (const Span& c : spans_) {
     if (c.kind != SpanKind::kCompute) continue;
     for (const Span& t : spans_) {
-      if (t.kind == SpanKind::kCompute) continue;
+      if (t.kind == SpanKind::kCompute || t.kind == SpanKind::kStall) continue;
       double lo = std::max(c.start_ms, t.start_ms);
       double hi = std::min(c.end_ms, t.end_ms);
       if (hi > lo) overlap += hi - lo;
@@ -38,6 +38,7 @@ std::string Timeline::RenderAscii(double horizon_ms, uint32_t columns) const {
   if (horizon_ms <= 0) horizon_ms = 1;
   std::vector<uint8_t> compute(columns, 0), transfer(columns, 0);
   for (const Span& s : spans_) {
+    if (s.kind == SpanKind::kStall) continue;  // idle time renders as '.'
     auto lo = static_cast<int64_t>(s.start_ms / horizon_ms * columns);
     auto hi = static_cast<int64_t>(s.end_ms / horizon_ms * columns);
     lo = std::clamp<int64_t>(lo, 0, columns - 1);

@@ -10,7 +10,10 @@
 
 namespace eta::sim {
 
-enum class SpanKind { kCompute, kTransferH2D, kTransferD2H };
+/// kStall marks simulated time deliberately burned with no device activity
+/// (fault-recovery backoff, watchdog windows); it is excluded from the
+/// compute/transfer overlap accounting.
+enum class SpanKind { kCompute, kTransferH2D, kTransferD2H, kStall };
 
 struct Span {
   SpanKind kind;

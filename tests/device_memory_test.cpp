@@ -1,12 +1,21 @@
 // DeviceMemory edge behaviour: OOM arithmetic, double-free hard abort,
-// out-of-range cudaMemcpy, and kHostStaged's invisibility to the
-// unified-memory page machinery.
+// out-of-range cudaMemcpy, kHostStaged's invisibility to the
+// unified-memory page machinery, and injected allocation failures
+// (DESIGN.md section 8) surfacing exactly like real memory pressure.
 #include <gtest/gtest.h>
 
 #include <span>
 #include <vector>
 
+#include "core/framework.hpp"
+#include "core/traversal.hpp"
+#include "cpu/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "serve/engine.hpp"
+#include "serve/trace.hpp"
 #include "sim/device.hpp"
+#include "sim/fault.hpp"
 #include "util/units.hpp"
 
 namespace eta {
@@ -130,6 +139,129 @@ TEST(DeviceMemoryTest, HostStagedIsInvisibleToUnifiedMemory) {
   device.Free(staged);
   device.Free(managed);
   EXPECT_EQ(device.Mem().UnifiedBytesAllocated(), 0u);
+}
+
+// --- Injected allocation failures (fault model, DESIGN.md section 8) --------
+
+TEST(DeviceMemoryTest, InjectedAllocFailureLooksLikeRealPressure) {
+  sim::Device device;
+  sim::FaultConfig config;
+  config.alloc_fail_at = 2;
+  sim::FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  auto a = device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "a");
+  uint64_t used_before = device.Mem().DeviceBytesUsed();
+  try {
+    device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "b");
+    FAIL() << "expected injected OomError";
+  } catch (const sim::OomError& oom) {
+    EXPECT_EQ(oom.requested_bytes, 16 * sizeof(uint32_t));
+    EXPECT_EQ(oom.used_bytes, used_before);
+    EXPECT_EQ(oom.capacity_bytes, device.Spec().device_memory_bytes);
+  }
+  // The injected failure charges nothing and leaves no record.
+  EXPECT_EQ(device.Mem().DeviceBytesUsed(), used_before);
+  EXPECT_EQ(device.Mem().LiveAllocations().size(), 1u);
+  // The one-shot fired; allocation works again — even the kind that never
+  // fails naturally.
+  EXPECT_NO_THROW(device.Alloc<uint32_t>(16, sim::MemKind::kUnified, "c"));
+  device.Free(a);
+}
+
+TEST(DeviceMemoryTest, AllocationOnALostDeviceFails) {
+  sim::Device device;
+  sim::FaultConfig config;
+  config.lost_at = 1;
+  sim::FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  ASSERT_EQ(device.Launch("k", {32, 32}, [](sim::WarpCtx&) {}).status,
+            sim::LaunchStatus::kDeviceLost);
+  EXPECT_THROW(device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "late"),
+               sim::OomError);
+}
+
+namespace fault_alloc {
+
+graph::Csr WeightedGraph() {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.num_edges = 4000;
+  params.seed = 7;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(99);
+  return csr;
+}
+
+// Resident staging on a weighted graph performs exactly 13 device
+// allocations (row, col, wts, labels, stamp, act_set, act_count, 5 shadow
+// arrays, virt_counts); the per-vertex reach mask is allocated lazily by the
+// first attributed multi-source query, i.e. allocation decision #14.
+constexpr uint64_t kLoadAllocs = 13;
+
+}  // namespace fault_alloc
+
+TEST(DeviceMemoryTest, SessionLoadAllocFailureMarksSessionOom) {
+  graph::Csr csr = fault_alloc::WeightedGraph();
+  core::EtaGraphOptions options;
+  options.faults.alloc_fail_at = 5;  // mid-staging
+  core::ResidentGraph session(csr, options);
+  EXPECT_TRUE(session.Oom());
+  auto report = session.Run(core::Algo::kBfs, 3);
+  EXPECT_TRUE(report.oom);
+  EXPECT_GT(report.oom_request_bytes, 0u);
+  EXPECT_TRUE(report.labels.empty());
+}
+
+TEST(DeviceMemoryTest, MidSessionAllocFailureDegradesOneQueryNotTheSession) {
+  graph::Csr csr = fault_alloc::WeightedGraph();
+  core::EtaGraphOptions options;
+  options.faults.alloc_fail_at = fault_alloc::kLoadAllocs + 1;
+  core::ResidentGraph session(csr, options);
+  ASSERT_FALSE(session.Oom());
+
+  // A plain query allocates nothing new: untouched by the pending one-shot.
+  auto before = session.Run(core::Algo::kBfs, 3);
+  ASSERT_FALSE(before.oom);
+  EXPECT_EQ(before.labels, core::CpuReference(csr, core::Algo::kBfs, 3));
+
+  // The first attributed multi-source query lazily allocates the reach
+  // mask; the injected failure lands on exactly that allocation.
+  const graph::VertexId sources[2] = {3, 9};
+  auto hit = session.RunMultiSource(core::Algo::kBfs,
+                                    std::span<const graph::VertexId>(sources),
+                                    /*attribute_sources=*/true);
+  EXPECT_TRUE(hit.oom);
+
+  // Only that query is lost. The session stays healthy for later queries.
+  EXPECT_FALSE(session.Oom());
+  auto after = session.Run(core::Algo::kSssp, 9);
+  ASSERT_FALSE(after.oom);
+  EXPECT_EQ(after.labels, core::CpuReference(csr, core::Algo::kSssp, 9));
+}
+
+TEST(DeviceMemoryTest, ServeDegradesWhenEverySessionBuildOoms) {
+  graph::Csr csr = fault_alloc::WeightedGraph();
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = 6;
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  serve::ServeOptions options;
+  // Every session rebuild replays the injector schedule from scratch, so
+  // staging allocation #1 fails for the initial build and every rebuild.
+  options.graph.faults.alloc_fail_at = 1;
+  options.max_session_rebuilds = 2;
+  auto report = serve::ServeEngine(options).Serve(csr, trace);
+
+  EXPECT_EQ(report.completed, trace.size());
+  EXPECT_EQ(report.degraded, trace.size());
+  for (const serve::QueryResult& q : report.results) {
+    EXPECT_EQ(q.status, serve::QueryStatus::kDegraded);
+    EXPECT_EQ(q.reached_vertices,
+              cpu::CountReached(core::CpuReference(csr, q.algo, q.source),
+                                core::IsWidest(q.algo)));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+// Fault injection and recovery tests (DESIGN.md section 8): config parsing,
+// deterministic device-level fault fates, the zero-cost armed-but-silent
+// contract, ResidentGraph retry/re-stage recovery per fault class, and the
+// serving engine's quarantine/rebuild/degrade ladder — every completed
+// request CPU-verified, every replay bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "core/traversal.hpp"
+#include "cpu/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "serve/engine.hpp"
+#include "serve/trace.hpp"
+#include "sim/device.hpp"
+#include "sim/fault.hpp"
+
+namespace eta {
+namespace {
+
+using sim::FaultConfig;
+using sim::FaultInjector;
+using sim::LaunchStatus;
+
+graph::Csr SmallSocialGraph(uint64_t seed = 7) {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.num_edges = 4000;
+  params.seed = seed;
+  graph::Csr csr = graph::BuildCsr(graph::GenerateRmat(params));
+  csr.DeriveWeights(99);
+  return csr;
+}
+
+uint64_t CpuReached(const graph::Csr& csr, core::Algo algo, graph::VertexId source) {
+  return cpu::CountReached(core::CpuReference(csr, algo, source),
+                           core::IsWidest(algo));
+}
+
+bool SimIdentical(const core::RunReport& a, const core::RunReport& b) {
+  return a.total_ms == b.total_ms && a.kernel_ms == b.kernel_ms &&
+         a.iterations == b.iterations && a.labels == b.labels &&
+         a.counters.warp_instructions == b.counters.warp_instructions &&
+         a.counters.elapsed_cycles == b.counters.elapsed_cycles &&
+         a.counters.dram_read_transactions == b.counters.dram_read_transactions &&
+         a.counters.atomic_operations == b.counters.atomic_operations;
+}
+
+// --- FaultConfig parsing ------------------------------------------------------
+
+TEST(FaultConfig, ParsesFullSpec) {
+  std::string error;
+  auto c = FaultConfig::Parse(
+      "seed=7,ecc=0.5,uecc=0.25,hang=0.125,lost=0.0625,alloc=0.03125,"
+      "watchdog=40,words=8,uecc_at=3,alloc_at=2",
+      &error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(c->seed, 7u);
+  EXPECT_DOUBLE_EQ(c->ecc_correctable_rate, 0.5);
+  EXPECT_DOUBLE_EQ(c->ecc_uncorrectable_rate, 0.25);
+  EXPECT_DOUBLE_EQ(c->hang_rate, 0.125);
+  EXPECT_DOUBLE_EQ(c->device_loss_rate, 0.0625);
+  EXPECT_DOUBLE_EQ(c->alloc_fail_rate, 0.03125);
+  EXPECT_DOUBLE_EQ(c->watchdog_ms, 40.0);
+  EXPECT_EQ(c->corrupt_words, 8u);
+  EXPECT_EQ(c->uecc_at, 3u);
+  EXPECT_EQ(c->alloc_fail_at, 2u);
+  EXPECT_TRUE(c->Enabled());
+}
+
+TEST(FaultConfig, RejectsBadSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultConfig::Parse("bogus=1", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FaultConfig::Parse("uecc=1.5", &error).has_value());
+  EXPECT_FALSE(FaultConfig::Parse("hang=-0.1", &error).has_value());
+  EXPECT_FALSE(FaultConfig::Parse("seed=", &error).has_value());
+  EXPECT_FALSE(FaultConfig{}.Enabled());
+}
+
+// --- Injector determinism -----------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.seed = 42;
+  config.ecc_uncorrectable_rate = 0.2;
+  config.hang_rate = 0.2;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 200; ++i) {
+    sim::LaunchFault fa = a.NextLaunch();
+    sim::LaunchFault fb = b.NextLaunch();
+    EXPECT_EQ(fa.status, fb.status);
+    EXPECT_EQ(fa.victim_entropy, fb.victim_entropy);
+  }
+  EXPECT_EQ(a.LaunchesDecided(), 200u);
+}
+
+TEST(FaultInjector, RateChangeInOneClassDoesNotShiftAnother) {
+  // Each decision consumes a fixed number of draws, so cranking the hang
+  // rate must not move *which* launches draw a device loss.
+  FaultConfig base;
+  base.seed = 5;
+  base.device_loss_rate = 0.05;
+  FaultConfig noisy = base;
+  noisy.hang_rate = 0.0;  // identical
+  FaultConfig cranked = base;
+  cranked.ecc_correctable_rate = 0.9;  // very different ECC schedule
+
+  FaultInjector a(noisy);
+  FaultInjector b(cranked);
+  std::vector<int> loss_a, loss_b;
+  for (int i = 0; i < 500; ++i) {
+    // Loss outranks hang/ECC in severity, so a loss decision is visible
+    // regardless of what else fired.
+    if (a.NextLaunch().status == LaunchStatus::kDeviceLost) loss_a.push_back(i);
+    if (b.NextLaunch().status == LaunchStatus::kDeviceLost) loss_b.push_back(i);
+  }
+  ASSERT_FALSE(loss_a.empty());
+  EXPECT_EQ(loss_a, loss_b);
+}
+
+// --- Device-level fates -------------------------------------------------------
+
+TEST(DeviceFaults, ScriptedHangChargesWatchdogAndAborts) {
+  sim::Device device;
+  FaultConfig config;
+  config.hang_at = 2;
+  config.watchdog_ms = 12.5;
+  FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  auto ok = device.Launch("k1", {64, 64}, [&](sim::WarpCtx&) {});
+  EXPECT_EQ(ok.status, LaunchStatus::kOk);
+  double before = device.NowMs();
+  auto hung = device.Launch("k2", {64, 64}, [&](sim::WarpCtx&) {});
+  EXPECT_EQ(hung.status, LaunchStatus::kKernelTimeout);
+  EXPECT_FALSE(hung.Ok());
+  // The watchdog interval is charged to the simulated clock.
+  EXPECT_DOUBLE_EQ(device.NowMs() - before, 12.5);
+  // The device survives: the next launch is healthy.
+  EXPECT_TRUE(device.Launch("k3", {64, 64}, [&](sim::WarpCtx&) {}).Ok());
+}
+
+TEST(DeviceFaults, ScriptedUeccCorruptsALiveBuffer) {
+  sim::Device device;
+  FaultConfig config;
+  config.uecc_at = 1;
+  FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  auto buf = device.Alloc<uint32_t>(64, sim::MemKind::kDevice, "victim");
+  std::vector<uint32_t> init(64, 0xabcd1234u);
+  device.CopyToDevice(buf, std::span<const uint32_t>(init));
+
+  auto r = device.Launch("k", {64, 64}, [&](sim::WarpCtx&) { FAIL(); });
+  EXPECT_EQ(r.status, LaunchStatus::kEccUncorrectable);
+  EXPECT_EQ(r.fault_buffer, "victim");
+
+  std::vector<uint32_t> host(64);
+  device.CopyToHost(std::span<uint32_t>(host), buf);
+  uint32_t flipped = 0;
+  for (uint32_t w : host) flipped += w != 0xabcd1234u ? 1 : 0;
+  EXPECT_GT(flipped, 0u);  // real corruption, not just a flag
+  EXPECT_LE(flipped, config.corrupt_words);
+}
+
+TEST(DeviceFaults, DeviceLossIsSticky) {
+  sim::Device device;
+  FaultConfig config;
+  config.lost_at = 1;
+  FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  EXPECT_EQ(device.Launch("k1", {32, 32}, [&](sim::WarpCtx&) { FAIL(); }).status,
+            LaunchStatus::kDeviceLost);
+  EXPECT_TRUE(device.Lost());
+  // Every later launch fails instantly without advancing the clock.
+  double t = device.NowMs();
+  EXPECT_EQ(device.Launch("k2", {32, 32}, [&](sim::WarpCtx&) { FAIL(); }).status,
+            LaunchStatus::kDeviceLost);
+  EXPECT_DOUBLE_EQ(device.NowMs(), t);
+}
+
+TEST(DeviceFaults, ScriptedAllocFailureThrowsOom) {
+  sim::Device device;
+  FaultConfig config;
+  config.alloc_fail_at = 2;
+  FaultInjector injector(config);
+  device.SetFaultInjector(&injector);
+
+  auto a = device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "a");
+  (void)a;
+  EXPECT_THROW(device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "b"),
+               sim::OomError);
+  // Later allocations succeed again (the one-shot fired).
+  EXPECT_NO_THROW(device.Alloc<uint32_t>(16, sim::MemKind::kDevice, "c"));
+}
+
+// --- Zero-cost contract -------------------------------------------------------
+
+TEST(FaultZeroCost, ArmedButSilentInjectorIsBitIdentical) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions plain;
+  core::EtaGraphOptions armed = plain;
+  armed.faults.ecc_at = 1000000000;  // Enabled(), but unreachable
+
+  for (core::Algo algo : {core::Algo::kBfs, core::Algo::kSssp, core::Algo::kSswp}) {
+    auto off = core::EtaGraph(plain).Run(csr, algo, 3);
+    auto on = core::EtaGraph(armed).Run(csr, algo, 3);
+    ASSERT_FALSE(off.oom);
+    EXPECT_TRUE(SimIdentical(off, on)) << core::AlgoName(algo);
+    EXPECT_EQ(on.faults.launch_failures, 0u);
+    EXPECT_EQ(on.faults.ecc_corrected, 0u);
+  }
+}
+
+TEST(FaultZeroCost, CorrectableEccIsLoggedButFree) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions plain;
+  core::EtaGraphOptions ecc = plain;
+  ecc.faults.ecc_at = 1;  // first launch logs one corrected event
+
+  auto off = core::EtaGraph(plain).Run(csr, core::Algo::kBfs, 3);
+  auto on = core::EtaGraph(ecc).Run(csr, core::Algo::kBfs, 3);
+  EXPECT_TRUE(SimIdentical(off, on));
+  EXPECT_EQ(on.faults.ecc_corrected, 1u);
+  EXPECT_EQ(on.faults.launch_failures, 0u);
+}
+
+// --- ResidentGraph recovery ---------------------------------------------------
+
+TEST(FaultRecovery, HangIsRetriedAndAnswerStaysCorrect) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.faults.hang_at = 2;  // second launch of the session hangs
+
+  auto report = core::EtaGraph(options).Run(csr, core::Algo::kBfs, 3);
+  ASSERT_FALSE(report.DeviceFailed());
+  EXPECT_EQ(report.faults.hangs, 1u);
+  EXPECT_EQ(report.faults.launch_failures, 1u);
+  EXPECT_EQ(report.faults.retries, 1u);
+  EXPECT_GT(report.faults.backoff_ms, 0.0);
+  EXPECT_EQ(report.labels, core::CpuReference(csr, core::Algo::kBfs, 3));
+
+  // The failed attempt, watchdog, and backoff make the run strictly more
+  // expensive than a faultless one.
+  auto clean = core::EtaGraph().Run(csr, core::Algo::kBfs, 3);
+  EXPECT_GT(report.total_ms, clean.total_ms);
+}
+
+TEST(FaultRecovery, UeccRestagesCorruptedTopologyThenSucceeds) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.faults.seed = 11;
+  options.faults.uecc_at = 3;
+  options.faults.corrupt_words = 16;
+
+  for (core::Algo algo : {core::Algo::kBfs, core::Algo::kSssp}) {
+    auto report = core::EtaGraph(options).Run(csr, algo, 3);
+    ASSERT_FALSE(report.DeviceFailed()) << core::AlgoName(algo);
+    EXPECT_EQ(report.faults.ecc_uncorrectable, 1u);
+    EXPECT_EQ(report.faults.retries, 1u);
+    // Whatever the UECC hit, the answer is the CPU reference answer.
+    EXPECT_EQ(report.labels, core::CpuReference(csr, algo, 3)) << core::AlgoName(algo);
+  }
+}
+
+TEST(FaultRecovery, UeccRecoveryWorksInEveryMemoryMode) {
+  graph::Csr csr = SmallSocialGraph();
+  for (core::MemoryMode mode :
+       {core::MemoryMode::kUnifiedPrefetch, core::MemoryMode::kUnifiedOnDemand,
+        core::MemoryMode::kExplicitCopy, core::MemoryMode::kChunkedStream}) {
+    core::EtaGraphOptions options;
+    options.memory_mode = mode;
+    options.faults.seed = 13;
+    options.faults.uecc_at = 2;
+    auto report = core::EtaGraph(options).Run(csr, core::Algo::kBfs, 3);
+    ASSERT_FALSE(report.DeviceFailed()) << core::MemoryModeName(mode);
+    EXPECT_EQ(report.labels, core::CpuReference(csr, core::Algo::kBfs, 3))
+        << core::MemoryModeName(mode);
+  }
+}
+
+TEST(FaultRecovery, RetryBudgetExhaustionIsReportedNotLooped) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.faults.hang_rate = 1.0;  // every launch hangs
+  options.recovery.max_retries = 2;
+
+  auto report = core::EtaGraph(options).Run(csr, core::Algo::kBfs, 3);
+  EXPECT_TRUE(report.DeviceFailed());
+  EXPECT_TRUE(report.faults.exhausted);
+  EXPECT_FALSE(report.faults.device_lost);
+  // 1 initial attempt + 2 retries, each killed by its first launch.
+  EXPECT_EQ(report.faults.launch_failures, 3u);
+  EXPECT_EQ(report.faults.retries, 2u);
+}
+
+TEST(FaultRecovery, DeviceLossEndsTheSession) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.faults.lost_at = 2;
+
+  core::ResidentGraph session(csr, options);
+  auto first = session.Run(core::Algo::kBfs, 3);
+  EXPECT_TRUE(first.DeviceFailed());
+  EXPECT_TRUE(first.faults.device_lost);
+  EXPECT_TRUE(session.DeviceLost());
+  // No retry storm after loss: the next query fails immediately.
+  auto second = session.Run(core::Algo::kBfs, 4);
+  EXPECT_TRUE(second.faults.device_lost);
+  EXPECT_EQ(second.faults.retries, 0u);
+}
+
+TEST(FaultRecovery, SessionSurvivesFaultAndServesLaterQueries) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.faults.seed = 17;
+  options.faults.hang_at = 4;
+
+  core::ResidentGraph session(csr, options);
+  auto q1 = session.Run(core::Algo::kBfs, 3);
+  auto q2 = session.Run(core::Algo::kSssp, 9);
+  auto q3 = session.Run(core::Algo::kBfs, 21);
+  EXPECT_EQ(q1.faults.hangs + q2.faults.hangs + q3.faults.hangs, 1u);
+  ASSERT_FALSE(q1.DeviceFailed());
+  ASSERT_FALSE(q2.DeviceFailed());
+  ASSERT_FALSE(q3.DeviceFailed());
+  EXPECT_EQ(q1.labels, core::CpuReference(csr, core::Algo::kBfs, 3));
+  EXPECT_EQ(q2.labels, core::CpuReference(csr, core::Algo::kSssp, 9));
+  EXPECT_EQ(q3.labels, core::CpuReference(csr, core::Algo::kBfs, 21));
+}
+
+// --- Serving under faults -----------------------------------------------------
+
+/// Fault matrix: each class, each algorithm. Every request must complete
+/// with the CPU-verified answer, through retry, re-stage, rebuild, or
+/// degrade — and two identical replays must agree byte-for-byte.
+struct MatrixCase {
+  const char* name;
+  const char* spec;
+};
+
+class FaultMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FaultMatrixTest, AllRequestsCompleteWithVerifiedAnswers) {
+  graph::Csr csr = SmallSocialGraph(19);
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = 24;
+  trace_options.bfs_fraction = 0.4;
+  trace_options.sssp_fraction = 0.3;  // rest SSWP: all three algos present
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  std::string error;
+  auto faults = sim::FaultConfig::Parse(GetParam().spec, &error);
+  ASSERT_TRUE(faults.has_value()) << error;
+
+  serve::ServeOptions options;
+  options.graph.faults = *faults;
+  auto report = serve::ServeEngine(options).Serve(csr, trace);
+
+  // No deadlines and a large queue: every request must be answered.
+  EXPECT_EQ(report.completed, trace.size()) << GetParam().name;
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.timed_out, 0u);
+  for (const serve::QueryResult& q : report.results) {
+    ASSERT_TRUE(q.status == serve::QueryStatus::kOk ||
+                q.status == serve::QueryStatus::kDegraded)
+        << GetParam().name << " request " << q.id;
+    EXPECT_EQ(q.reached_vertices, CpuReached(csr, q.algo, q.source))
+        << GetParam().name << " request " << q.id << " ("
+        << serve::QueryStatusName(q.status) << ")";
+  }
+
+  // Determinism: replaying the identical trace reproduces everything.
+  auto again = serve::ServeEngine(options).Serve(csr, trace);
+  EXPECT_EQ(report.Json(), again.Json()) << GetParam().name;
+  ASSERT_EQ(report.results.size(), again.results.size());
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_EQ(report.results[i].status, again.results[i].status);
+    EXPECT_DOUBLE_EQ(report.results[i].finish_ms, again.results[i].finish_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, FaultMatrixTest,
+    ::testing::Values(MatrixCase{"ecc_correctable", "seed=3,ecc=0.3"},
+                      MatrixCase{"ecc_uncorrectable", "seed=3,uecc=0.08"},
+                      MatrixCase{"kernel_hang", "seed=3,hang=0.08,watchdog=5"},
+                      MatrixCase{"device_loss", "seed=3,lost=0.01"},
+                      MatrixCase{"alloc_failure", "seed=3,alloc=0.2"},
+                      MatrixCase{"everything_at_once",
+                                 "seed=3,ecc=0.1,uecc=0.04,hang=0.04,lost=0.005,"
+                                 "alloc=0.1,watchdog=5"}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(ServeFaults, DeviceLossTriggersRebuildThenRecovers) {
+  graph::Csr csr = SmallSocialGraph();
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = 16;
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  serve::ServeOptions options;
+  options.graph.faults.lost_at = 3;  // each session's 3rd launch kills it
+  options.max_session_rebuilds = 3;
+  auto report = serve::ServeEngine(options).Serve(csr, trace);
+
+  EXPECT_EQ(report.completed, trace.size());
+  EXPECT_GE(report.session_rebuilds, 1u);
+  EXPECT_TRUE(report.faults.device_lost);
+  for (const serve::QueryResult& q : report.results) {
+    EXPECT_EQ(q.reached_vertices, CpuReached(csr, q.algo, q.source));
+  }
+}
+
+TEST(ServeFaults, RebuildBudgetExhaustionDegradesToCpu) {
+  graph::Csr csr = SmallSocialGraph();
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = 8;
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  serve::ServeOptions options;
+  options.graph.faults.device_loss_rate = 1.0;  // every launch loses the device
+  options.max_session_rebuilds = 1;
+  auto report = serve::ServeEngine(options).Serve(csr, trace);
+
+  EXPECT_EQ(report.completed, trace.size());
+  EXPECT_EQ(report.session_rebuilds, 1u);
+  EXPECT_GT(report.degraded, 0u);
+  for (const serve::QueryResult& q : report.results) {
+    // The CPU fallback still answers exactly.
+    EXPECT_EQ(q.reached_vertices, CpuReached(csr, q.algo, q.source));
+    if (q.status == serve::QueryStatus::kDegraded) {
+      EXPECT_EQ(q.batch_size, 0u);
+      EXPECT_GT(q.finish_ms, q.start_ms);
+    }
+  }
+}
+
+// --- Kernel robustness against corrupted device data -------------------------
+//
+// An uncorrectable ECC hit rewrites live device bytes, and the corrupted
+// values can be *executed* before recovery runs (the faulted launch aborts,
+// but a buffer without a host shadow — or one owned by another session on
+// the same device — keeps the damage). The simulator clamps global-memory
+// accesses; this pins down the remaining host-unsafe surface, the per-lane
+// staging area GatherBulk streams into.
+
+TEST(FaultRobustness, GatherBulkClampsCorruptCountsToTheLaneStride) {
+  sim::Device device;
+  auto buf = device.Alloc<uint32_t>(256, sim::MemKind::kDevice, "col");
+  std::vector<uint32_t> host(256);
+  for (uint32_t i = 0; i < 256; ++i) host[i] = 1000 + i;
+  device.CopyToDevice(buf, std::span<const uint32_t>(host));
+
+  constexpr uint32_t kStride = 4;
+  constexpr uint32_t kSentinel = 0xAAAAAAAAu;
+  // Staging area plus a guard tail that must survive untouched.
+  std::vector<uint32_t> out(sim::kWarpSize * kStride + 64, kSentinel);
+
+  auto r = device.Launch("bulk", {sim::kWarpSize}, [&](sim::WarpCtx& w) {
+    sim::LaneArray<uint64_t> start{};
+    sim::LaneArray<uint32_t> count{};
+    for (uint32_t lane = 0; lane < sim::kWarpSize; ++lane) {
+      start[lane] = lane * kStride;
+      count[lane] = 1000;  // corrupt degree: past the stride AND the buffer
+    }
+    w.GatherBulk(buf, start, count, w.ActiveMask(), out.data(), kStride);
+  });
+  ASSERT_EQ(r.status, sim::LaunchStatus::kOk);
+
+  for (uint32_t lane = 0; lane < sim::kWarpSize; ++lane) {
+    for (uint32_t j = 0; j < kStride; ++j) {
+      EXPECT_EQ(out[lane * kStride + j], 1000 + lane * kStride + j);
+    }
+  }
+  for (size_t i = sim::kWarpSize * kStride; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], kSentinel) << "guard word " << i << " was overwritten";
+  }
+}
+
+TEST(ServeFaults, FaultsOffServeReportIsBitIdenticalToSeedBehavior) {
+  graph::Csr csr = SmallSocialGraph();
+  serve::TraceOptions trace_options;
+  trace_options.num_requests = 24;
+  auto trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+
+  serve::ServeOptions plain;
+  serve::ServeOptions armed = plain;
+  armed.graph.faults.ecc_at = 1000000000;  // attached, never fires
+
+  auto off = serve::ServeEngine(plain).Serve(csr, trace);
+  auto on = serve::ServeEngine(armed).Serve(csr, trace);
+  EXPECT_EQ(off.Json(), on.Json());
+  EXPECT_EQ(off.makespan_ms, on.makespan_ms);
+  ASSERT_EQ(off.results.size(), on.results.size());
+  for (size_t i = 0; i < off.results.size(); ++i) {
+    EXPECT_EQ(off.results[i].status, on.results[i].status);
+    EXPECT_EQ(off.results[i].reached_vertices, on.results[i].reached_vertices);
+    EXPECT_DOUBLE_EQ(off.results[i].finish_ms, on.results[i].finish_ms);
+  }
+}
+
+}  // namespace
+}  // namespace eta

@@ -57,23 +57,36 @@ Config SynccheckOnly() {
   return c;
 }
 
+Config LeakcheckOnly() {
+  Config c;
+  c.leakcheck = true;
+  return c;
+}
+
 // --- Config parsing ---------------------------------------------------------
 
 TEST(SanitizerConfig, ParsesToolLists) {
   auto all = Config::Parse("all");
   ASSERT_TRUE(all.has_value());
-  EXPECT_TRUE(all->memcheck && all->racecheck && all->synccheck);
+  EXPECT_TRUE(all->memcheck && all->racecheck && all->synccheck && all->leakcheck);
 
   // A bare --check flag surfaces as the string "true".
   auto bare = Config::Parse("true");
   ASSERT_TRUE(bare.has_value());
-  EXPECT_TRUE(bare->memcheck && bare->racecheck && bare->synccheck);
+  EXPECT_TRUE(bare->memcheck && bare->racecheck && bare->synccheck && bare->leakcheck);
 
   auto two = Config::Parse("memcheck,synccheck");
   ASSERT_TRUE(two.has_value());
   EXPECT_TRUE(two->memcheck);
   EXPECT_FALSE(two->racecheck);
   EXPECT_TRUE(two->synccheck);
+  EXPECT_FALSE(two->leakcheck);
+
+  auto leak = Config::Parse("leakcheck");
+  ASSERT_TRUE(leak.has_value());
+  EXPECT_TRUE(leak->leakcheck);
+  EXPECT_FALSE(leak->memcheck || leak->racecheck || leak->synccheck);
+  EXPECT_TRUE(leak->Enabled());
 
   EXPECT_FALSE(Config::Parse("memcheck,bogus").has_value());
   EXPECT_FALSE(Config{}.Enabled());
@@ -558,6 +571,59 @@ TEST(CleanGateServe, FullTraceReplayIsClean) {
   EXPECT_EQ(report.completed, 64u);
   EXPECT_TRUE(report.check.findings.empty()) << report.check.Render(true);
   EXPECT_GT(report.check.launches_checked, 0u);
+}
+
+// --- leakcheck ---------------------------------------------------------------
+
+TEST(Leakcheck, PlantedLeakIsReportedByTheTeardownSweep) {
+  Sanitizer checker(LeakcheckOnly());
+  sim::Device device;
+  device.SetObserver(&checker);
+  auto kept = device.Alloc<uint32_t>(8, sim::MemKind::kDevice, "kept");
+  auto freed = device.Alloc<uint32_t>(8, sim::MemKind::kUnified, "freed");
+  device.Free(freed);
+  (void)kept;  // never freed: this is the leak
+
+  EXPECT_TRUE(checker.Report().findings.empty());  // nothing until the sweep
+  device.ReportLeaks();
+  const auto& findings = checker.Report().findings;
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, FindingKind::kLeakedBuffer);
+  EXPECT_EQ(findings[0].buffer, "kept");
+  EXPECT_EQ(checker.Report().ErrorCount(), 1u);
+  // The sweep is idempotent: a second call reports nothing new.
+  device.ReportLeaks();
+  EXPECT_EQ(checker.Report().findings.size(), 1u);
+
+  std::string text = checker.Report().Render();
+  EXPECT_NE(text.find("leaked-buffer"), std::string::npos);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+  EXPECT_NE(text.find("byte(s)"), std::string::npos);
+}
+
+TEST(Leakcheck, DisabledLeakcheckIgnoresTheSweep) {
+  Sanitizer checker(MemcheckOnly());
+  sim::Device device;
+  device.SetObserver(&checker);
+  auto kept = device.Alloc<uint32_t>(8, sim::MemKind::kDevice, "kept");
+  (void)kept;
+  device.ReportLeaks();
+  EXPECT_TRUE(checker.Report().findings.empty());
+}
+
+TEST(Leakcheck, SessionShutdownFreesEverything) {
+  graph::Csr csr = SmallSocialGraph();
+  core::EtaGraphOptions options;
+  options.check = Config::All();
+  core::ResidentGraph session(csr, options);
+  auto report = session.Run(core::Algo::kSssp, 3);
+  ASSERT_FALSE(report.oom);
+  // Shutdown frees all fifteen session buffers and then runs the sweep; a
+  // clean session must produce no leak findings.
+  session.Shutdown();
+  ASSERT_NE(session.CheckReport(), nullptr);
+  EXPECT_TRUE(session.CheckReport()->findings.empty())
+      << session.CheckReport()->Render(true);
 }
 
 // --- the zero-overhead guarantee --------------------------------------------

@@ -159,6 +159,56 @@ TEST(QueryScheduler, PopCompatibleFiltersByAlgorithm) {
   EXPECT_EQ(sched.Depth(), 1u);
 }
 
+TEST(QueryScheduler, DeadlineExactlyAtNowStaysDispatchable) {
+  // Boundary rule (Request::ExpiredAt): a request expires only when the
+  // clock has passed its start deadline, so deadline == now still serves.
+  QueryScheduler sched(8);
+  Request r{.id = 1, .arrival_ms = 2.0, .deadline_ms = 3.0};
+  ASSERT_TRUE(sched.Admit(r));
+  EXPECT_FALSE(r.ExpiredAt(5.0));
+  EXPECT_TRUE(sched.ExpireDeadlines(5.0).empty());  // == StartDeadline()
+  EXPECT_EQ(sched.Depth(), 1u);
+  EXPECT_TRUE(r.ExpiredAt(5.0 + 1e-9));
+  auto expired = sched.ExpireDeadlines(5.0 + 1e-9);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(sched.Depth(), 0u);
+}
+
+TEST(QueryScheduler, ExpiryPreservesPriorityOrderAmongSurvivors) {
+  QueryScheduler sched(8);
+  ASSERT_TRUE(sched.Admit({.id = 1, .deadline_ms = 1.0, .priority = 0}));
+  ASSERT_TRUE(sched.Admit({.id = 2, .deadline_ms = kNoDeadline, .priority = 5}));
+  ASSERT_TRUE(sched.Admit({.id = 3, .deadline_ms = kNoDeadline, .priority = 0}));
+  ASSERT_TRUE(sched.Admit({.id = 4, .deadline_ms = 1.0, .priority = 5}));
+  auto expired = sched.ExpireDeadlines(2.0);
+  ASSERT_EQ(expired.size(), 2u);
+  // Expiry reports in admission order, regardless of priority...
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(expired[1].id, 4u);
+  // ...and survivors still pop in priority-then-FIFO order.
+  EXPECT_EQ(sched.PopNext()->id, 2u);
+  EXPECT_EQ(sched.PopNext()->id, 3u);
+}
+
+TEST(QueryScheduler, PoppedRequestsAreNeverReportedExpired) {
+  QueryScheduler sched(8);
+  ASSERT_TRUE(sched.Admit({.id = 1, .deadline_ms = 1.0}));
+  ASSERT_EQ(sched.PopNext()->id, 1u);
+  // Once dispatched, the request is the batcher's problem; a later sweep
+  // must not double-report it.
+  EXPECT_TRUE(sched.ExpireDeadlines(100.0).empty());
+  EXPECT_EQ(sched.Depth(), 0u);
+}
+
+TEST(QueryScheduler, NoDeadlineNeverExpires) {
+  QueryScheduler sched(8);
+  Request r{.id = 1, .arrival_ms = 0.0, .deadline_ms = kNoDeadline};
+  ASSERT_TRUE(sched.Admit(r));
+  EXPECT_FALSE(r.ExpiredAt(1e12));
+  EXPECT_TRUE(sched.ExpireDeadlines(1e12).empty());
+}
+
 // --- Engine end-to-end --------------------------------------------------------
 
 TEST(ServeEngine, BatchedResultsMatchSequentialSession) {

@@ -107,6 +107,88 @@ TEST(TraceFile, LoadReportsMissingFile) {
   EXPECT_NE(error.find("cannot open trace file"), std::string::npos);
 }
 
+// --- Replay outcome files (--replay-out) --------------------------------------
+
+TEST(ReplayFile, RoundTripsEveryTerminalStatus) {
+  std::vector<serve::QueryResult> results;
+  results.push_back({.id = 0,
+                     .status = serve::QueryStatus::kOk,
+                     .algo = core::Algo::kBfs,
+                     .source = 7,
+                     .reached_vertices = 401,
+                     .batch_size = 3,
+                     .arrival_ms = 0.5,
+                     .start_ms = 1.25,
+                     .finish_ms = 2.5});
+  results.push_back({.id = 1,
+                     .status = serve::QueryStatus::kRejected,
+                     .algo = core::Algo::kSssp,
+                     .source = 12});
+  results.push_back({.id = 2,
+                     .status = serve::QueryStatus::kTimedOut,
+                     .algo = core::Algo::kSswp,
+                     .source = 3});
+  results.push_back({.id = 3,
+                     .status = serve::QueryStatus::kDegraded,
+                     .algo = core::Algo::kSssp,
+                     .source = 9,
+                     .reached_vertices = 17,
+                     .batch_size = 0,  // no device launch behind a CPU answer
+                     .start_ms = 4.0,
+                     .finish_ms = 10.0625});
+
+  std::string text = serve::RenderReplayText(results);
+  std::string error;
+  auto parsed = serve::ParseReplayText(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, results[i].id);
+    EXPECT_EQ((*parsed)[i].status, results[i].status);
+    EXPECT_EQ((*parsed)[i].algo, results[i].algo);
+    EXPECT_EQ((*parsed)[i].source, results[i].source);
+    EXPECT_EQ((*parsed)[i].reached_vertices, results[i].reached_vertices);
+    EXPECT_EQ((*parsed)[i].batch_size, results[i].batch_size);
+    EXPECT_DOUBLE_EQ((*parsed)[i].start_ms, results[i].start_ms);
+    EXPECT_DOUBLE_EQ((*parsed)[i].finish_ms, results[i].finish_ms);
+  }
+  // Render is a pure function of the results: re-rendering the parse is
+  // byte-identical, which is what makes replay files diffable.
+  EXPECT_EQ(serve::RenderReplayText(*parsed), text);
+}
+
+TEST(ReplayFile, EmptyResultsRenderJustTheHeader) {
+  std::string text = serve::RenderReplayText({});
+  EXPECT_EQ(text, "# id status algo source reached batch start_ms finish_ms\n");
+  std::string error;
+  auto parsed = serve::ParseReplayText(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ReplayFile, RejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(serve::ParseReplayText("0 ok bfs 7 10\n", &error).has_value());
+  EXPECT_NE(error.find("replay line 1"), std::string::npos);
+  EXPECT_NE(error.find("8 fields"), std::string::npos);
+
+  EXPECT_FALSE(
+      serve::ParseReplayText("0 exploded bfs 7 10 1 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown status 'exploded'"), std::string::npos);
+
+  EXPECT_FALSE(
+      serve::ParseReplayText("0 ok pagerank 7 10 1 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown algo 'pagerank'"), std::string::npos);
+
+  EXPECT_FALSE(
+      serve::ParseReplayText("0 ok bfs 7 10 1 5.0 1.0\n", &error).has_value());
+  EXPECT_NE(error.find("finish_ms"), std::string::npos);
+
+  EXPECT_FALSE(
+      serve::ParseReplayText("0 ok bfs 7 10 99999999999 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("bad batch"), std::string::npos);
+}
+
 TEST(TraceFile, LoadRoundTripsThroughDisk) {
   std::string path = ::testing::TempDir() + "eta_trace_test.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -21,9 +21,16 @@
 //   --verify      check labels against the CPU reference      (default true)
 //   --timeline    print the transfer/compute strip chart
 //   --check       run etacheck: all, or a comma list of
-//                 memcheck,racecheck,synccheck (etagraph framework,
-//                 pagerank, hybrid-bfs, cc). Exit 1 on any error finding.
+//                 memcheck,racecheck,synccheck,leakcheck (etagraph
+//                 framework, pagerank, hybrid-bfs, cc). Exit 1 on any
+//                 error finding.
 //   --check-json  also write the findings as JSON to this path
+//   --faults      inject device faults (DESIGN.md section 8): comma list of
+//                 key=value pairs, e.g. --faults=seed=7,uecc=0.02,hang=0.01
+//                 keys: seed, ecc, uecc, hang, lost, alloc (rates in [0,1]),
+//                 watchdog (ms), words, ecc_at/uecc_at/hang_at/lost_at/
+//                 alloc_at one-shots. etagraph traversals and cc only.
+//                 Exit 1 when the device path fails despite recovery.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -39,6 +46,7 @@
 #include "graph/stats.hpp"
 #include "sanitizer/config.hpp"
 #include "sanitizer/report.hpp"
+#include "sim/fault.hpp"
 #include "util/cli.hpp"
 #include "util/units.hpp"
 
@@ -51,10 +59,34 @@ int Fail(const std::string& message) {
   return 2;
 }
 
+void PrintFaults(const core::FaultStats& f) {
+  if (f.launch_failures == 0 && f.ecc_corrected == 0 && !f.Failed()) return;
+  std::printf("  faults      %llu launch failure(s) (%llu uecc, %llu hang), "
+              "%llu ecc corrected\n",
+              static_cast<unsigned long long>(f.launch_failures),
+              static_cast<unsigned long long>(f.ecc_uncorrectable),
+              static_cast<unsigned long long>(f.hangs),
+              static_cast<unsigned long long>(f.ecc_corrected));
+  std::printf("  recovery    %llu retr%s, %llu buffer(s) re-staged (%s), "
+              "backoff %.3f ms%s%s\n",
+              static_cast<unsigned long long>(f.retries), f.retries == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(f.restaged_buffers),
+              util::FormatBytes(f.restaged_bytes).c_str(), f.backoff_ms,
+              f.device_lost ? ", DEVICE LOST" : "",
+              f.exhausted ? ", RETRIES EXHAUSTED" : "");
+}
+
 void PrintReport(const core::RunReport& r, bool timeline) {
   if (r.oom) {
     std::printf("%s: O.O.M (requested %s)\n", r.framework.c_str(),
                 util::FormatBytes(r.oom_request_bytes).c_str());
+    PrintFaults(r.faults);
+    return;
+  }
+  if (r.faults.Failed()) {
+    std::printf("%s %s: device path FAILED after recovery\n", r.framework.c_str(),
+                core::AlgoName(r.algo));
+    PrintFaults(r.faults);
     return;
   }
   std::printf("%s %s\n", r.framework.c_str(), core::AlgoName(r.algo));
@@ -75,6 +107,7 @@ void PrintReport(const core::RunReport& r, bool timeline) {
               r.counters.IpcPerSm(28), 100 * r.counters.L1HitRate(),
               100 * r.counters.L2HitRate(), r.counters.WarpEfficiency(),
               static_cast<unsigned long long>(r.counters.dram_read_transactions));
+  PrintFaults(r.faults);
   if (timeline) {
     std::printf("  timeline    [%s]\n",
                 r.timeline.RenderAscii(r.total_ms, 80).c_str());
@@ -113,6 +146,7 @@ int main(int argc, char** argv) {
   const bool timeline = cl->GetBool("timeline", false);
   const std::string check_spec = cl->GetString("check", "");
   const std::string check_json = cl->GetString("check-json", "");
+  const std::string faults_spec = cl->GetString("faults", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -121,13 +155,22 @@ int main(int argc, char** argv) {
   if (!check_spec.empty()) {
     auto parsed = sanitizer::Config::Parse(check_spec);
     if (!parsed) {
-      return Fail("bad --check '" + check_spec +
-                  "' (want all, or a comma list of memcheck,racecheck,synccheck)");
+      return Fail(
+          "bad --check '" + check_spec +
+          "' (want all, or a comma list of memcheck,racecheck,synccheck,leakcheck)");
     }
     check_cfg = *parsed;
   }
   if (!check_json.empty() && !check_cfg.Enabled()) {
     return Fail("--check-json requires --check");
+  }
+
+  sim::FaultConfig fault_cfg{};
+  if (!faults_spec.empty()) {
+    std::string fault_error;
+    auto parsed = sim::FaultConfig::Parse(faults_spec, &fault_error);
+    if (!parsed) return Fail("bad --faults: " + fault_error);
+    fault_cfg = *parsed;
   }
 
   // --- Load the graph -------------------------------------------------------
@@ -150,6 +193,9 @@ int main(int argc, char** argv) {
 
   // --- PageRank path ---------------------------------------------------------
   if (algo_name == "pagerank") {
+    if (fault_cfg.Enabled()) {
+      return Fail("--faults supports etagraph traversals and cc only");
+    }
     core::PageRankOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
@@ -172,10 +218,17 @@ int main(int argc, char** argv) {
   } else if (algo_name == "cc") {
     core::EtaGraphOptions options;
     options.check = check_cfg;
+    options.faults = fault_cfg;
     auto report = core::EtaGraph(options).RunConnectedComponents(csr);
     PrintReport(report, timeline);
-    return check_cfg.Enabled() ? EmitCheck(report.check, check_json) : 0;
+    if (check_cfg.Enabled()) {
+      if (int rc = EmitCheck(report.check, check_json); rc != 0) return rc;
+    }
+    return report.DeviceFailed() ? 1 : 0;
   } else if (algo_name == "hybrid-bfs") {
+    if (fault_cfg.Enabled()) {
+      return Fail("--faults supports etagraph traversals and cc only");
+    }
     core::HybridBfsOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
@@ -199,6 +252,9 @@ int main(int argc, char** argv) {
   if (check_cfg.Enabled() && framework != "etagraph") {
     return Fail("--check supports --framework=etagraph only");
   }
+  if (fault_cfg.Enabled() && framework != "etagraph") {
+    return Fail("--faults supports --framework=etagraph only");
+  }
 
   core::RunReport report;
   if (framework == "etagraph") {
@@ -206,6 +262,7 @@ int main(int argc, char** argv) {
     options.degree_limit = k;
     options.use_smp = smp;
     options.check = check_cfg;
+    options.faults = fault_cfg;
     if (mode_name == "um+prefetch") {
       options.memory_mode = core::MemoryMode::kUnifiedPrefetch;
     } else if (mode_name == "um") {
@@ -229,10 +286,13 @@ int main(int argc, char** argv) {
   }
 
   PrintReport(report, timeline);
-  if (!report.oom && verify) {
+  if (!report.DeviceFailed() && verify) {
     bool ok = report.labels == core::CpuReference(csr, algo, source);
     std::printf("  verify      %10s vs CPU reference\n", ok ? "OK" : "MISMATCH");
     if (!ok) return 1;
   }
-  return check_cfg.Enabled() ? EmitCheck(report.check, check_json) : 0;
+  if (check_cfg.Enabled()) {
+    if (int rc = EmitCheck(report.check, check_json); rc != 0) return rc;
+  }
+  return report.DeviceFailed() ? 1 : 0;
 }

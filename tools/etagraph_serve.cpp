@@ -23,9 +23,18 @@
 //   --trace         replay a text trace file instead of generating one
 //                   (per line: arrival_ms algo source [deadline_ms] [priority])
 //   --check         run etacheck on every device the replay touches: all, or
-//                   a comma list of memcheck,racecheck,synccheck. Exit 1 on
-//                   any error finding.
+//                   a comma list of memcheck,racecheck,synccheck,leakcheck.
+//                   Exit 1 on any error finding.
 //   --check-json    also write the findings as JSON to this path
+//   --faults        inject device faults (DESIGN.md section 8): a comma list
+//                   of key=value pairs, e.g.
+//                   --faults=seed=7,uecc=0.02,hang=0.01,lost=0.001
+//                   keys: seed, ecc, uecc, hang, lost, alloc (rates in [0,1]),
+//                   watchdog (ms), words, and scripted ecc_at/uecc_at/hang_at/
+//                   lost_at/alloc_at one-shots (1-based decision index)
+//   --replay-out    write per-request terminal outcomes (id status algo source
+//                   reached batch start finish) to this path — diffable across
+//                   identical replays
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -34,6 +43,7 @@
 #include "graph/io.hpp"
 #include "sanitizer/config.hpp"
 #include "serve/engine.hpp"
+#include "sim/fault.hpp"
 #include "serve/trace.hpp"
 #include "serve/trace_file.hpp"
 #include "util/cli.hpp"
@@ -72,6 +82,8 @@ int main(int argc, char** argv) {
   const std::string trace_path = cl->GetString("trace", "");
   const std::string check_spec = cl->GetString("check", "");
   const std::string check_json = cl->GetString("check-json", "");
+  const std::string faults_spec = cl->GetString("faults", "");
+  const std::string replay_out = cl->GetString("replay-out", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -80,13 +92,22 @@ int main(int argc, char** argv) {
   if (!check_spec.empty()) {
     auto parsed = sanitizer::Config::Parse(check_spec);
     if (!parsed) {
-      return Fail("bad --check '" + check_spec +
-                  "' (want all, or a comma list of memcheck,racecheck,synccheck)");
+      return Fail(
+          "bad --check '" + check_spec +
+          "' (want all, or a comma list of memcheck,racecheck,synccheck,leakcheck)");
     }
     check_cfg = *parsed;
   }
   if (!check_json.empty() && !check_cfg.Enabled()) {
     return Fail("--check-json requires --check");
+  }
+
+  sim::FaultConfig fault_cfg{};
+  if (!faults_spec.empty()) {
+    std::string fault_error;
+    auto parsed = sim::FaultConfig::Parse(faults_spec, &fault_error);
+    if (!parsed) return Fail("bad --faults: " + fault_error);
+    fault_cfg = *parsed;
   }
 
   // Validate flags before the (potentially slow) graph load.
@@ -104,6 +125,7 @@ int main(int argc, char** argv) {
   options.batch_window_ms = window;
   options.max_batch = max_batch;
   options.graph.check = check_cfg;
+  options.graph.faults = fault_cfg;
 
   graph::Csr csr;
   if (!graph_path.empty()) {
@@ -157,10 +179,23 @@ int main(int argc, char** argv) {
                   "latency=%8.3f ms reached=%llu\n",
                   static_cast<unsigned long long>(q.id), core::AlgoName(q.algo),
                   serve::QueryStatusName(q.status), q.source, q.batch_size,
-                  q.status == serve::QueryStatus::kOk ? q.QueueMs() : 0.0,
-                  q.status == serve::QueryStatus::kOk ? q.LatencyMs() : 0.0,
+                  q.status == serve::QueryStatus::kOk ||
+                          q.status == serve::QueryStatus::kDegraded
+                      ? q.QueueMs()
+                      : 0.0,
+                  q.status == serve::QueryStatus::kOk ||
+                          q.status == serve::QueryStatus::kDegraded
+                      ? q.LatencyMs()
+                      : 0.0,
                   static_cast<unsigned long long>(q.reached_vertices));
     }
+  }
+
+  if (!replay_out.empty()) {
+    std::ofstream out(replay_out);
+    out << serve::RenderReplayText(report.results);
+    if (!out) return Fail("cannot write --replay-out file '" + replay_out + "'");
+    std::printf("replay outcomes written to %s\n", replay_out.c_str());
   }
 
   if (check_cfg.Enabled()) {
