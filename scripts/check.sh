@@ -9,6 +9,7 @@
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --sanitize [build-dir]
 #   scripts/check.sh --faults [build-dir]
+#   scripts/check.sh --profile [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -21,15 +22,26 @@
 # (DESIGN.md section 8): the fault/recovery test binaries, a CLI fault
 # matrix (every fault class through etagraph and etagraph_serve, with a
 # replay-determinism diff), and the bench_fault_overhead zero-cost contract.
+#
+# --profile builds normally and then exercises etaprof end to end
+# (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
+# and a profiled 64-query serve replay (trace JSON round-trip validated,
+# with python3 as a second parser when available), a byte-identity diff of
+# two identically-seeded profiled runs (trace + Prometheus metrics), and
+# the bench_profiler_overhead zero-cost contract.
 set -euo pipefail
 
 SANITIZE=0
 FAULTS=0
+PROFILE=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
   shift
 elif [[ "${1:-}" == "--faults" ]]; then
   FAULTS=1
+  shift
+elif [[ "${1:-}" == "--profile" ]]; then
+  PROFILE=1
   shift
 fi
 
@@ -100,6 +112,64 @@ if [[ "$FAULTS" == "1" ]]; then
 
   echo "== zero-cost contract =="
   "$BUILD_DIR/bench/bench_fault_overhead" --datasets=rmat --scale=0.25
+  exit 0
+fi
+
+if [[ "$PROFILE" == "1" ]]; then
+  # etaprof gate: targeted test binaries first (exact), then end-to-end runs
+  # through both tools with every emitter validated and diffed.
+  "$BUILD_DIR/tests/prof_test"
+  "$BUILD_DIR/tests/metrics_test"
+
+  PROF_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$PROF_DIR"' EXIT
+
+  validate_json() {
+    # Our own strict parser already validated the document before it was
+    # written; re-check with an independent parser when one is around.
+    if command -v python3 > /dev/null; then
+      python3 -m json.tool "$1" > /dev/null
+    fi
+    [[ -s "$1" ]]
+  }
+
+  echo "== profiled CLI run =="
+  for i in 1 2; do
+    # Drop the lines that echo the (per-run) output paths before diffing.
+    "$BUILD_DIR/src/etagraph_cli" --dataset=rmat --scale=0.1 --algo=bfs \
+      --profile --trace-json="$PROF_DIR/cli.$i.json" |
+      grep -v "$PROF_DIR" > "$PROF_DIR/cli.$i.txt"
+  done
+  validate_json "$PROF_DIR/cli.1.json"
+  grep -q "etaprof kernel summary" "$PROF_DIR/cli.1.txt"
+  if ! diff -u "$PROF_DIR/cli.1.json" "$PROF_DIR/cli.2.json" ||
+     ! diff -u "$PROF_DIR/cli.1.txt" "$PROF_DIR/cli.2.txt"; then
+    echo "check.sh: profiled CLI runs diverged" >&2
+    exit 1
+  fi
+  echo "-- trace valid, summaries identical"
+
+  echo "== profiled 64-query serve replay =="
+  for i in 1 2; do
+    "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=64 \
+      --profile --trace-json="$PROF_DIR/serve.$i.json" \
+      --metrics-out="$PROF_DIR/serve.$i.prom" |
+      grep -v "$PROF_DIR" > "$PROF_DIR/serve.$i.txt"
+  done
+  validate_json "$PROF_DIR/serve.1.json"
+  grep -q "^serve_queue_wait_ms_bucket" "$PROF_DIR/serve.1.prom"
+  grep -q "^serve_service_ms_bucket" "$PROF_DIR/serve.1.prom"
+  grep -q "^serve_cost_error_ms" "$PROF_DIR/serve.1.prom"
+  if ! diff -u "$PROF_DIR/serve.1.json" "$PROF_DIR/serve.2.json" ||
+     ! diff -u "$PROF_DIR/serve.1.prom" "$PROF_DIR/serve.2.prom" ||
+     ! diff -u "$PROF_DIR/serve.1.txt" "$PROF_DIR/serve.2.txt"; then
+    echo "check.sh: profiled serve replays diverged" >&2
+    exit 1
+  fi
+  echo "-- trace + metrics valid, replays identical"
+
+  echo "== zero-cost contract =="
+  "$BUILD_DIR/bench/bench_profiler_overhead" --datasets=rmat --scale=0.25
   exit 0
 fi
 

@@ -332,6 +332,8 @@ struct ResidentGraph::State {
   std::unique_ptr<sanitizer::Sanitizer> checker;
   /// Same lifetime rule as the checker: the device holds a raw pointer.
   std::unique_ptr<sim::FaultInjector> injector;
+  /// Same lifetime rule again (raw pointer in the device).
+  std::unique_ptr<sim::LaunchProfiler> profiler;
   sim::Device device;
   DeviceState d;
   ChunkStream stream;
@@ -378,6 +380,10 @@ ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options,
     // a session rebuilt from the same config replays the same schedule.
     state_->injector = std::make_unique<sim::FaultInjector>(options_.faults);
     device.SetFaultInjector(state_->injector.get());
+  }
+  if (options_.profile) {
+    state_->profiler = std::make_unique<sim::LaunchProfiler>();
+    device.SetProfiler(state_->profiler.get());
   }
   try {
     d.row = device.Alloc<EdgeId>(n + 1, row_kind, "row_offsets");
@@ -549,6 +555,9 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   const uint64_t migrated_start =
       chunked ? stream.transferred_bytes : device.Um().TotalMigratedBytes();
   const size_t migration_ops_start = device.Um().MigrationSizes().Values().size();
+  const sim::Counters counters_start = device.TotalCounters();
+  const size_t profile_start =
+      state_->profiler != nullptr ? state_->profiler->Launches().size() : 0;
 
   if (attribute_sources && !d.reach_mask.Valid()) {
     try {
@@ -616,6 +625,12 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   report.total_ms = device.NowMs();
   report.query_ms = device.NowMs() - start_clock;
   report.counters = device.TotalCounters();
+  report.query_counters = device.TotalCounters().Since(counters_start);
+  if (state_->profiler != nullptr) {
+    const auto& launches = state_->profiler->Launches();
+    report.kernel_profiles.assign(launches.begin() + static_cast<long>(profile_start),
+                                  launches.end());
+  }
   report.timeline = device.GetTimeline();
   const auto& sizes = device.Um().MigrationSizes().Values();
   report.migration_sizes.assign(sizes.begin() + static_cast<long>(migration_ops_start),
@@ -872,6 +887,14 @@ void ResidentGraph::RestageCorrupted(FaultStats* faults) {
 const sanitizer::SanitizerReport* ResidentGraph::CheckReport() const {
   return state_ != nullptr && state_->checker != nullptr ? &state_->checker->Report()
                                                          : nullptr;
+}
+
+const sim::LaunchProfiler* ResidentGraph::Profiler() const {
+  return state_ != nullptr ? state_->profiler.get() : nullptr;
+}
+
+const sim::Timeline& ResidentGraph::SessionTimeline() const {
+  return state_->device.GetTimeline();
 }
 
 namespace {

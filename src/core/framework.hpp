@@ -78,6 +78,15 @@ class ResidentGraph {
   /// Covers everything the session's device has executed so far.
   const sanitizer::SanitizerReport* CheckReport() const;
 
+  /// The session's etaprof launch records, or nullptr when options.profile
+  /// is off. Covers every launch the session's device has executed so far
+  /// (each query's own slice also lands in RunReport::kernel_profiles).
+  const sim::LaunchProfiler* Profiler() const;
+
+  /// The session device's full timeline (transfers, kernels, stalls) on the
+  /// absolute session clock — the trace exporter's input for resident runs.
+  const sim::Timeline& SessionTimeline() const;
+
   /// Single-source traversal against the resident topology.
   RunReport Run(Algo algo, graph::VertexId source);
 

@@ -41,6 +41,14 @@ struct EtaGraphOptions {
   uint32_t block_size = 256;
   /// Safety valve; traversals converge long before this.
   uint32_t max_iterations = 100000;
+  /// etaprof per-launch profiling (DESIGN.md section 9). Off by default: no
+  /// profiler is attached and the launch path does zero extra work. On, the
+  /// device records one KernelProfile per launch (kernel name, geometry,
+  /// start/end sim time, per-launch Counters delta, fault annotations) into
+  /// RunReport::kernel_profiles. Recording is host-side only, so every
+  /// simulated counter and timestamp stays bit-identical to an unprofiled
+  /// run (bench_profiler_overhead enforces this).
+  bool profile = false;
   /// etacheck instrumentation (memcheck / racecheck / synccheck). Off by
   /// default: no observer is attached and every simulated counter and
   /// timestamp is identical to an unchecked run. Findings land in

@@ -97,7 +97,17 @@ struct RunReport {
   std::vector<IterationStat> iteration_stats;
 
   sim::Counters counters;  // kernel-attributed counters (nvprof analog)
+  /// This query's own counter delta (counters above are cumulative over the
+  /// device's whole session for persistent-session runs; for a one-shot run
+  /// the two are equal). Always filled — the serving layer's cost
+  /// observations read elapsed_cycles from here.
+  sim::Counters query_counters;
   sim::Timeline timeline;
+
+  /// etaprof per-launch records for this query, in launch order; empty
+  /// unless EtaGraphOptions::profile is on. Failed launches appear with
+  /// their fault status and all-zero counters.
+  std::vector<sim::KernelProfile> kernel_profiles;
 
   // Unified-memory migration record (empty for explicit-copy frameworks).
   std::vector<uint64_t> migration_sizes;

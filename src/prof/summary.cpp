@@ -1,0 +1,57 @@
+#include "prof/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace eta::prof {
+
+std::vector<KernelSummaryRow> SummarizeKernels(
+    std::span<const sim::KernelProfile> profiles) {
+  std::map<std::string, KernelSummaryRow> by_name;
+  double grand_total = 0;
+  for (const sim::KernelProfile& p : profiles) {
+    KernelSummaryRow& row = by_name[p.name];
+    if (row.calls == 0) {
+      row.name = p.name;
+      row.min_ms = p.DurationMs();
+    }
+    ++row.calls;
+    if (!p.Ok()) ++row.failed;
+    const double dur = p.DurationMs();
+    row.total_ms += dur;
+    row.min_ms = std::min(row.min_ms, dur);
+    row.max_ms = std::max(row.max_ms, dur);
+    row.cycles += p.counters.elapsed_cycles;
+    grand_total += dur;
+  }
+  std::vector<KernelSummaryRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    row.avg_ms = row.total_ms / static_cast<double>(row.calls);
+    row.time_pct = grand_total > 0 ? 100.0 * row.total_ms / grand_total : 0;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const KernelSummaryRow& a, const KernelSummaryRow& b) {
+    if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::string RenderKernelSummary(std::span<const sim::KernelProfile> profiles,
+                                const std::string& title) {
+  util::Table table({"Time %", "Calls", "Failed", "Total ms", "Avg ms", "Min ms",
+                     "Max ms", "Cycles", "Kernel"});
+  for (const KernelSummaryRow& row : SummarizeKernels(profiles)) {
+    table.AddRow({util::FormatDouble(row.time_pct, 1), std::to_string(row.calls),
+                  std::to_string(row.failed), util::FormatDouble(row.total_ms, 3),
+                  util::FormatDouble(row.avg_ms, 3), util::FormatDouble(row.min_ms, 3),
+                  util::FormatDouble(row.max_ms, 3), util::FormatDouble(row.cycles, 0),
+                  row.name});
+  }
+  return table.Render(title);
+}
+
+}  // namespace eta::prof

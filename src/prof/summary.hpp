@@ -1,0 +1,35 @@
+// etaprof kernel summary: the nvprof-style "GPU activities" table built
+// from per-launch KernelProfile records — time %, calls, total/avg/min/max
+// duration per kernel, plus per-kernel cycles and fault counts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/profiler.hpp"
+
+namespace eta::prof {
+
+struct KernelSummaryRow {
+  std::string name;
+  uint64_t calls = 0;
+  uint64_t failed = 0;  // launches that ended in a fault status
+  double total_ms = 0;  // device-clock duration, failed launches included
+  double avg_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double time_pct = 0;  // share of the summed kernel time
+  double cycles = 0;    // elapsed_cycles over successful launches
+};
+
+/// Aggregates launches by kernel name; rows sorted by total time
+/// descending, name ascending on ties (deterministic).
+std::vector<KernelSummaryRow> SummarizeKernels(
+    std::span<const sim::KernelProfile> profiles);
+
+/// Renders the summary as the repo's standard ASCII table.
+std::string RenderKernelSummary(std::span<const sim::KernelProfile> profiles,
+                                const std::string& title);
+
+}  // namespace eta::prof

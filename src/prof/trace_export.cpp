@@ -1,0 +1,200 @@
+#include "prof/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace eta::prof {
+
+namespace {
+
+const char* TimelineThread(sim::SpanKind kind) {
+  switch (kind) {
+    case sim::SpanKind::kCompute: return "compute";
+    case sim::SpanKind::kTransferH2D: return "h2d";
+    case sim::SpanKind::kTransferD2H: return "d2h";
+    case sim::SpanKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+std::string FormatNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+void Appendf(std::string* out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+}  // namespace
+
+void AppendTimelineSpans(const sim::Timeline& timeline, std::string_view process,
+                         double offset_ms, std::vector<TraceSpan>* out) {
+  AppendTimelineSpans(std::span<const sim::Span>(timeline.Spans()), process, offset_ms,
+                      out);
+}
+
+void AppendTimelineSpans(std::span<const sim::Span> spans, std::string_view process,
+                         double offset_ms, std::vector<TraceSpan>* out) {
+  for (const sim::Span& span : spans) {
+    TraceSpan t;
+    t.track = std::string(process) + "/" + TimelineThread(span.kind);
+    t.name = span.label;
+    t.start_ms = span.start_ms + offset_ms;
+    t.end_ms = span.end_ms + offset_ms;
+    out->push_back(std::move(t));
+  }
+}
+
+void AppendKernelSpans(std::span<const sim::KernelProfile> profiles,
+                       std::string_view process, double offset_ms,
+                       std::vector<TraceSpan>* out) {
+  for (const sim::KernelProfile& p : profiles) {
+    TraceSpan t;
+    t.track = std::string(process) + "/kernels";
+    t.name = p.name;
+    t.start_ms = p.start_ms + offset_ms;
+    t.end_ms = p.end_ms + offset_ms;
+    t.args.push_back({"launch", std::to_string(p.launch_index), /*number=*/true});
+    t.args.push_back({"grid_threads", std::to_string(p.grid_threads), true});
+    t.args.push_back({"block_size", std::to_string(p.block_size), true});
+    if (p.Ok()) {
+      t.args.push_back({"cycles", FormatNumber(p.counters.elapsed_cycles), true});
+      t.args.push_back(
+          {"warp_instructions", std::to_string(p.counters.warp_instructions), true});
+    } else {
+      t.args.push_back({"status", sim::LaunchStatusName(p.status), false});
+      if (!p.fault_buffer.empty()) t.args.push_back({"fault_buffer", p.fault_buffer, false});
+    }
+    if (p.ecc_corrected > 0) {
+      t.args.push_back({"ecc_corrected", std::to_string(p.ecc_corrected), true});
+    }
+    out->push_back(std::move(t));
+  }
+}
+
+std::string RenderChromeTrace(
+    const std::vector<TraceSpan>& spans,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
+  // pid per process, tid per track, both in first-appearance order so the
+  // document is a pure function of the span list.
+  std::vector<std::string> processes;
+  std::vector<std::pair<std::string, std::string>> tracks;  // track -> process
+  auto pid_of = [&](const std::string& process) {
+    for (size_t i = 0; i < processes.size(); ++i) {
+      if (processes[i] == process) return static_cast<int>(i + 1);
+    }
+    processes.push_back(process);
+    return static_cast<int>(processes.size());
+  };
+  auto tid_of = [&](const std::string& track, std::string* process) {
+    *process = track.substr(0, track.find('/'));
+    std::string thread =
+        track.find('/') == std::string::npos ? "main" : track.substr(track.find('/') + 1);
+    for (size_t i = 0; i < tracks.size(); ++i) {
+      if (tracks[i].first == track) return static_cast<int>(i + 1);
+    }
+    tracks.emplace_back(track, thread);
+    return static_cast<int>(tracks.size());
+  };
+
+  struct Event {
+    int pid = 0;
+    int tid = 0;
+    const TraceSpan* span = nullptr;
+  };
+  std::vector<Event> events;
+  events.reserve(spans.size());
+  for (const TraceSpan& span : spans) {
+    std::string process;
+    Event e;
+    e.tid = tid_of(span.track, &process);
+    e.pid = pid_of(process);
+    e.span = &span;
+    events.push_back(e);
+  }
+
+  std::string out;
+  out.reserve(256 + spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",";
+  if (!metadata.empty()) {
+    out += "\"otherData\":{";
+    for (size_t i = 0; i < metadata.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += util::JsonEscape(metadata[i].first);
+      out += "\":\"";
+      out += util::JsonEscape(metadata[i].second);
+      out += "\"";
+    }
+    out += "},";
+  }
+  out += "\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (size_t i = 0; i < processes.size(); ++i) {
+    sep();
+    Appendf(&out,
+            "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            static_cast<int>(i + 1), util::JsonEscape(processes[i]).c_str());
+  }
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    std::string process;
+    std::string track = tracks[i].first;
+    int tid = static_cast<int>(i + 1);
+    int pid = 0;
+    // Recompute the owning pid (already interned above).
+    std::string proc = track.substr(0, track.find('/'));
+    for (size_t j = 0; j < processes.size(); ++j) {
+      if (processes[j] == proc) pid = static_cast<int>(j + 1);
+    }
+    sep();
+    Appendf(&out,
+            "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s\"}}",
+            pid, tid, util::JsonEscape(tracks[i].second).c_str());
+  }
+  for (const Event& e : events) {
+    sep();
+    Appendf(&out, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f",
+            e.pid, e.tid, util::JsonEscape(e.span->name).c_str(), e.span->start_ms * 1000.0,
+            (e.span->end_ms - e.span->start_ms) * 1000.0);
+    if (!e.span->args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < e.span->args.size(); ++i) {
+        const TraceArg& arg = e.span->args[i];
+        if (i > 0) out += ",";
+        out += "\"";
+        out += util::JsonEscape(arg.key);
+        out += "\":";
+        if (arg.number) {
+          out += arg.value;
+        } else {
+          out += "\"";
+          out += util::JsonEscape(arg.value);
+          out += "\"";
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace eta::prof

@@ -1,0 +1,68 @@
+// etaprof trace export: merges simulated-device timeline spans, per-launch
+// kernel profiles, and serving-layer spans onto one Chrome/Perfetto
+// trace-event JSON document (DESIGN.md section 9).
+//
+// Every span lives on a `track` named "process/thread" (e.g.
+// "device/compute", "serve/queue"); the exporter assigns pids/tids in
+// first-appearance order and emits process_name/thread_name metadata, so
+// identically-seeded runs produce byte-identical traces. Timestamps are the
+// *simulated* clock: the exporter never reads wall time.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/profiler.hpp"
+#include "sim/timeline.hpp"
+
+namespace eta::prof {
+
+/// One argument shown under a span in the trace viewer. `value` is emitted
+/// verbatim when `number` is true (caller guarantees a valid JSON number),
+/// otherwise as an escaped JSON string.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool number = false;
+};
+
+/// One complete span ("X" event) on the merged trace.
+struct TraceSpan {
+  std::string track;  // "process/thread"
+  std::string name;
+  double start_ms = 0;
+  double end_ms = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Converts a device timeline onto tracks "<process>/compute", ".../h2d",
+/// ".../d2h", ".../stall", shifting every span by `offset_ms` (how the serve
+/// layer maps a session's private device clock onto the serve clock; 0 for
+/// standalone runs).
+void AppendTimelineSpans(const sim::Timeline& timeline, std::string_view process,
+                         double offset_ms, std::vector<TraceSpan>* out);
+
+/// Same, over an explicit span slice — what the serve engine uses to map
+/// just the device spans of one dispatch onto the serve clock.
+void AppendTimelineSpans(std::span<const sim::Span> spans, std::string_view process,
+                         double offset_ms, std::vector<TraceSpan>* out);
+
+/// Converts per-launch kernel profiles onto track "<process>/kernels", with
+/// launch geometry, per-launch cycles, and fault annotations as args.
+void AppendKernelSpans(std::span<const sim::KernelProfile> profiles,
+                       std::string_view process, double offset_ms,
+                       std::vector<TraceSpan>* out);
+
+/// Renders the Chrome trace-event JSON object: process/thread metadata
+/// events first, then one "X" event per span, timestamps in microseconds
+/// with fixed three-decimal formatting. `metadata` key/value pairs (e.g.
+/// the dataset name) land under "otherData". Deterministic for
+/// deterministic input; validated by round-trip JsonParse in tests.
+std::string RenderChromeTrace(
+    const std::vector<TraceSpan>& spans,
+    const std::vector<std::pair<std::string, std::string>>& metadata = {});
+
+}  // namespace eta::prof

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "util/json.hpp"
+
 namespace eta::sanitizer {
 
 namespace {
@@ -189,8 +191,8 @@ std::string SanitizerReport::Json() const {
     Appendf(out, "\"checker\": \"%s\", ", CheckerName(FindingChecker(f.kind)));
     Appendf(out, "\"kind\": \"%s\", ", FindingKindName(f.kind));
     Appendf(out, "\"severity\": \"%s\", ", SeverityName(f.SeverityLevel()));
-    Appendf(out, "\"kernel\": \"%s\", ", f.kernel.c_str());
-    Appendf(out, "\"buffer\": \"%s\", ", f.buffer.c_str());
+    Appendf(out, "\"kernel\": \"%s\", ", util::JsonEscape(f.kernel).c_str());
+    Appendf(out, "\"buffer\": \"%s\", ", util::JsonEscape(f.buffer).c_str());
     Appendf(out, "\"elem_index\": %" PRIu64 ", ", f.elem_index);
     Appendf(out, "\"warp\": %" PRIu64 ", ", f.warp);
     Appendf(out, "\"lane\": %u, ", f.lane);

@@ -33,6 +33,7 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
     core::RunReport report = session.RunBatch(batch.algo, sources);
     out.faults.Merge(report.faults);
     out.duration_ms = report.query_ms;
+    out.cycles = report.query_counters.elapsed_cycles;
     if (report.DeviceFailed()) {
       // All-or-nothing: a folded launch that died answers nobody.
       out.unserved = batch.requests;
@@ -57,6 +58,7 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
     const Request& r = batch.requests[i];
     core::RunReport report = session.RunQuery(r.algo, r.source);
     out.faults.Merge(report.faults);
+    out.cycles += report.query_counters.elapsed_cycles;
     t += report.query_ms;
     if (report.DeviceFailed()) {
       // This request and everything behind it goes back to the engine; a

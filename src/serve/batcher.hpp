@@ -45,6 +45,10 @@ struct BatchOutcome {
   /// Total simulated time the dispatch consumed — failed attempts, retries,
   /// and backoff included.
   double duration_ms = 0;
+  /// Device cycles this dispatch consumed (sum of the runs'
+  /// query_counters.elapsed_cycles) — the actual-cost observation the
+  /// engine's cost model records per served query.
+  double cycles = 0;
   /// A run came back DeviceFailed(); `unserved` is non-empty.
   bool device_failed = false;
 };

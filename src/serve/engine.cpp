@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <optional>
 
 #include "core/framework.hpp"
 #include "cpu/reference.hpp"
+#include "prof/trace_export.hpp"
 #include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "util/check.hpp"
@@ -18,6 +21,25 @@ namespace {
 uint64_t ToMicros(double ms) {
   return static_cast<uint64_t>(std::llround(std::max(0.0, ms) * 1000.0));
 }
+
+std::vector<double> QueueDepthBuckets() { return {0, 1, 2, 4, 8, 16, 32, 64}; }
+std::vector<double> CycleBuckets() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+/// Running per-algo aggregates behind the cost-model observations: the
+/// estimator is the running mean of per-query device service time, so each
+/// dispatch is predicted from history only (never from itself).
+struct CostAgg {
+  uint64_t queries = 0;
+  double service_sum = 0;
+  double abs_err_sum = 0;
+  double cycles_sum = 0;
+
+  double EstimateMs() const {
+    return queries > 0 ? service_sum / static_cast<double>(queries) : 0;
+  }
+};
 
 }  // namespace
 
@@ -36,6 +58,43 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   std::unique_ptr<GraphSession> session;
   double now = 0;
   uint32_t rebuilds_left = options_.max_session_rebuilds;
+
+  const bool profiling = options_.graph.profile;
+  MetricsRegistry& metrics = report.metrics;
+  auto count_query = [&](core::Algo algo, QueryStatus status) {
+    metrics
+        .GetCounter("serve_queries_total", "Requests by algorithm and terminal status.",
+                    {{"algo", core::AlgoName(algo)}, {"status", QueryStatusName(status)}})
+        .Inc();
+  };
+  auto observe_ms = [&](const char* name, const char* help, core::Algo algo, double ms) {
+    metrics.GetHistogram(name, help, LatencyBucketsMs(), {{"algo", core::AlgoName(algo)}})
+        .Observe(ms);
+  };
+  /// Per-algo running cost aggregates (deterministic enum-keyed order).
+  std::map<core::Algo, CostAgg> cost;
+  /// Device-span / launch-record bookmarks into the current session's
+  /// timeline and profiler; reset on every (re)build.
+  size_t spans_done = 0;
+  size_t launches_done = 0;
+  /// Maps the device-clock slice executed since the last capture onto the
+  /// serve clock: `serve_start` is when the slice began on the serve clock,
+  /// `device_from` the device clock at that same instant.
+  auto capture_device_slice = [&](double serve_start, double device_from) {
+    if (!profiling || session == nullptr) return;
+    const double offset = serve_start - device_from;
+    const auto& spans = session->DeviceTimeline().Spans();
+    prof::AppendTimelineSpans(
+        std::span<const sim::Span>(spans).subspan(spans_done), "device", offset,
+        &report.trace_spans);
+    spans_done = spans.size();
+    if (const sim::LaunchProfiler* prof = session->Profiler()) {
+      prof::AppendKernelSpans(
+          std::span<const sim::KernelProfile>(prof->Launches()).subspan(launches_done),
+          "device", offset, &report.trace_spans);
+      launches_done = prof->Launches().size();
+    }
+  };
 
   /// Simulated cost of answering one query on the host CPU instead of the
   /// device — a flat (n + m) / throughput bill, deterministic by design.
@@ -57,8 +116,15 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   /// Stages a fresh session, charging its load time to the serve clock.
   /// Returns false (and retires the carcass) when staging itself failed.
   auto build_session = [&]() {
+    const double t0 = now;
+    spans_done = 0;
+    launches_done = 0;
     session = std::make_unique<GraphSession>(csr, options_.graph);
     now += session->LoadMs();
+    if (profiling) {
+      capture_device_slice(t0, 0.0);  // a fresh device clock starts at 0
+      report.trace_spans.push_back({"serve/session", "session-load", t0, now, {}});
+    }
     if (!session->Loaded()) {
       retire_session();
       return false;
@@ -93,6 +159,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.arrival_ms = r.arrival_ms;
     report.results.push_back(q);
     ++report.rejected;
+    count_query(r.algo, QueryStatus::kRejected);
   };
   auto time_out = [&](const Request& r, double when_ms) {
     QueryResult q;
@@ -105,6 +172,10 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.finish_ms = when_ms;
     report.results.push_back(q);
     ++report.timed_out;
+    count_query(r.algo, QueryStatus::kTimedOut);
+    observe_ms("serve_queue_wait_ms",
+               "Time from arrival to dispatch (or expiry) per request.", r.algo,
+               q.QueueMs());
   };
   auto admit_until = [&](double t) {
     while (next < trace.size() && trace[next].arrival_ms <= t) {
@@ -131,6 +202,12 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.start_ms = start;
     q.finish_ms = start + cpu_query_ms;
     ++report.degraded;
+    if (profiling) {
+      prof::TraceSpan span{"serve/cpu-fallback", std::string(core::AlgoName(r.algo)),
+                           q.start_ms, q.finish_ms, {}};
+      span.args.push_back({"request", std::to_string(r.id), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
     return q;
   };
 
@@ -145,6 +222,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
 
     std::optional<Request> head = sched.PopNext();
     ETA_CHECK(head.has_value());
+    const double window_start = now;
     Batch batch;
     batch.algo = head->algo;
     batch.requests.push_back(*head);
@@ -191,6 +269,24 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     report.batch_occupancy.Add(batch.requests.size());
     report.queue_depth.Add(sched.Depth());
     ++report.batches;
+    metrics
+        .GetHistogram("serve_batch_size", "Requests folded into one dispatch.",
+                      BatchSizeBuckets())
+        .Observe(static_cast<double>(batch.requests.size()));
+    metrics
+        .GetHistogram("serve_queue_depth", "Queue depth sampled at each dispatch.",
+                      QueueDepthBuckets())
+        .Observe(static_cast<double>(sched.Depth()));
+    if (profiling && now > window_start) {
+      prof::TraceSpan span{"serve/batcher", "batch-window", window_start, now, {}};
+      span.args.push_back(
+          {"folded", std::to_string(batch.requests.size()), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
+    /// Prediction happens before execution: the estimator has seen only
+    /// earlier dispatches of this algorithm.
+    const double estimate_ms = cost[batch.algo].EstimateMs();
+    double dispatch_cycles = 0;
 
     std::vector<QueryResult> outcomes;
     // Requests the device has not answered yet; drains to empty via the
@@ -199,9 +295,13 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
 
     if (use_session) {
       if (session != nullptr) {
+        const double dispatch_start = now;
+        const double device_before = session->NowMs();
         BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
+        dispatch_cycles += out.cycles;
+        capture_device_slice(dispatch_start, device_before);
         outcomes = std::move(out.results);
         pending = std::move(out.unserved);
       }
@@ -216,9 +316,13 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         ++report.session_rebuilds;
         retire_session();
         if (!build_session()) continue;
+        const double dispatch_start = now;
+        const double device_before = session->NowMs();
         BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
+        dispatch_cycles += out.cycles;
+        capture_device_slice(dispatch_start, device_before);
         for (QueryResult& q : out.results) outcomes.push_back(std::move(q));
         pending = std::move(out.unserved);
       }
@@ -244,6 +348,14 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         q.reached_vertices = run.activated;
         q.batch_size = 1;
         q.start_ms = now;
+        dispatch_cycles += run.query_counters.elapsed_cycles;
+        if (profiling) {
+          // A naive query's fresh device clock starts at 0 when the serve
+          // clock reads `now`.
+          prof::AppendTimelineSpans(run.timeline, "device", now, &report.trace_spans);
+          prof::AppendKernelSpans(run.kernel_profiles, "device", now,
+                                  &report.trace_spans);
+        }
         now += run.total_ms;
         q.finish_ms = now;
         outcomes.push_back(q);
@@ -257,17 +369,89 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       now += cpu_query_ms;
     }
 
+    uint64_t served_on_device = 0;
+    for (const QueryResult& q : outcomes) {
+      if (q.status == QueryStatus::kOk) ++served_on_device;
+    }
+    const double cycles_per_query =
+        served_on_device > 0 ? dispatch_cycles / static_cast<double>(served_on_device)
+                             : 0;
+
     for (const QueryResult& q : outcomes) {
       ++report.completed;
       report.reached_total += q.reached_vertices;
       report.latency_us.Add(ToMicros(q.LatencyMs()));
       report.queue_wait_us.Add(ToMicros(q.QueueMs()));
+      count_query(q.algo, q.status);
+      observe_ms("serve_queue_wait_ms",
+                 "Time from arrival to dispatch (or expiry) per request.", q.algo,
+                 q.QueueMs());
+      observe_ms("serve_service_ms", "Time from dispatch to completion per request.",
+                 q.algo, q.finish_ms - q.start_ms);
+      observe_ms("serve_latency_ms", "End-to-end time from arrival to completion.",
+                 q.algo, q.LatencyMs());
+      if (q.status == QueryStatus::kOk) {
+        // Cost-model observation: the running-mean estimate made before
+        // this dispatch versus the service time and device cycles the
+        // query actually cost.
+        const double actual_ms = q.finish_ms - q.start_ms;
+        CostAgg& agg = cost[q.algo];
+        ++agg.queries;
+        agg.service_sum += actual_ms;
+        agg.abs_err_sum += std::abs(actual_ms - estimate_ms);
+        agg.cycles_sum += cycles_per_query;
+        metrics
+            .GetHistogram("serve_cost_error_ms",
+                          "Absolute error of the running-mean service-time estimator.",
+                          LatencyBucketsMs(), {{"algo", core::AlgoName(q.algo)}})
+            .Observe(std::abs(actual_ms - estimate_ms));
+        metrics
+            .GetHistogram("serve_query_cycles",
+                          "Device cycles attributed per device-served query.",
+                          CycleBuckets(), {{"algo", core::AlgoName(q.algo)}})
+            .Observe(cycles_per_query);
+      }
+      if (profiling && q.QueueMs() > 0) {
+        prof::TraceSpan span{"serve/queue", std::string(core::AlgoName(q.algo)),
+                             q.arrival_ms, q.start_ms, {}};
+        span.args.push_back({"request", std::to_string(q.id), /*number=*/true});
+        report.trace_spans.push_back(std::move(span));
+      }
       report.results.push_back(q);
     }
   }
 
   report.makespan_ms = now;
   retire_session();
+
+  for (const auto& [algo, agg] : cost) {
+    if (agg.queries == 0) continue;
+    CostObservation obs;
+    obs.algo = core::AlgoName(algo);
+    obs.queries = agg.queries;
+    obs.mean_service_ms = agg.service_sum / static_cast<double>(agg.queries);
+    obs.mean_abs_error_ms = agg.abs_err_sum / static_cast<double>(agg.queries);
+    obs.mean_cycles = agg.cycles_sum / static_cast<double>(agg.queries);
+    report.cost_observations.push_back(std::move(obs));
+  }
+  metrics
+      .GetCounter("serve_session_rebuilds_total",
+                  "Unhealthy sessions torn down and re-staged.")
+      .Inc(static_cast<double>(report.session_rebuilds));
+  metrics
+      .GetCounter("serve_fault_backoff_ms_total",
+                  "Simulated time burned in fault-recovery backoff.")
+      .Inc(report.faults.backoff_ms);
+  metrics
+      .GetGauge("serve_degradation_ratio",
+                "Fraction of completed requests served by the CPU fallback.")
+      .Set(report.completed > 0
+               ? static_cast<double>(report.degraded) / static_cast<double>(report.completed)
+               : 0);
+  metrics.GetGauge("serve_makespan_ms", "Simulated time from t=0 to last completion.")
+      .Set(report.makespan_ms);
+  metrics.GetGauge("serve_load_ms", "Graph staging time of the first session.")
+      .Set(report.load_ms);
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
   ETA_CHECK(report.results.size() == trace.size());

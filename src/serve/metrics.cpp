@@ -1,0 +1,233 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace eta::serve {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) ETA_CHECK(bounds_[i] > bounds_[i - 1]);
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void FixedHistogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // +Inf
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  samples_.push_back(value);
+  sorted_valid_ = false;
+  sum_ += value;
+}
+
+uint64_t FixedHistogram::CumulativeCount(size_t bucket) const {
+  ETA_CHECK(bucket <= bounds_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bucket; ++i) total += buckets_[i];
+  return total;
+}
+
+double FixedHistogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  // Nearest-rank: the smallest sample with at least ceil(p/100 * n)
+  // samples at or below it.
+  const double n = static_cast<double>(sorted_.size());
+  auto rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted_.size()) rank = sorted_.size();
+  return sorted_[rank - 1];
+}
+
+double FixedHistogram::Min() const {
+  return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double FixedHistogram::Max() const {
+  return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double> LatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
+}
+
+std::vector<double> BatchSizeBuckets() { return {1, 2, 4, 8, 16, 32}; }
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(std::string_view name,
+                                                    std::string_view help, Kind kind) {
+  for (auto& family : families_) {
+    if (family->name == name) {
+      ETA_CHECK(family->kind == kind);
+      return *family;
+    }
+  }
+  families_.push_back(
+      std::make_unique<Family>(Family{std::string(name), std::string(help), kind, {}}));
+  return *families_.back();
+}
+
+MetricsRegistry::Child& MetricsRegistry::GetChild(Family& family, MetricLabels labels) {
+  for (auto& child : family.children) {
+    if (child->labels == labels) return *child;
+  }
+  family.children.push_back(std::make_unique<Child>());
+  family.children.back()->labels = std::move(labels);
+  return *family.children.back();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, std::string_view help,
+                                     MetricLabels labels) {
+  return GetChild(GetFamily(name, help, Kind::kCounter), std::move(labels)).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 MetricLabels labels) {
+  return GetChild(GetFamily(name, help, Kind::kGauge), std::move(labels)).gauge;
+}
+
+FixedHistogram& MetricsRegistry::GetHistogram(std::string_view name, std::string_view help,
+                                              std::vector<double> bounds,
+                                              MetricLabels labels) {
+  Child& child = GetChild(GetFamily(name, help, Kind::kHistogram), std::move(labels));
+  if (child.histogram == nullptr) {
+    child.histogram = std::make_unique<FixedHistogram>(std::move(bounds));
+  }
+  return *child.histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name,
+                                            const MetricLabels& labels) const {
+  for (const auto& family : families_) {
+    if (family->name != name || family->kind != Kind::kCounter) continue;
+    for (const auto& child : family->children) {
+      if (child->labels == labels) return &child->counter;
+    }
+  }
+  return nullptr;
+}
+
+const FixedHistogram* MetricsRegistry::FindHistogram(std::string_view name,
+                                                     const MetricLabels& labels) const {
+  for (const auto& family : families_) {
+    if (family->name != name || family->kind != Kind::kHistogram) continue;
+    for (const auto& child : family->children) {
+      if (child->labels == labels) return child->histogram.get();
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest exact decimal for metric values; integers render without a
+/// fraction (Prometheus accepts both, and this keeps the text diffable).
+std::string FormatValue(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra (the histogram `le` label).
+std::string RenderLabelsWith(const MetricLabels& labels, const std::string& key,
+                             const std::string& value) {
+  MetricLabels all = labels;
+  all.emplace_back(key, value);
+  return RenderLabels(all);
+}
+
+std::string FormatBound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return FormatValue(bound);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  for (const auto& family_ptr : families_) {
+    const Family& family = *family_ptr;
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " ";
+    out += family.kind == Kind::kCounter     ? "counter"
+           : family.kind == Kind::kGauge     ? "gauge"
+                                             : "histogram";
+    out += "\n";
+    for (const auto& child_ptr : family.children) {
+      const Child& child = *child_ptr;
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += family.name + RenderLabels(child.labels) + " " +
+                 FormatValue(child.counter.Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += family.name + RenderLabels(child.labels) + " " +
+                 FormatValue(child.gauge.Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const FixedHistogram& h = *child.histogram;
+          for (size_t i = 0; i < h.Bounds().size(); ++i) {
+            out += family.name + "_bucket" +
+                   RenderLabelsWith(child.labels, "le", FormatBound(h.Bounds()[i])) + " " +
+                   FormatValue(static_cast<double>(h.CumulativeCount(i))) + "\n";
+          }
+          out += family.name + "_bucket" + RenderLabelsWith(child.labels, "le", "+Inf") +
+                 " " + FormatValue(static_cast<double>(h.Count())) + "\n";
+          out += family.name + "_sum" + RenderLabels(child.labels) + " " +
+                 FormatValue(h.Sum()) + "\n";
+          out += family.name + "_count" + RenderLabels(child.labels) + " " +
+                 FormatValue(static_cast<double>(h.Count())) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eta::serve

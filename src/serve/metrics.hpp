@@ -1,0 +1,131 @@
+// Serving-layer metrics registry (DESIGN.md section 9): counters, gauges,
+// and fixed-bucket histograms keyed by name + label set, rendered as
+// Prometheus text exposition (etagraph_serve --metrics-out=FILE) and folded
+// into ServeReport.
+//
+// Histograms keep both the fixed bucket counts (what the Prometheus
+// `_bucket` lines report) and every raw sample, so quantiles are *exact*
+// nearest-rank percentiles of the observed values, not bucket-boundary
+// interpolations. The replay engine is deterministic and single-threaded,
+// so the registry does no locking; everything renders in insertion order,
+// making the exposition byte-deterministic for identically-seeded runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eta::serve {
+
+/// Label set attached to one child of a metric family, in render order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Inc(double delta = 1) { value_ += delta; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class FixedHistogram {
+ public:
+  /// `bounds` are inclusive bucket upper bounds, strictly increasing; a
+  /// +Inf bucket is implicit. Prometheus-style cumulative counts come out
+  /// of CumulativeCount.
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return static_cast<uint64_t>(samples_.size()); }
+  double Sum() const { return sum_; }
+  const std::vector<double>& Bounds() const { return bounds_; }
+
+  /// Observations <= bounds[i] (the `_bucket{le="..."}` value); pass
+  /// i == bounds.size() for the +Inf bucket (== Count()).
+  uint64_t CumulativeCount(size_t bucket) const;
+
+  /// Exact nearest-rank percentile of the raw samples (p in [0,100]).
+  /// Returns 0 on an empty histogram — never NaN.
+  double Percentile(double p) const;
+
+  double Mean() const { return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size()); }
+  double Min() const;
+  double Max() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;  // per-bucket (not cumulative), +Inf last
+  std::vector<double> samples_;    // raw observations, insertion order
+  mutable std::vector<double> sorted_;  // lazy cache for Percentile
+  mutable bool sorted_valid_ = true;
+  double sum_ = 0;
+};
+
+/// Default latency bucket bounds (ms): roughly logarithmic 0.1 .. 5000.
+std::vector<double> LatencyBucketsMs();
+/// Batch-size buckets: 1, 2, 4, ... 32.
+std::vector<double> BatchSizeBuckets();
+
+/// Insertion-ordered registry of metric families. Get* registers the family
+/// on first use (help/type recorded once) and interns one child per label
+/// set; repeated calls with the same name + labels return the same object.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name, std::string_view help,
+                      MetricLabels labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help, MetricLabels labels = {});
+  FixedHistogram& GetHistogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, MetricLabels labels = {});
+
+  /// The child's current value, or nullptr if never registered. (Lookup
+  /// helpers for report assembly and tests.)
+  const Counter* FindCounter(std::string_view name, const MetricLabels& labels) const;
+  const FixedHistogram* FindHistogram(std::string_view name,
+                                      const MetricLabels& labels) const;
+
+  /// Prometheus text exposition format: `# HELP` / `# TYPE` per family,
+  /// `name{labels} value` per child; histograms expand to cumulative
+  /// `_bucket{le="..."}` lines plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  bool Empty() const { return families_.empty(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Child {
+    MetricLabels labels;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<FixedHistogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    // unique_ptr children so Get* references stay valid across later
+    // registrations (callers cache Counter&/FixedHistogram& across a run).
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  Family& GetFamily(std::string_view name, std::string_view help, Kind kind);
+  Child& GetChild(Family& family, MetricLabels labels);
+
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace eta::serve

@@ -1,8 +1,10 @@
 #include "serve/report.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace eta::serve {
@@ -54,33 +56,108 @@ std::string ServeReport::Render(const std::string& title) const {
     row("etacheck errors", std::to_string(check.ErrorCount()));
     row("etacheck warnings", std::to_string(check.WarningCount()));
   }
-  return table.Render(title);
+  std::string out = table.Render(title);
+
+  // Per-algo latency split (queue wait vs device service) with exact
+  // percentiles, straight from the metrics registry.
+  std::vector<std::string> algos;
+  for (const CostObservation& c : cost_observations) algos.push_back(c.algo);
+  if (!algos.empty()) {
+    util::Table split({"Algo", "Queue p50", "Queue p95", "Queue p99", "Service p50",
+                       "Service p95", "Service p99"});
+    for (const std::string& algo : algos) {
+      const FixedHistogram* queue =
+          metrics.FindHistogram("serve_queue_wait_ms", {{"algo", algo}});
+      const FixedHistogram* service =
+          metrics.FindHistogram("serve_service_ms", {{"algo", algo}});
+      if (queue == nullptr || service == nullptr) continue;
+      split.AddRow({algo, util::FormatDouble(queue->Percentile(50), 3),
+                    util::FormatDouble(queue->Percentile(95), 3),
+                    util::FormatDouble(queue->Percentile(99), 3),
+                    util::FormatDouble(service->Percentile(50), 3),
+                    util::FormatDouble(service->Percentile(95), 3),
+                    util::FormatDouble(service->Percentile(99), 3)});
+    }
+    out += "\n";
+    out += split.Render("Latency split (ms)");
+
+    util::Table cost({"Algo", "Queries", "Mean service ms", "Mean |est err| ms",
+                      "Mean cycles"});
+    for (const CostObservation& c : cost_observations) {
+      cost.AddRow({c.algo, std::to_string(c.queries),
+                   util::FormatDouble(c.mean_service_ms, 3),
+                   util::FormatDouble(c.mean_abs_error_ms, 3),
+                   util::FormatDouble(c.mean_cycles, 0)});
+    }
+    out += "\n";
+    out += cost.Render("Cost model observations");
+  }
+  return out;
 }
 
+namespace {
+
+/// snprintf-append, keeping the fixed-precision formatting that makes two
+/// identically-seeded replays byte-identical.
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+}  // namespace
+
 std::string ServeReport::Json() const {
-  char buf[1280];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"mode\":\"%s\",\"requests\":%" PRIu64 ",\"completed\":%" PRIu64
-      ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"degraded\":%" PRIu64
-      ",\"dispatches\":%" PRIu64 ",\"session_rebuilds\":%" PRIu64
-      ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
-      ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
-      ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64
-      ",\"launch_failures\":%" PRIu64 ",\"query_retries\":%" PRIu64
-      ",\"ecc_corrected\":%" PRIu64 ",\"restaged_buffers\":%" PRIu64
-      ",\"restaged_bytes\":%" PRIu64 ",\"backoff_ms\":%.4f,\"device_lost\":%s"
-      ",\"check_launches\":%" PRIu64 ",\"check_errors\":%" PRIu64
-      ",\"check_warnings\":%" PRIu64 "}",
-      ServeModeName(mode), total_requests, completed, rejected, timed_out, degraded,
-      batches, session_rebuilds, load_ms, makespan_ms, ThroughputQps(),
-      LatencyPercentileMs(0.50), LatencyPercentileMs(0.95), LatencyPercentileMs(0.99),
-      MeanBatchOccupancy(), reached_total, faults.launch_failures, faults.retries,
-      faults.ecc_corrected, faults.restaged_buffers, faults.restaged_bytes,
-      faults.backoff_ms, faults.device_lost ? "true" : "false",
-      check.launches_checked, static_cast<uint64_t>(check.ErrorCount()),
-      static_cast<uint64_t>(check.WarningCount()));
-  return buf;
+  std::string out;
+  out.reserve(2048);
+  Appendf(out,
+          "{\"mode\":\"%s\",\"requests\":%" PRIu64 ",\"completed\":%" PRIu64
+          ",\"rejected\":%" PRIu64 ",\"timed_out\":%" PRIu64 ",\"degraded\":%" PRIu64
+          ",\"dispatches\":%" PRIu64 ",\"session_rebuilds\":%" PRIu64
+          ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
+          ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
+          ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64
+          ",\"launch_failures\":%" PRIu64 ",\"query_retries\":%" PRIu64
+          ",\"ecc_corrected\":%" PRIu64 ",\"restaged_buffers\":%" PRIu64
+          ",\"restaged_bytes\":%" PRIu64 ",\"backoff_ms\":%.4f,\"device_lost\":%s"
+          ",\"check_launches\":%" PRIu64 ",\"check_errors\":%" PRIu64
+          ",\"check_warnings\":%" PRIu64,
+          util::JsonEscape(ServeModeName(mode)).c_str(), total_requests, completed,
+          rejected, timed_out, degraded, batches, session_rebuilds, load_ms, makespan_ms,
+          ThroughputQps(), LatencyPercentileMs(0.50), LatencyPercentileMs(0.95),
+          LatencyPercentileMs(0.99), MeanBatchOccupancy(), reached_total,
+          faults.launch_failures, faults.retries, faults.ecc_corrected,
+          faults.restaged_buffers, faults.restaged_bytes, faults.backoff_ms,
+          faults.device_lost ? "true" : "false", check.launches_checked,
+          static_cast<uint64_t>(check.ErrorCount()),
+          static_cast<uint64_t>(check.WarningCount()));
+
+  // Per-algo latency split + cost-model observations.
+  out += ",\"algos\":[";
+  for (size_t i = 0; i < cost_observations.size(); ++i) {
+    const CostObservation& c = cost_observations[i];
+    if (i > 0) out += ",";
+    Appendf(out, "{\"algo\":\"%s\",\"queries\":%" PRIu64 ",\"mean_service_ms\":%.4f"
+                 ",\"mean_abs_cost_error_ms\":%.4f,\"mean_cycles\":%.1f",
+            util::JsonEscape(c.algo).c_str(), c.queries, c.mean_service_ms,
+            c.mean_abs_error_ms, c.mean_cycles);
+    const FixedHistogram* queue =
+        metrics.FindHistogram("serve_queue_wait_ms", {{"algo", c.algo}});
+    const FixedHistogram* service =
+        metrics.FindHistogram("serve_service_ms", {{"algo", c.algo}});
+    if (queue != nullptr && service != nullptr) {
+      Appendf(out,
+              ",\"queue_wait_p50_ms\":%.4f,\"queue_wait_p95_ms\":%.4f"
+              ",\"queue_wait_p99_ms\":%.4f,\"service_p50_ms\":%.4f"
+              ",\"service_p95_ms\":%.4f,\"service_p99_ms\":%.4f",
+              queue->Percentile(50), queue->Percentile(95), queue->Percentile(99),
+              service->Percentile(50), service->Percentile(95), service->Percentile(99));
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace eta::serve

@@ -12,11 +12,26 @@
 #include <vector>
 
 #include "core/run_report.hpp"
+#include "prof/trace_export.hpp"
 #include "sanitizer/report.hpp"
+#include "serve/metrics.hpp"
 #include "serve/types.hpp"
 #include "util/histogram.hpp"
 
 namespace eta::serve {
+
+/// Per-algorithm estimated-vs-actual cost aggregates (DESIGN.md section 9):
+/// the observation feed a future cost-aware admission controller would
+/// train on. `mean_abs_error_ms` is the mean |estimate - actual| of the
+/// engine's running-mean service-time estimator, evaluated before each
+/// dispatch it predicted.
+struct CostObservation {
+  std::string algo;
+  uint64_t queries = 0;          // device-served queries observed
+  double mean_service_ms = 0;    // actual per-query device service time
+  double mean_abs_error_ms = 0;  // estimator error against that actual
+  double mean_cycles = 0;        // device cycles attributed per query
+};
 
 struct ServeReport {
   ServeMode mode = ServeMode::kSessionBatched;
@@ -56,6 +71,22 @@ struct ServeReport {
 
   /// Per-request outcomes, sorted by request id.
   std::vector<QueryResult> results;
+
+  /// Serving-layer metrics registry: per-algo queue-wait/service/latency
+  /// histograms, batch-size and queue-depth distributions, degradation and
+  /// cost-model observations. Always populated (recording is cheap and
+  /// deterministic); rendered via metrics.RenderPrometheus() for
+  /// etagraph_serve --metrics-out.
+  MetricsRegistry metrics;
+
+  /// Per-algo estimated-vs-actual cost aggregates, algo name order.
+  std::vector<CostObservation> cost_observations;
+
+  /// Merged trace spans (device timeline slices mapped onto the serve
+  /// clock, per-launch kernel spans, queue/batcher/session/cpu serve
+  /// spans). Empty unless ServeOptions::graph.profile is on; rendered via
+  /// prof::RenderChromeTrace for --trace-json.
+  std::vector<prof::TraceSpan> trace_spans;
 
   /// etacheck findings over every device the replay touched (the session
   /// device, or each naive per-query device, merged); empty with

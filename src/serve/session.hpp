@@ -55,6 +55,14 @@ class GraphSession {
     return resident_.CheckReport();
   }
 
+  /// The session's etaprof launch records (covers every launch so far), or
+  /// nullptr when the session's options.profile is off.
+  const sim::LaunchProfiler* Profiler() const { return resident_.Profiler(); }
+
+  /// The session device's full timeline on its private session clock; the
+  /// engine's trace export maps slices of it onto the serve clock.
+  const sim::Timeline& DeviceTimeline() const { return resident_.SessionTimeline(); }
+
   /// Tears the session down (frees resident buffers, runs the leakcheck
   /// sweep). CheckReport() stays readable afterwards; queries do not.
   void Shutdown() { resident_.Shutdown(); }

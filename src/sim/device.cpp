@@ -123,6 +123,19 @@ LaunchResult Device::EndLaunch(const std::string& label, const LaunchConfig& con
 
   total_ += result.counters;
   last_launch_ = result;
+  if (profiler_ != nullptr) {
+    KernelProfile p;
+    p.name = label;
+    p.grid_threads = config.num_threads;
+    p.block_size = config.block_size;
+    p.start_ms = result.start_ms;
+    p.end_ms = result.end_ms;
+    p.compute_ms = result.compute_ms;
+    p.counters = result.counters;
+    p.status = LaunchStatus::kOk;
+    p.ecc_corrected = result.ecc_corrected;
+    profiler_->Record(std::move(p));
+  }
   return result;
 }
 
@@ -135,7 +148,8 @@ LaunchFault Device::DecideLaunchFault() {
   return fault_->NextLaunch();
 }
 
-LaunchResult Device::FailLaunch(const std::string& label, const LaunchFault& fate) {
+LaunchResult Device::FailLaunch(const std::string& label, const LaunchConfig& config,
+                                const LaunchFault& fate) {
   const bool was_lost = lost_;
   LaunchResult result;
   result.status = fate.status;
@@ -174,6 +188,18 @@ LaunchResult Device::FailLaunch(const std::string& label, const LaunchFault& fat
   result.end_ms = end;
   result.wall_ms = dur;
   last_launch_ = result;
+  if (profiler_ != nullptr) {
+    KernelProfile p;
+    p.name = label;
+    p.grid_threads = config.num_threads;
+    p.block_size = config.block_size;
+    p.start_ms = start;
+    p.end_ms = end;
+    p.status = fate.status;
+    p.ecc_corrected = fate.ecc_corrected;
+    p.fault_buffer = result.fault_buffer;
+    profiler_->Record(std::move(p));
+  }
   return result;
 }
 

@@ -339,7 +339,7 @@ class Device {
   LaunchResult Launch(const std::string& label, const LaunchConfig& config, F&& kernel) {
     if (fault_ != nullptr) {
       LaunchFault fate = DecideLaunchFault();
-      if (fate.status != LaunchStatus::kOk) return FailLaunch(label, fate);
+      if (fate.status != LaunchStatus::kOk) return FailLaunch(label, config, fate);
       pending_ecc_corrected_ = fate.ecc_corrected;
     }
     BeginLaunch();
@@ -380,6 +380,13 @@ class Device {
   /// outlive every subsequent launch and allocation.
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  /// Attaches (or detaches) a per-launch profiler (etaprof). Recording is
+  /// host-side only: it never moves the simulated clock or the counters, so
+  /// a profiled run is bit-identical to an unprofiled one. The profiler must
+  /// outlive every subsequent launch.
+  void SetProfiler(LaunchProfiler* profiler) { profiler_ = profiler; }
+  LaunchProfiler* Profiler() const { return profiler_; }
+
   /// True once a kDeviceLost fault has fired: the device fell off the bus
   /// and every further launch/alloc fails until the Device is rebuilt.
   bool Lost() const { return lost_; }
@@ -408,7 +415,8 @@ class Device {
   LaunchFault DecideLaunchFault();
   /// Aborts a launch without executing warps: charges the abort/watchdog
   /// time, applies UECC corruption, and latches device loss.
-  LaunchResult FailLaunch(const std::string& label, const LaunchFault& fate);
+  LaunchResult FailLaunch(const std::string& label, const LaunchConfig& config,
+                          const LaunchFault& fate);
   /// Flips words in a deterministically chosen live allocation (UECC).
   void CorruptVictim(const LaunchFault& fate, std::string* victim_name);
   void UpdateUmBudget();
@@ -437,6 +445,7 @@ class Device {
   double pending_transfer_end_ = 0;
   AccessObserver* observer_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  LaunchProfiler* profiler_ = nullptr;
   bool lost_ = false;
   bool leaks_reported_ = false;
   uint32_t pending_ecc_corrected_ = 0;

@@ -55,6 +55,24 @@ double Counters::DramThroughput() const {
   return elapsed_cycles > 0 ? static_cast<double>(DramReadBytes()) / elapsed_cycles : 0;
 }
 
+Counters Counters::Since(const Counters& base) const {
+  Counters d;
+  d.warp_instructions = warp_instructions - base.warp_instructions;
+  d.thread_instructions = thread_instructions - base.thread_instructions;
+  d.l1_accesses = l1_accesses - base.l1_accesses;
+  d.l1_hits = l1_hits - base.l1_hits;
+  d.l2_accesses = l2_accesses - base.l2_accesses;
+  d.l2_hits = l2_hits - base.l2_hits;
+  d.dram_read_transactions = dram_read_transactions - base.dram_read_transactions;
+  d.dram_write_transactions = dram_write_transactions - base.dram_write_transactions;
+  d.shared_accesses = shared_accesses - base.shared_accesses;
+  d.atomic_operations = atomic_operations - base.atomic_operations;
+  d.mem_latency_cycles = mem_latency_cycles - base.mem_latency_cycles;
+  d.elapsed_cycles = elapsed_cycles - base.elapsed_cycles;
+  d.launches = launches - base.launches;
+  return d;
+}
+
 std::string Counters::Summary() const {
   std::ostringstream out;
   out << "instr=" << warp_instructions << " cycles=" << static_cast<uint64_t>(elapsed_cycles)

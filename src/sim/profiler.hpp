@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "sim/fault.hpp"
 
 namespace eta::sim {
 
@@ -65,7 +68,59 @@ struct Counters {
   /// measure of the SIMT load imbalance that UDC attacks.
   double WarpEfficiency() const;
 
+  /// Per-field difference against an earlier snapshot of the same device's
+  /// totals (the per-query counter delta a serving layer attributes to one
+  /// query). Every field of `base` must be <= the corresponding field here.
+  Counters Since(const Counters& base) const;
+
   std::string Summary() const;
+};
+
+// ---------------------------------------------------------------------------
+// Per-launch profiling (etaprof, DESIGN.md section 9).
+//
+// nvprof's per-kernel timeline view: one record per launch with the kernel
+// name, launch geometry, simulated start/end, and this launch's own Counters
+// delta. Recording is host-side bookkeeping only — it never touches the
+// simulated clock or the counters, so a profiled run is bit-identical to an
+// unprofiled one (bench_profiler_overhead enforces the contract).
+// ---------------------------------------------------------------------------
+
+struct KernelProfile {
+  std::string name;
+  /// 1-based position among the device's profiled launches (failed launches
+  /// included — an aborted launch is a timeline event worth seeing).
+  uint64_t launch_index = 0;
+  uint64_t grid_threads = 0;
+  uint32_t block_size = 0;
+  double start_ms = 0;
+  double end_ms = 0;
+  /// Pure roofline kernel time (excludes UM fault servicing); 0 for failed
+  /// launches, which execute no warps.
+  double compute_ms = 0;
+  Counters counters;  // this launch only (all-zero for failed launches)
+  LaunchStatus status = LaunchStatus::kOk;
+  uint32_t ecc_corrected = 0;
+  /// UECC victim allocation (empty unless status == kEccUncorrectable).
+  std::string fault_buffer;
+
+  double DurationMs() const { return end_ms - start_ms; }
+  bool Ok() const { return status == LaunchStatus::kOk; }
+};
+
+/// Append-only per-launch record an attached Device writes into. With no
+/// profiler attached (the default) the device takes the zero-cost fast path.
+class LaunchProfiler {
+ public:
+  void Record(KernelProfile profile) {
+    profile.launch_index = launches_.size() + 1;
+    launches_.push_back(std::move(profile));
+  }
+
+  const std::vector<KernelProfile>& Launches() const { return launches_; }
+
+ private:
+  std::vector<KernelProfile> launches_;
 };
 
 }  // namespace eta::sim

@@ -1,0 +1,51 @@
+// Minimal JSON support shared by every emitter in the repo.
+//
+// Emission side: JsonEscape, the one escaper behind the trace exporter, the
+// CLI's --check-json, and the serve report JSON — kernel labels, buffer
+// names, and dataset paths all pass through here, so a quote or backslash in
+// a label can never break an output document.
+//
+// Parse side: JsonParse, a strict recursive-descent parser used to
+// round-trip-validate our own emitters in tests and tools (scripts/check.sh
+// additionally validates with python3 when available). It is a validator
+// first: no external documents, no extensions (comments, trailing commas,
+// NaN) are accepted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eta::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \ and control characters become their escape sequences;
+/// everything else (including UTF-8 multibyte sequences) passes through.
+std::string JsonEscape(std::string_view s);
+
+/// A parsed JSON document. Object members keep insertion order, so a
+/// re-serialized document compares field-for-field with the original.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses strict JSON. On failure returns nullopt and, when `error` is
+/// non-null, fills it with a message that includes the byte offset.
+std::optional<JsonValue> JsonParse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace eta::util

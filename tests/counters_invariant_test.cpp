@@ -5,12 +5,15 @@
 // cannot see.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/cusha.hpp"
 #include "baselines/gunrock.hpp"
 #include "baselines/tigr.hpp"
 #include "core/framework.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "sim/profiler.hpp"
 
 namespace eta {
 namespace {
@@ -96,6 +99,67 @@ TEST(CounterInvariants, CushaIsBalancedAndCoalesced) {
   auto tigr = baselines::Tigr().Run(csr, Algo::kBfs, 0);
   EXPECT_GT(cusha.counters.WarpEfficiency(), 0.9);
   EXPECT_GT(cusha.counters.WarpEfficiency(), tigr.counters.WarpEfficiency());
+}
+
+TEST(CounterInvariants, DerivedMetricsAreZeroNotNanOnEmptyCounters) {
+  // A device that never launched (or an all-failed query's delta) divides by
+  // zero everywhere; every derived metric must degrade to 0, never NaN.
+  sim::Counters c;
+  EXPECT_DOUBLE_EQ(c.Ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(c.IpcPerSm(28), 0.0);
+  EXPECT_DOUBLE_EQ(c.IpcPerSm(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.L1HitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.L2HitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.WarpEfficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(c.L1Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(c.L2Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(c.DramThroughput(), 0.0);
+  EXPECT_FALSE(std::isnan(c.Ipc()));
+  EXPECT_FALSE(std::isnan(c.WarpEfficiency()));
+}
+
+TEST(CounterInvariants, DerivedMetricsPartialZeroDenominators) {
+  // Instructions without cache traffic (and vice versa): only the metric
+  // whose denominator is zero degrades.
+  sim::Counters c;
+  c.warp_instructions = 10;
+  c.thread_instructions = 160;
+  c.elapsed_cycles = 20;
+  EXPECT_DOUBLE_EQ(c.Ipc(), 0.5);
+  EXPECT_DOUBLE_EQ(c.WarpEfficiency(), 0.5);
+  EXPECT_DOUBLE_EQ(c.L1HitRate(), 0.0);  // zero accesses
+  EXPECT_DOUBLE_EQ(c.L2HitRate(), 0.0);
+
+  sim::Counters d;
+  d.l1_accesses = 8;
+  d.l1_hits = 6;
+  EXPECT_DOUBLE_EQ(d.L1HitRate(), 0.75);
+  EXPECT_DOUBLE_EQ(d.Ipc(), 0.0);  // zero cycles
+}
+
+TEST(CounterInvariants, SinceSubtractsEveryField) {
+  sim::Counters base;
+  base.warp_instructions = 5;
+  base.l1_accesses = 10;
+  base.l1_hits = 4;
+  base.elapsed_cycles = 100;
+  base.launches = 2;
+  sim::Counters total = base;
+  total.warp_instructions += 7;
+  total.l1_accesses += 3;
+  total.l1_hits += 2;
+  total.elapsed_cycles += 50;
+  total.launches += 1;
+  sim::Counters delta = total.Since(base);
+  EXPECT_EQ(delta.warp_instructions, 7u);
+  EXPECT_EQ(delta.l1_accesses, 3u);
+  EXPECT_EQ(delta.l1_hits, 2u);
+  EXPECT_DOUBLE_EQ(delta.elapsed_cycles, 50.0);
+  EXPECT_EQ(delta.launches, 1u);
+  // Delta of a snapshot against itself is empty.
+  sim::Counters zero = base.Since(base);
+  EXPECT_EQ(zero.warp_instructions, 0u);
+  EXPECT_DOUBLE_EQ(zero.elapsed_cycles, 0.0);
 }
 
 TEST(CounterInvariants, EtaGraphUsesSharedMemoryOnlyWithSmp) {

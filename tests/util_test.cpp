@@ -6,6 +6,7 @@
 
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -144,6 +145,57 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_EQ(h.Min(), 0u);
   EXPECT_EQ(h.Max(), 0u);
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+// --- JSON (the one escaper/validator behind every JSON emitter) ---------------
+
+TEST(Json, EscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("traverse_full"), "traverse_full");
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("ünïcode → ok"), "ünïcode → ok");  // UTF-8 untouched
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("a\bb\fc"), "a\\bb\\fc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Json, ParseAcceptsRoundTrippedEscapes) {
+  const std::string original = "kernel \"x\"\\path\nline\x01!";
+  auto doc = JsonParse("{\"k\":\"" + JsonEscape(original) + "\"}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->IsObject());
+  ASSERT_NE(doc->Find("k"), nullptr);
+  EXPECT_EQ(doc->Find("k")->string, original);
+}
+
+TEST(Json, ParseHandlesScalarsArraysAndNesting) {
+  auto doc = JsonParse(
+      "{\"a\":1.5,\"b\":[true,false,null,-2e3],\"c\":{\"d\":\"e\"}}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->Find("a")->number, 1.5);
+  const JsonValue* b = doc->Find("b");
+  ASSERT_TRUE(b->IsArray());
+  ASSERT_EQ(b->array.size(), 4u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[2].kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(b->array[3].number, -2000.0);
+  EXPECT_EQ(doc->Find("c")->Find("d")->string, "e");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(JsonParse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonParse("{\"a\":1,}").has_value());     // trailing comma
+  EXPECT_FALSE(JsonParse("{\"a\":01}").has_value());     // leading zero
+  EXPECT_FALSE(JsonParse("{\"a\":1} x").has_value());    // trailing garbage
+  EXPECT_FALSE(JsonParse("{\"a\":\"\n\"}").has_value()); // raw control char
+  EXPECT_FALSE(JsonParse("nul").has_value());
+  EXPECT_FALSE(JsonParse("").has_value());
 }
 
 }  // namespace

@@ -31,9 +31,16 @@
 //                 watchdog (ms), words, ecc_at/uecc_at/hang_at/lost_at/
 //                 alloc_at one-shots. etagraph traversals and cc only.
 //                 Exit 1 when the device path fails despite recovery.
+//   --profile     run etaprof (DESIGN.md section 9): record per-launch
+//                 kernel profiles and print the nvprof-style summary table.
+//                 etagraph traversals and cc only.
+//   --trace-json  with --profile: also write the merged Chrome/Perfetto
+//                 trace-event JSON (open at https://ui.perfetto.dev) to
+//                 this path.
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "baselines/cusha.hpp"
 #include "baselines/gunrock.hpp"
@@ -44,10 +51,13 @@
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "prof/summary.hpp"
+#include "prof/trace_export.hpp"
 #include "sanitizer/config.hpp"
 #include "sanitizer/report.hpp"
 #include "sim/fault.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 using namespace eta;
@@ -114,6 +124,33 @@ void PrintReport(const core::RunReport& r, bool timeline) {
   }
 }
 
+/// Prints the etaprof kernel summary and writes --trace-json if asked (the
+/// emitted document is round-trip parsed before it hits disk, so a broken
+/// trace can never be written silently). Returns 0, or 2 on a write/
+/// validation failure.
+int EmitProfile(const core::RunReport& r, const std::string& dataset_label,
+                const std::string& trace_path) {
+  std::printf("%s",
+              prof::RenderKernelSummary(r.kernel_profiles, "etaprof kernel summary")
+                  .c_str());
+  if (trace_path.empty()) return 0;
+  std::vector<prof::TraceSpan> spans;
+  prof::AppendTimelineSpans(r.timeline, "device", 0, &spans);
+  prof::AppendKernelSpans(r.kernel_profiles, "device", 0, &spans);
+  const std::string json =
+      prof::RenderChromeTrace(spans, {{"dataset", dataset_label}});
+  std::string parse_error;
+  if (!util::JsonParse(json, &parse_error)) {
+    return Fail("trace JSON failed self-validation: " + parse_error);
+  }
+  std::ofstream out(trace_path);
+  out << json;
+  if (!out) return Fail("cannot write --trace-json file '" + trace_path + "'");
+  std::printf("trace: %zu spans -> %s (open at https://ui.perfetto.dev)\n",
+              spans.size(), trace_path.c_str());
+  return 0;
+}
+
 /// Prints the etacheck block and writes --check-json if asked. Returns the
 /// process exit code contribution: 1 when any error finding fired.
 int EmitCheck(const sanitizer::SanitizerReport& check, const std::string& json_path) {
@@ -147,8 +184,13 @@ int main(int argc, char** argv) {
   const std::string check_spec = cl->GetString("check", "");
   const std::string check_json = cl->GetString("check-json", "");
   const std::string faults_spec = cl->GetString("faults", "");
+  const bool profile = cl->GetBool("profile", false);
+  const std::string trace_json = cl->GetString("trace-json", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
+  }
+  if (!trace_json.empty() && !profile) {
+    return Fail("--trace-json requires --profile");
   }
 
   sanitizer::Config check_cfg{};
@@ -196,6 +238,9 @@ int main(int argc, char** argv) {
     if (fault_cfg.Enabled()) {
       return Fail("--faults supports etagraph traversals and cc only");
     }
+    if (profile) {
+      return Fail("--profile supports etagraph traversals and cc only");
+    }
     core::PageRankOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
@@ -219,8 +264,16 @@ int main(int argc, char** argv) {
     core::EtaGraphOptions options;
     options.check = check_cfg;
     options.faults = fault_cfg;
+    options.profile = profile;
     auto report = core::EtaGraph(options).RunConnectedComponents(csr);
     PrintReport(report, timeline);
+    if (profile) {
+      if (int rc = EmitProfile(report, !dataset.empty() ? dataset : graph_path,
+                               trace_json);
+          rc != 0) {
+        return rc;
+      }
+    }
     if (check_cfg.Enabled()) {
       if (int rc = EmitCheck(report.check, check_json); rc != 0) return rc;
     }
@@ -228,6 +281,9 @@ int main(int argc, char** argv) {
   } else if (algo_name == "hybrid-bfs") {
     if (fault_cfg.Enabled()) {
       return Fail("--faults supports etagraph traversals and cc only");
+    }
+    if (profile) {
+      return Fail("--profile supports etagraph traversals and cc only");
     }
     core::HybridBfsOptions options;
     options.use_smp = smp;
@@ -255,6 +311,9 @@ int main(int argc, char** argv) {
   if (fault_cfg.Enabled() && framework != "etagraph") {
     return Fail("--faults supports --framework=etagraph only");
   }
+  if (profile && framework != "etagraph") {
+    return Fail("--profile supports --framework=etagraph only");
+  }
 
   core::RunReport report;
   if (framework == "etagraph") {
@@ -263,6 +322,7 @@ int main(int argc, char** argv) {
     options.use_smp = smp;
     options.check = check_cfg;
     options.faults = fault_cfg;
+    options.profile = profile;
     if (mode_name == "um+prefetch") {
       options.memory_mode = core::MemoryMode::kUnifiedPrefetch;
     } else if (mode_name == "um") {
@@ -286,6 +346,13 @@ int main(int argc, char** argv) {
   }
 
   PrintReport(report, timeline);
+  if (profile) {
+    if (int rc = EmitProfile(report, !dataset.empty() ? dataset : graph_path,
+                             trace_json);
+        rc != 0) {
+      return rc;
+    }
+  }
   if (!report.DeviceFailed() && verify) {
     bool ok = report.labels == core::CpuReference(csr, algo, source);
     std::printf("  verify      %10s vs CPU reference\n", ok ? "OK" : "MISMATCH");

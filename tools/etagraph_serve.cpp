@@ -35,18 +35,28 @@
 //   --replay-out    write per-request terminal outcomes (id status algo source
 //                   reached batch start finish) to this path — diffable across
 //                   identical replays
+//   --profile       run etaprof (DESIGN.md section 9): record per-launch
+//                   kernel profiles and serve-layer spans during the replay
+//   --trace-json    with --profile: write the merged serve+device
+//                   Chrome/Perfetto trace-event JSON (open at
+//                   https://ui.perfetto.dev) to this path
+//   --metrics-out   write the serve metrics registry (latency split, batch
+//                   sizes, cost-model error) as Prometheus text exposition
+//                   to this path
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
+#include "prof/trace_export.hpp"
 #include "sanitizer/config.hpp"
 #include "serve/engine.hpp"
 #include "sim/fault.hpp"
 #include "serve/trace.hpp"
 #include "serve/trace_file.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 using namespace eta;
@@ -84,8 +94,14 @@ int main(int argc, char** argv) {
   const std::string check_json = cl->GetString("check-json", "");
   const std::string faults_spec = cl->GetString("faults", "");
   const std::string replay_out = cl->GetString("replay-out", "");
+  const bool profile = cl->GetBool("profile", false);
+  const std::string trace_json = cl->GetString("trace-json", "");
+  const std::string metrics_out = cl->GetString("metrics-out", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
+  }
+  if (!trace_json.empty() && !profile) {
+    return Fail("--trace-json requires --profile");
   }
 
   sanitizer::Config check_cfg{};
@@ -126,6 +142,7 @@ int main(int argc, char** argv) {
   options.max_batch = max_batch;
   options.graph.check = check_cfg;
   options.graph.faults = fault_cfg;
+  options.graph.profile = profile;
 
   graph::Csr csr;
   if (!graph_path.empty()) {
@@ -196,6 +213,29 @@ int main(int argc, char** argv) {
     out << serve::RenderReplayText(report.results);
     if (!out) return Fail("cannot write --replay-out file '" + replay_out + "'");
     std::printf("replay outcomes written to %s\n", replay_out.c_str());
+  }
+
+  if (!trace_json.empty()) {
+    const std::string json = prof::RenderChromeTrace(
+        report.trace_spans,
+        {{"dataset", !dataset.empty() ? dataset : graph_path},
+         {"mode", mode_name}});
+    std::string parse_error;
+    if (!util::JsonParse(json, &parse_error)) {
+      return Fail("trace JSON failed self-validation: " + parse_error);
+    }
+    std::ofstream out(trace_json);
+    out << json;
+    if (!out) return Fail("cannot write --trace-json file '" + trace_json + "'");
+    std::printf("trace: %zu spans -> %s (open at https://ui.perfetto.dev)\n",
+                report.trace_spans.size(), trace_json.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << report.metrics.RenderPrometheus();
+    if (!out) return Fail("cannot write --metrics-out file '" + metrics_out + "'");
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
 
   if (check_cfg.Enabled()) {
