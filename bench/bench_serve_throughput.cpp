@@ -1,17 +1,21 @@
 // Serving-throughput comparison: naive per-query vs persistent session vs
 // session + multi-source batching, over the same deterministic 64-request
-// trace. The serving layer's pitch in one table — the naive column pays
-// allocation + full topology staging per query, the session column stages
-// once, and the batched column additionally folds compatible BFS/SSSP
-// requests into shared multi-source launches.
+// trace — then the sharded fleet at 1 and 4 shards on the same trace. The
+// serving layer's pitch in one table: the naive column pays allocation +
+// full topology staging per query, the session column stages once, the
+// batched column folds compatible BFS/SSSP requests into shared
+// multi-source launches, and the sharded rows show the fleet's scaling
+// under a saturating load (4 shards must clear at least twice the
+// throughput of 1).
 //
-// Emits BENCH_serve.json (one JSON object per mode) next to the table.
+// Emits BENCH_serve.json (one JSON object per row) next to the table.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "serve/trace.hpp"
 #include "util/table.hpp"
 
@@ -43,24 +47,44 @@ int main(int argc, char** argv) {
   const serve::ServeMode modes[] = {serve::ServeMode::kNaivePerQuery,
                                     serve::ServeMode::kSession,
                                     serve::ServeMode::kSessionBatched};
+  std::vector<std::string> labels;
   std::vector<serve::ServeReport> reports;
   for (serve::ServeMode mode : modes) {
     serve::ServeOptions options;
     options.mode = mode;
+    labels.push_back(serve::ServeModeName(mode));
     reports.push_back(serve::ServeEngine(options).Serve(csr, trace));
+  }
+  // The sharded rows replay a burst trace (near-simultaneous arrivals):
+  // with the default arrival spacing the trace span itself floors the
+  // makespan and hides fleet scaling.
+  serve::TraceOptions burst_options = trace_options;
+  burst_options.num_requests = requests * 4;  // long enough to amortize staging
+  burst_options.mean_interarrival_ms = 0.01;
+  const auto burst = serve::GenerateTrace(csr.NumVertices(), burst_options);
+  for (uint32_t shard_count : {1u, 4u}) {
+    serve::ShardedOptions options;
+    options.shards = shard_count;
+    // Admit the whole burst regardless of shard count, so both rows serve
+    // identical work and the ratio is pure fleet scaling.
+    options.base.queue_capacity = burst.size();
+    labels.push_back("sharded x" + std::to_string(shard_count) + " (burst)");
+    reports.push_back(serve::ShardedEngine(options).Serve(csr, burst));
   }
 
   util::Table table({"Mode", "Makespan (ms)", "Throughput (qps)", "p50 (ms)",
                      "p95 (ms)", "Mean batch", "Completed"});
-  for (const serve::ServeReport& r : reports) {
-    table.AddRow({serve::ServeModeName(r.mode), util::FormatDouble(r.makespan_ms, 2),
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const serve::ServeReport& r = reports[i];
+    table.AddRow({labels[i], util::FormatDouble(r.makespan_ms, 2),
                   util::FormatDouble(r.ThroughputQps(), 1),
                   util::FormatDouble(r.LatencyPercentileMs(0.50), 2),
                   util::FormatDouble(r.LatencyPercentileMs(0.95), 2),
                   util::FormatDouble(r.MeanBatchOccupancy(), 2),
                   std::to_string(r.completed)});
   }
-  std::printf("%s\n", table.Render("Query serving — same trace, three modes").c_str());
+  std::printf("%s\n",
+              table.Render("Query serving — same trace, three modes + shards").c_str());
 
   const double naive = reports[0].makespan_ms;
   const double session = reports[1].makespan_ms;
@@ -68,6 +92,11 @@ int main(int argc, char** argv) {
   std::printf("note: session reuse is %.2fx faster than naive per-query; "
               "batching stretches that to %.2fx.\n",
               naive / session, naive / batched);
+  const double one_shard_qps = reports[3].ThroughputQps();
+  const double four_shard_qps = reports[4].ThroughputQps();
+  std::printf("note: 4 shards clear %.2fx the throughput of 1 shard on the "
+              "saturating trace.\n",
+              four_shard_qps / one_shard_qps);
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f, "[\n");
@@ -79,5 +108,12 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return batched < naive && session < naive ? 0 : 1;
+  // Gates: the serving layer must beat naive, and the fleet must scale.
+  if (!(batched < naive && session < naive)) return 1;
+  if (!(four_shard_qps >= 2.0 * one_shard_qps)) {
+    std::printf("FAIL: 4-shard throughput %.1f qps < 2x 1-shard %.1f qps\n",
+                four_shard_qps, one_shard_qps);
+    return 1;
+  }
+  return 0;
 }

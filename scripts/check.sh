@@ -10,6 +10,7 @@
 #   scripts/check.sh --sanitize [build-dir]
 #   scripts/check.sh --faults [build-dir]
 #   scripts/check.sh --profile [build-dir]
+#   scripts/check.sh --shard [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -23,6 +24,13 @@
 # matrix (every fault class through etagraph and etagraph_serve, with a
 # replay-determinism diff), and the bench_fault_overhead zero-cost contract.
 #
+# --shard builds normally and then exercises the sharded serving fleet
+# (DESIGN.md section 10): the scheduler/router test binaries, the
+# max-batch>32 wave-split regression (no abort, replay byte-identical to a
+# capped run), a shards x faults matrix with a double-run replay-determinism
+# diff and a no-request-lost completeness check, and the fleet-scaling gate
+# in bench_serve_throughput.
+#
 # --profile builds normally and then exercises etaprof end to end
 # (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
 # and a profiled 64-query serve replay (trace JSON round-trip validated,
@@ -34,6 +42,7 @@ set -euo pipefail
 SANITIZE=0
 FAULTS=0
 PROFILE=0
+SHARD=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
   shift
@@ -42,6 +51,9 @@ elif [[ "${1:-}" == "--faults" ]]; then
   shift
 elif [[ "${1:-}" == "--profile" ]]; then
   PROFILE=1
+  shift
+elif [[ "${1:-}" == "--shard" ]]; then
+  SHARD=1
   shift
 fi
 
@@ -170,6 +182,72 @@ if [[ "$PROFILE" == "1" ]]; then
 
   echo "== zero-cost contract =="
   "$BUILD_DIR/bench/bench_profiler_overhead" --datasets=rmat --scale=0.25
+  exit 0
+fi
+
+if [[ "$SHARD" == "1" ]]; then
+  # Sharded-fleet gate: targeted test binaries first (exact), then the
+  # end-to-end matrix through etagraph_serve.
+  "$BUILD_DIR/tests/serve_test"
+  "$BUILD_DIR/tests/router_test"
+
+  SHARD_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$SHARD_DIR"' EXIT
+
+  echo "== max-batch past the attribution cap (wave-split regression) =="
+  # Batches wider than the 32-source attribution cap must wave-split, never
+  # abort, and answer byte-identically to a capped run of the same trace.
+  for mb in 64 32; do
+    "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=64 \
+      --mean-arrival=0.05 --max-batch="$mb" \
+      --replay-out="$SHARD_DIR/mb$mb.txt" > /dev/null
+  done
+  if ! diff -u "$SHARD_DIR/mb32.txt" "$SHARD_DIR/mb64.txt"; then
+    echo "check.sh: --max-batch=64 replay diverged from --max-batch=32" >&2
+    exit 1
+  fi
+  echo "-- no abort, replay identical to the capped run"
+
+  echo "== shards x faults matrix + replay determinism =="
+  REQS=48
+  for shards in 2 4; do
+    for spec in "none" "lost=0.01" \
+                "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+      args=(--dataset=rmat --scale=0.1 --requests="$REQS" --mean-arrival=0.1
+            --queue-cap="$REQS" --shards="$shards")
+      label="shards=$shards faults=$spec"
+      if [[ "$spec" != "none" ]]; then
+        args+=(--faults="seed=3,$spec")
+      fi
+      safe="${label//[^a-zA-Z0-9]/_}"
+      for i in 1 2; do
+        "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+          --replay-out="$SHARD_DIR/$safe.$i.txt" > /dev/null
+      done
+      if ! diff -u "$SHARD_DIR/$safe.1.txt" "$SHARD_DIR/$safe.2.txt"; then
+        echo "check.sh: sharded replay diverged for $label" >&2
+        exit 1
+      fi
+      # No admitted request may be lost: every trace entry has a terminal
+      # outcome, and with ample queues none of them is a rejection.
+      outcomes="$(grep -cv '^#' "$SHARD_DIR/$safe.1.txt")"
+      if [[ "$outcomes" != "$REQS" ]]; then
+        echo "check.sh: $label: $outcomes outcomes for $REQS requests" >&2
+        exit 1
+      fi
+      if grep -q " rejected " "$SHARD_DIR/$safe.1.txt"; then
+        echo "check.sh: $label: rejected requests with an ample queue" >&2
+        exit 1
+      fi
+      echo "-- $label: replays identical, all $REQS requests completed"
+    done
+  done
+
+  echo "== fleet-scaling contract =="
+  # A small dataset keeps the gate fast; the 4-shard >= 2x 1-shard exit
+  # gate inside the bench is what matters here, not the absolute numbers.
+  "$BUILD_DIR/bench/bench_serve_throughput" --datasets=rmat --scale=0.1 \
+    --requests=32 --json="$SHARD_DIR/BENCH_serve.json"
   exit 0
 fi
 

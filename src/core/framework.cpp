@@ -342,6 +342,60 @@ struct ResidentGraph::State {
   explicit State(const sim::DeviceSpec& spec) : device(spec) {}
 };
 
+uint64_t ResidentGraph::EstimateDeviceBytes(const graph::Csr& csr,
+                                            const EtaGraphOptions& options) {
+  return EstimateDeviceBytes(csr, options, csr.HasWeights());
+}
+
+uint64_t ResidentGraph::EstimateDeviceBytes(const graph::Csr& csr,
+                                            const EtaGraphOptions& options,
+                                            bool stage_weights) {
+  const VertexId n = csr.NumVertices();
+  const EdgeId m = csr.NumEdges();
+  const bool chunked = options.memory_mode == MemoryMode::kChunkedStream;
+  const bool unified = options.memory_mode == MemoryMode::kUnifiedPrefetch ||
+                       options.memory_mode == MemoryMode::kUnifiedOnDemand;
+  const uint64_t page = std::max<uint64_t>(options.spec.page_bytes, 1);
+  // DeviceMemory::Allocate page-rounds every allocation and only kDevice
+  // allocations count against capacity; mirror both rules.
+  auto paged = [&](uint64_t count, uint64_t elem) {
+    return (std::max<uint64_t>(count * elem, 1) + page - 1) / page * page;
+  };
+  uint64_t total = 0;
+  if (!unified) total += paged(uint64_t{n} + 1, sizeof(EdgeId));  // row_offsets
+  if (!unified && !chunked) {
+    total += paged(m, sizeof(VertexId));  // col_indices
+    if (stage_weights) total += paged(m, sizeof(Weight));
+  }
+  if (chunked) {
+    // The bounded staging window, sized exactly as the constructor does.
+    const uint64_t chunk_bytes = options.stream_chunk_bytes;
+    const uint64_t reserve = uint64_t{n} * 40 + (1 << 20);
+    const uint64_t avail = options.spec.device_memory_bytes > reserve
+                               ? options.spec.device_memory_bytes - reserve
+                               : chunk_bytes;
+    const uint64_t window_chunks = std::max<uint64_t>(
+        2, avail / 2 / ((stage_weights ? 2 : 1) * chunk_bytes));
+    const uint64_t window_words =
+        window_chunks * (stage_weights ? 2 : 1) * chunk_bytes / sizeof(uint32_t);
+    total += paged(window_words, sizeof(uint32_t));
+  }
+  total += paged(n, sizeof(Weight));    // labels
+  total += paged(n, sizeof(uint32_t));  // stamp
+  const uint64_t act_cap = options.inject.shrink_frontier && n > 1 ? n - 1 : n;
+  total += paged(act_cap, sizeof(VertexId));  // act_set
+  total += paged(1, sizeof(uint32_t));        // act_count
+  const uint64_t shadow_cap = ShadowCapacity(csr, options.degree_limit) + 1;
+  total += paged(shadow_cap, sizeof(VertexId));  // full_id
+  total += paged(shadow_cap, sizeof(EdgeId));    // full_start
+  total += paged(shadow_cap, sizeof(VertexId));  // part_id
+  total += paged(shadow_cap, sizeof(EdgeId));    // part_start
+  total += paged(shadow_cap, sizeof(EdgeId));    // part_end
+  total += paged(2, sizeof(uint32_t));           // virt_counts
+  total += paged(n, sizeof(uint32_t));           // reach_mask (lazy)
+  return total;
+}
+
 ResidentGraph::ResidentGraph(const graph::Csr& csr, EtaGraphOptions options)
     : ResidentGraph(csr, options, csr.HasWeights()) {}
 

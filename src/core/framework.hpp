@@ -61,6 +61,19 @@ class ResidentGraph {
   ResidentGraph(const ResidentGraph&) = delete;
   ResidentGraph& operator=(const ResidentGraph&) = delete;
 
+  /// Upper-bound estimate of the kDevice-resident bytes a session staging
+  /// `csr` under `options` would hold, mirroring the constructor's
+  /// allocation sequence (page-rounded per allocation, and including the
+  /// lazily-allocated per-vertex reach mask an attributed batch adds).
+  /// The serving fleet's eviction policy uses this to decide what must be
+  /// evicted *before* paying for a build; after the build, the exact
+  /// footprint is DeviceBytesPeak().
+  static uint64_t EstimateDeviceBytes(const graph::Csr& csr,
+                                      const EtaGraphOptions& options,
+                                      bool stage_weights);
+  static uint64_t EstimateDeviceBytes(const graph::Csr& csr,
+                                      const EtaGraphOptions& options = {});
+
   bool Oom() const { return oom_; }
   /// True once the simulated device has been lost to an injected fault;
   /// every further query fails immediately (the session must be rebuilt).

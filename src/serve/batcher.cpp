@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace eta::serve {
@@ -24,31 +26,43 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
   };
 
   if (batch.requests.size() > 1 && Batchable(batch.algo)) {
-    std::vector<graph::VertexId> sources;
-    sources.reserve(batch.requests.size());
-    for (const Request& r : batch.requests) {
-      ETA_CHECK(r.algo == batch.algo);
-      sources.push_back(r.source);
+    // Per-source attribution masks are kMaxAttributedSources bits wide, so
+    // a batch beyond the cap executes as successive launch waves of at most
+    // the cap. Each wave is a complete attributed launch; a device failure
+    // leaves that wave and everything behind it unserved.
+    constexpr size_t kWave = core::ResidentGraph::kMaxAttributedSources;
+    double t = start_ms;
+    for (size_t begin = 0; begin < batch.requests.size(); begin += kWave) {
+      const size_t count = std::min(kWave, batch.requests.size() - begin);
+      std::vector<graph::VertexId> sources;
+      sources.reserve(count);
+      for (size_t i = begin; i < begin + count; ++i) {
+        ETA_CHECK(batch.requests[i].algo == batch.algo);
+        sources.push_back(batch.requests[i].source);
+      }
+      core::RunReport report = session.RunBatch(batch.algo, sources);
+      out.faults.Merge(report.faults);
+      out.cycles += report.query_counters.elapsed_cycles;
+      t += report.query_ms;
+      if (report.DeviceFailed()) {
+        // All-or-nothing per wave: a folded launch that died answers
+        // nobody, and later waves never dispatch on the failed session.
+        out.unserved.assign(batch.requests.begin() + static_cast<long>(begin),
+                            batch.requests.end());
+        out.device_failed = true;
+        break;
+      }
+      ETA_CHECK(report.per_source_reached.size() == count);
+      for (size_t i = 0; i < count; ++i) {
+        QueryResult q = base_result(batch.requests[begin + i]);
+        q.reached_vertices = report.per_source_reached[i];
+        q.batch_size = static_cast<uint32_t>(count);
+        q.start_ms = t - report.query_ms;
+        q.finish_ms = t;
+        out.results.push_back(q);
+      }
     }
-    core::RunReport report = session.RunBatch(batch.algo, sources);
-    out.faults.Merge(report.faults);
-    out.duration_ms = report.query_ms;
-    out.cycles = report.query_counters.elapsed_cycles;
-    if (report.DeviceFailed()) {
-      // All-or-nothing: a folded launch that died answers nobody.
-      out.unserved = batch.requests;
-      out.device_failed = true;
-      return out;
-    }
-    ETA_CHECK(report.per_source_reached.size() == batch.requests.size());
-    for (size_t i = 0; i < batch.requests.size(); ++i) {
-      QueryResult q = base_result(batch.requests[i]);
-      q.reached_vertices = report.per_source_reached[i];
-      q.batch_size = static_cast<uint32_t>(batch.requests.size());
-      q.start_ms = start_ms;
-      q.finish_ms = start_ms + report.query_ms;
-      out.results.push_back(q);
-    }
+    out.duration_ms = t - start_ms;
     return out;
   }
 

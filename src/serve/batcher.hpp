@@ -20,9 +20,11 @@
 
 namespace eta::serve {
 
-/// A set of admitted requests dispatched as one unit.
+/// A set of admitted requests dispatched as one unit. All requests share
+/// one algorithm and one target graph.
 struct Batch {
   core::Algo algo = core::Algo::kBfs;
+  uint32_t graph_id = 0;
   std::vector<Request> requests;
 };
 
@@ -56,8 +58,13 @@ struct BatchOutcome {
 /// Executes `batch` on `session` starting at simulated time `start_ms`.
 /// Multi-request batches run as one attributed multi-source launch and are
 /// demultiplexed; size-one or non-batchable batches run sequentially (the
-/// correctness fallback). On a device failure the remaining requests are
-/// returned unserved rather than half-answered.
+/// correctness fallback). Per-source attribution masks carry one bit per
+/// source (core::ResidentGraph::kMaxAttributedSources = 32 wide), so a
+/// batch beyond the cap splits into successive launch waves of at most the
+/// cap — each wave is its own attributed launch with its own start/finish
+/// stamps and batch_size, so a 64-request dispatch answers bit-identically
+/// to two 32-request dispatches. On a device failure the remaining
+/// requests are returned unserved rather than half-answered.
 BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms);
 
 }  // namespace eta::serve

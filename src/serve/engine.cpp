@@ -225,6 +225,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     const double window_start = now;
     Batch batch;
     batch.algo = head->algo;
+    batch.graph_id = head->graph_id;
     batch.requests.push_back(*head);
 
     if (options_.mode == ServeMode::kSessionBatched && session != nullptr &&
@@ -237,7 +238,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       auto fill = [&]() {
         if (batch.requests.size() >= limit) return;
         std::vector<Request> more = sched.PopCompatible(
-            batch.algo, limit - static_cast<uint32_t>(batch.requests.size()));
+            batch.algo, batch.graph_id,
+            limit - static_cast<uint32_t>(batch.requests.size()));
         batch.requests.insert(batch.requests.end(), more.begin(), more.end());
       };
       fill();
@@ -297,7 +299,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       if (session != nullptr) {
         const double dispatch_start = now;
         const double device_before = session->NowMs();
-        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
+        BatchOutcome out =
+            ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending}, now);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
         dispatch_cycles += out.cycles;
@@ -318,7 +321,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         if (!build_session()) continue;
         const double dispatch_start = now;
         const double device_before = session->NowMs();
-        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, pending}, now);
+        BatchOutcome out =
+            ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending}, now);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
         dispatch_cycles += out.cycles;

@@ -22,9 +22,14 @@ void FixedHistogram::Observe(double value) {
     }
   }
   ++buckets_[bucket];
-  samples_.push_back(value);
-  sorted_valid_ = false;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
   sum_ += value;
+  if (samples_.size() < kMaxRawSamples) {
+    samples_.push_back(value);
+    sorted_valid_ = false;
+  }
 }
 
 uint64_t FixedHistogram::CumulativeCount(size_t bucket) const {
@@ -35,27 +40,31 @@ uint64_t FixedHistogram::CumulativeCount(size_t bucket) const {
 }
 
 double FixedHistogram::Percentile(double p) const {
-  if (samples_.empty()) return 0;
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
-  }
-  // Nearest-rank: the smallest sample with at least ceil(p/100 * n)
-  // samples at or below it.
-  const double n = static_cast<double>(sorted_.size());
-  auto rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  if (count_ == 0) return 0;
+  // Nearest-rank: the smallest observation with at least ceil(p/100 * n)
+  // observations at or below it.
+  const double n = static_cast<double>(count_);
+  auto rank = static_cast<uint64_t>(std::ceil(p / 100.0 * n));
   if (rank == 0) rank = 1;
-  if (rank > sorted_.size()) rank = sorted_.size();
-  return sorted_[rank - 1];
-}
-
-double FixedHistogram::Min() const {
-  return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
-}
-
-double FixedHistogram::Max() const {
-  return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  if (rank > count_) rank = count_;
+  if (count_ <= kMaxRawSamples) {
+    // Every observation is retained: exact.
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    return sorted_[rank - 1];
+  }
+  // Past the cap, degrade to nearest-rank over the fixed buckets: report
+  // the inclusive upper bound of the bucket the ranked observation landed
+  // in. A rank in the +Inf bucket reports the exact observed maximum.
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return max_;
 }
 
 std::vector<double> LatencyBucketsMs() {

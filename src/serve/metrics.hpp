@@ -4,11 +4,16 @@
 // into ServeReport.
 //
 // Histograms keep both the fixed bucket counts (what the Prometheus
-// `_bucket` lines report) and every raw sample, so quantiles are *exact*
+// `_bucket` lines report) and the raw samples, so quantiles are *exact*
 // nearest-rank percentiles of the observed values, not bucket-boundary
-// interpolations. The replay engine is deterministic and single-threaded,
-// so the registry does no locking; everything renders in insertion order,
-// making the exposition byte-deterministic for identically-seeded runs.
+// interpolations. Raw-sample retention is bounded
+// (FixedHistogram::kMaxRawSamples) so sustained traffic cannot grow a
+// histogram without limit: runs at or under the cap behave exactly as
+// before, while beyond it Percentile falls back to a deterministic
+// nearest-rank over the fixed buckets (see Percentile). The replay engine
+// is deterministic and single-threaded, so the registry does no locking;
+// everything renders in insertion order, making the exposition
+// byte-deterministic for identically-seeded runs.
 #pragma once
 
 #include <cstdint>
@@ -48,31 +53,45 @@ class FixedHistogram {
   /// of CumulativeCount.
   explicit FixedHistogram(std::vector<double> bounds);
 
+  /// Raw samples retained for exact percentiles are capped here; counts,
+  /// sum, min/max, and the bucket counts stay exact past the cap.
+  static constexpr size_t kMaxRawSamples = 8192;
+
   void Observe(double value);
 
-  uint64_t Count() const { return static_cast<uint64_t>(samples_.size()); }
+  uint64_t Count() const { return count_; }
   double Sum() const { return sum_; }
   const std::vector<double>& Bounds() const { return bounds_; }
+
+  /// Raw samples currently retained (== Count() until the cap is hit).
+  size_t RetainedSamples() const { return samples_.size(); }
 
   /// Observations <= bounds[i] (the `_bucket{le="..."}` value); pass
   /// i == bounds.size() for the +Inf bucket (== Count()).
   uint64_t CumulativeCount(size_t bucket) const;
 
-  /// Exact nearest-rank percentile of the raw samples (p in [0,100]).
-  /// Returns 0 on an empty histogram — never NaN.
+  /// Nearest-rank percentile (p in [0,100]); returns 0 on an empty
+  /// histogram — never NaN. Exact over the raw samples while Count() is at
+  /// most kMaxRawSamples; beyond the cap it degrades to nearest-rank over
+  /// the fixed buckets — the inclusive upper bound of the bucket holding
+  /// the ranked observation, or the exact observed maximum when the rank
+  /// lands in the +Inf bucket. Deterministic either way.
   double Percentile(double p) const;
 
-  double Mean() const { return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size()); }
-  double Min() const;
-  double Max() const;
+  double Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double Min() const { return count_ == 0 ? 0 : min_; }
+  double Max() const { return count_ == 0 ? 0 : max_; }
 
  private:
   std::vector<double> bounds_;
   std::vector<uint64_t> buckets_;  // per-bucket (not cumulative), +Inf last
-  std::vector<double> samples_;    // raw observations, insertion order
+  std::vector<double> samples_;    // raw observations, capped at kMaxRawSamples
   mutable std::vector<double> sorted_;  // lazy cache for Percentile
   mutable bool sorted_valid_ = true;
+  uint64_t count_ = 0;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 /// Default latency bucket bounds (ms): roughly logarithmic 0.1 .. 5000.

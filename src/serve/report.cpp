@@ -92,6 +92,21 @@ std::string ServeReport::Render(const std::string& title) const {
     out += "\n";
     out += cost.Render("Cost model observations");
   }
+
+  if (!shard_stats.empty()) {
+    util::Table shards({"Shard", "Dispatches", "Served", "Degraded", "In", "Out",
+                        "Rebuilds", "Evict", "Reload", "Faults", "Busy ms", "State"});
+    for (const ShardStat& s : shard_stats) {
+      shards.AddRow({std::to_string(s.shard), std::to_string(s.dispatches),
+                     std::to_string(s.served), std::to_string(s.degraded),
+                     std::to_string(s.rerouted_in), std::to_string(s.rerouted_out),
+                     std::to_string(s.rebuilds), std::to_string(s.evictions),
+                     std::to_string(s.reloads), std::to_string(s.launch_failures),
+                     util::FormatDouble(s.busy_ms, 3), s.dead ? "dead" : "up"});
+    }
+    out += "\n";
+    out += shards.Render("Shards");
+  }
   return out;
 }
 
@@ -156,7 +171,26 @@ std::string ServeReport::Json() const {
     }
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (!shard_stats.empty()) {
+    out += ",\"shards\":[";
+    for (size_t i = 0; i < shard_stats.size(); ++i) {
+      const ShardStat& s = shard_stats[i];
+      if (i > 0) out += ",";
+      Appendf(out,
+              "{\"shard\":%u,\"dispatches\":%" PRIu64 ",\"served\":%" PRIu64
+              ",\"degraded\":%" PRIu64 ",\"rerouted_in\":%" PRIu64
+              ",\"rerouted_out\":%" PRIu64 ",\"rebuilds\":%" PRIu64
+              ",\"evictions\":%" PRIu64 ",\"reloads\":%" PRIu64
+              ",\"launch_failures\":%" PRIu64 ",\"dead\":%s,\"busy_ms\":%.4f"
+              ",\"peak_resident_bytes\":%" PRIu64 "}",
+              s.shard, s.dispatches, s.served, s.degraded, s.rerouted_in,
+              s.rerouted_out, s.rebuilds, s.evictions, s.reloads, s.launch_failures,
+              s.dead ? "true" : "false", s.busy_ms, s.peak_resident_bytes);
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 

@@ -33,6 +33,28 @@ struct CostObservation {
   double mean_cycles = 0;        // device cycles attributed per query
 };
 
+/// Per-shard accounting of a sharded-fleet replay (serve::ShardedEngine).
+/// Empty in single-engine reports; rendered only when present, so legacy
+/// report output is byte-identical with or without the fleet layer built.
+struct ShardStat {
+  uint32_t shard = 0;
+  uint64_t dispatches = 0;  // batches this shard executed
+  uint64_t served = 0;      // requests answered on this shard's device
+  uint64_t degraded = 0;    // requests this shard handed to the CPU fallback
+  /// Requests drained *into* this shard from a quarantined peer, and
+  /// requests this shard's quarantine drained *out* to peers.
+  uint64_t rerouted_in = 0;
+  uint64_t rerouted_out = 0;
+  uint64_t rebuilds = 0;    // unhealthy sessions torn down and re-staged
+  uint64_t evictions = 0;   // resident graphs evicted under the memory budget
+  uint64_t reloads = 0;     // re-stagings of a previously staged graph
+                            // (evicted or torn down by a rebuild)
+  uint64_t launch_failures = 0;  // injected faults observed on this shard
+  bool dead = false;        // rebuild budget exhausted; routed around for good
+  double busy_ms = 0;       // simulated time spent dispatching (incl. loads)
+  uint64_t peak_resident_bytes = 0;  // high-water device residency
+};
+
 struct ServeReport {
   ServeMode mode = ServeMode::kSessionBatched;
 
@@ -81,6 +103,9 @@ struct ServeReport {
 
   /// Per-algo estimated-vs-actual cost aggregates, algo name order.
   std::vector<CostObservation> cost_observations;
+
+  /// Per-shard accounting, shard index order; empty outside ShardedEngine.
+  std::vector<ShardStat> shard_stats;
 
   /// Merged trace spans (device timeline slices mapped onto the serve
   /// clock, per-launch kernel spans, queue/batcher/session/cpu serve

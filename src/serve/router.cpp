@@ -1,0 +1,656 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/framework.hpp"
+#include "cpu/reference.hpp"
+#include "prof/trace_export.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+#include "util/check.hpp"
+
+namespace eta::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t ToMicros(double ms) {
+  return static_cast<uint64_t>(std::llround(std::max(0.0, ms) * 1000.0));
+}
+
+std::vector<double> QueueDepthBuckets() { return {0, 1, 2, 4, 8, 16, 32, 64}; }
+std::vector<double> CycleBuckets() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+/// Per-algo running aggregates — the same estimator the single engine
+/// records into cost_observations, shared fleet-wide so routing on shard 3
+/// learns from dispatches on shard 0.
+struct CostAgg {
+  uint64_t queries = 0;
+  double service_sum = 0;
+  double abs_err_sum = 0;
+  double cycles_sum = 0;
+
+  double EstimateMs() const {
+    return queries > 0 ? service_sum / static_cast<double>(queries) : 0;
+  }
+};
+
+/// One graph resident on one shard's device.
+struct ResidentSession {
+  uint32_t graph_id = 0;
+  std::unique_ptr<GraphSession> session;
+  uint64_t resident_bytes = 0;
+  uint64_t last_used = 0;  // LRU ordinal (monotone dispatch tick)
+  // Trace-export bookmarks into this session's device timeline/profiler.
+  size_t spans_done = 0;
+  size_t launches_done = 0;
+};
+
+struct Shard {
+  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+  uint32_t index = 0;
+  core::EtaGraphOptions graph_options{};
+  QueryScheduler queue;
+  std::vector<ResidentSession> sessions;
+  uint64_t resident_bytes = 0;
+  /// Serve-clock time when the shard can next dispatch.
+  double free_at = 0;
+  uint32_t rebuilds_left = 0;
+  bool dead = false;
+  /// Graphs ever staged here — a second staging of the same graph is a
+  /// reload (the eviction policy's cost signal).
+  std::set<uint32_t> staged_graphs;
+  /// Queued-request composition per algorithm, the routing estimate input.
+  std::map<core::Algo, uint64_t> queued_by_algo;
+  ShardStat stat{};
+};
+
+/// A request drained out of a quarantined shard, to be re-routed once the
+/// global clock reaches the fault time (routing earlier would let a peer
+/// dispatch work caused by a failure that has not happened yet).
+struct Deferred {
+  double ready_ms = 0;
+  uint64_t order = 0;  // drain order, the deterministic tiebreaker
+  Request request;
+};
+
+}  // namespace
+
+ServeReport ShardedEngine::Serve(const graph::Csr& csr,
+                                 const std::vector<Request>& trace) const {
+  const graph::Csr* catalog[] = {&csr};
+  return ServeMany(catalog, trace);
+}
+
+ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
+                                     const std::vector<Request>& trace) const {
+  ETA_CHECK(!graphs.empty());
+  ETA_CHECK(options_.shards >= 1);
+  ETA_CHECK(options_.base.mode != ServeMode::kNaivePerQuery);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) ETA_CHECK(trace[i - 1].arrival_ms <= trace[i].arrival_ms);
+    ETA_CHECK(trace[i].graph_id < graphs.size());
+  }
+
+  const ServeOptions& base = options_.base;
+  ServeReport report;
+  report.mode = base.mode;
+  report.total_requests = trace.size();
+  report.results.reserve(trace.size());
+
+  const bool profiling = base.graph.profile;
+  MetricsRegistry& metrics = report.metrics;
+  auto count_query = [&](core::Algo algo, QueryStatus status) {
+    metrics
+        .GetCounter("serve_queries_total", "Requests by algorithm and terminal status.",
+                    {{"algo", core::AlgoName(algo)}, {"status", QueryStatusName(status)}})
+        .Inc();
+  };
+  auto observe_ms = [&](const char* name, const char* help, core::Algo algo, double ms) {
+    metrics.GetHistogram(name, help, LatencyBucketsMs(), {{"algo", core::AlgoName(algo)}})
+        .Observe(ms);
+  };
+
+  std::map<core::Algo, CostAgg> cost;
+
+  /// Flat CPU-fallback bill per graph, as in the single engine.
+  std::vector<double> cpu_query_ms(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    cpu_query_ms[g] =
+        static_cast<double>(graphs[g]->NumVertices() + graphs[g]->NumEdges()) /
+        std::max(1.0, base.cpu_fallback_units_per_ms);
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(options_.shards);
+  for (uint32_t i = 0; i < options_.shards; ++i) {
+    shards.emplace_back(base.queue_capacity);
+    Shard& s = shards.back();
+    s.index = i;
+    s.graph_options = base.graph;
+    if (i < options_.shard_faults.size()) {
+      s.graph_options.faults = options_.shard_faults[i];
+    } else if (base.graph.faults.Enabled()) {
+      // De-correlate the shards: same rates, per-shard stream.
+      s.graph_options.faults.seed = base.graph.faults.seed + i;
+    }
+    s.rebuilds_left = base.max_session_rebuilds;
+    s.stat.shard = i;
+  }
+
+  uint64_t lru_tick = 0;
+  uint64_t drain_order = 0;
+  std::vector<Deferred> deferred;
+  double cpu_free_at = 0;  // serial timeline of the all-shards-dead CPU path
+  double max_finish = 0;
+  bool load_recorded = false;
+
+  auto capture_device_slice = [&](const Shard& s, ResidentSession& rs,
+                                  double serve_start, double device_from) {
+    if (!profiling || rs.session == nullptr) return;
+    const double offset = serve_start - device_from;
+    const std::string track = "shard" + std::to_string(s.index) + "/device";
+    const auto& spans = rs.session->DeviceTimeline().Spans();
+    prof::AppendTimelineSpans(std::span<const sim::Span>(spans).subspan(rs.spans_done),
+                              track, offset, &report.trace_spans);
+    rs.spans_done = spans.size();
+    if (const sim::LaunchProfiler* prof = rs.session->Profiler()) {
+      prof::AppendKernelSpans(
+          std::span<const sim::KernelProfile>(prof->Launches()).subspan(rs.launches_done),
+          track, offset, &report.trace_spans);
+      rs.launches_done = prof->Launches().size();
+    }
+  };
+
+  /// Tears one resident session down, folding its etacheck report into the
+  /// fleet report and releasing its residency accounting.
+  auto retire_session = [&](Shard& s, size_t idx) {
+    ResidentSession& rs = s.sessions[idx];
+    rs.session->Shutdown();
+    if (const sanitizer::SanitizerReport* c = rs.session->CheckReport()) {
+      report.check.Merge(*c);
+    }
+    s.resident_bytes -= rs.resident_bytes;
+    s.sessions.erase(s.sessions.begin() + static_cast<long>(idx));
+  };
+
+  auto retire_all_sessions = [&](Shard& s) {
+    while (!s.sessions.empty()) retire_session(s, s.sessions.size() - 1);
+  };
+
+  /// Returns the shard's resident session for `graph_id`, staging it (and
+  /// evicting LRU residents under the memory budget) if needed; `t` is the
+  /// shard-local clock and is charged the staging time. Returns nullptr
+  /// when staging itself failed (injected allocation fault) — the caller's
+  /// quarantine loop owns the retry budget.
+  auto ensure_session = [&](Shard& s, uint32_t graph_id,
+                            double& t) -> ResidentSession* {
+    for (ResidentSession& rs : s.sessions) {
+      if (rs.graph_id == graph_id) {
+        rs.last_used = ++lru_tick;
+        return &rs;
+      }
+    }
+    const graph::Csr& csr = *graphs[graph_id];
+    const uint64_t budget = options_.device_mem_budget_bytes;
+    if (budget > 0) {
+      const uint64_t need =
+          core::ResidentGraph::EstimateDeviceBytes(csr, s.graph_options);
+      // Evict least-recently-used residents until the estimate fits; a
+      // single over-budget graph may still be staged alone.
+      while (s.resident_bytes + need > budget && !s.sessions.empty()) {
+        size_t victim = 0;
+        for (size_t i = 1; i < s.sessions.size(); ++i) {
+          if (s.sessions[i].last_used < s.sessions[victim].last_used) victim = i;
+        }
+        retire_session(s, victim);
+        ++s.stat.evictions;
+      }
+    }
+    const double t0 = t;
+    ResidentSession rs;
+    rs.graph_id = graph_id;
+    rs.session = std::make_unique<GraphSession>(csr, s.graph_options);
+    rs.last_used = ++lru_tick;
+    t += rs.session->LoadMs();
+    if (profiling) {
+      capture_device_slice(s, rs, t0, 0.0);  // fresh device clock starts at 0
+      prof::TraceSpan span{"serve/session", "session-load", t0, t, {}};
+      span.args.push_back({"shard", std::to_string(s.index), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
+    if (!rs.session->Loaded()) {
+      rs.session->Shutdown();
+      if (const sanitizer::SanitizerReport* c = rs.session->CheckReport()) {
+        report.check.Merge(*c);
+      }
+      return nullptr;
+    }
+    if (!load_recorded) {
+      report.load_ms = rs.session->LoadMs();
+      load_recorded = true;
+    }
+    rs.resident_bytes = rs.session->DeviceBytesPeak();
+    s.resident_bytes += rs.resident_bytes;
+    s.stat.peak_resident_bytes = std::max(s.stat.peak_resident_bytes, s.resident_bytes);
+    if (!s.staged_graphs.insert(graph_id).second) ++s.stat.reloads;
+    s.sessions.push_back(std::move(rs));
+    return &s.sessions.back();
+  };
+
+  auto reject = [&](const Request& r) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kRejected;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    report.results.push_back(q);
+    ++report.rejected;
+    count_query(r.algo, QueryStatus::kRejected);
+  };
+  auto time_out = [&](const Request& r, double when_ms) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kTimedOut;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    q.start_ms = when_ms;
+    q.finish_ms = when_ms;
+    report.results.push_back(q);
+    ++report.timed_out;
+    count_query(r.algo, QueryStatus::kTimedOut);
+    observe_ms("serve_queue_wait_ms",
+               "Time from arrival to dispatch (or expiry) per request.", r.algo,
+               q.QueueMs());
+  };
+  auto serve_cpu = [&](const Request& r, double start) {
+    std::vector<graph::Weight> labels =
+        core::CpuReference(*graphs[r.graph_id], r.algo, r.source);
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kDegraded;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    q.reached_vertices = cpu::CountReached(labels, core::IsWidest(r.algo));
+    q.batch_size = 0;
+    q.start_ms = start;
+    q.finish_ms = start + cpu_query_ms[r.graph_id];
+    ++report.degraded;
+    if (profiling) {
+      prof::TraceSpan span{"serve/cpu-fallback", std::string(core::AlgoName(r.algo)),
+                           q.start_ms, q.finish_ms, {}};
+      span.args.push_back({"request", std::to_string(r.id), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
+    return q;
+  };
+
+  /// Records one completed result with the full metrics treatment the
+  /// single engine gives it (the cost model sees `estimate_ms`, the
+  /// prediction made before the dispatch that produced the result).
+  auto record_result = [&](const QueryResult& q, double estimate_ms,
+                           double cycles_per_query) {
+    ++report.completed;
+    report.reached_total += q.reached_vertices;
+    report.latency_us.Add(ToMicros(q.LatencyMs()));
+    report.queue_wait_us.Add(ToMicros(q.QueueMs()));
+    count_query(q.algo, q.status);
+    observe_ms("serve_queue_wait_ms",
+               "Time from arrival to dispatch (or expiry) per request.", q.algo,
+               q.QueueMs());
+    observe_ms("serve_service_ms", "Time from dispatch to completion per request.",
+               q.algo, q.finish_ms - q.start_ms);
+    observe_ms("serve_latency_ms", "End-to-end time from arrival to completion.",
+               q.algo, q.LatencyMs());
+    if (q.status == QueryStatus::kOk) {
+      const double actual_ms = q.finish_ms - q.start_ms;
+      CostAgg& agg = cost[q.algo];
+      ++agg.queries;
+      agg.service_sum += actual_ms;
+      agg.abs_err_sum += std::abs(actual_ms - estimate_ms);
+      agg.cycles_sum += cycles_per_query;
+      metrics
+          .GetHistogram("serve_cost_error_ms",
+                        "Absolute error of the running-mean service-time estimator.",
+                        LatencyBucketsMs(), {{"algo", core::AlgoName(q.algo)}})
+          .Observe(std::abs(actual_ms - estimate_ms));
+      metrics
+          .GetHistogram("serve_query_cycles",
+                        "Device cycles attributed per device-served query.",
+                        CycleBuckets(), {{"algo", core::AlgoName(q.algo)}})
+          .Observe(cycles_per_query);
+    }
+    if (profiling && q.QueueMs() > 0) {
+      prof::TraceSpan span{"serve/queue", std::string(core::AlgoName(q.algo)),
+                           q.arrival_ms, q.start_ms, {}};
+      span.args.push_back({"request", std::to_string(q.id), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
+    max_finish = std::max(max_finish, q.finish_ms);
+    report.results.push_back(q);
+  };
+
+  /// The routing estimate: time until the shard is next free plus its
+  /// queued work costed by the running-mean estimator.
+  auto backlog_ms = [&](const Shard& s, double now) {
+    double b = std::max(0.0, s.free_at - now);
+    for (const auto& [algo, n] : s.queued_by_algo) {
+      b += static_cast<double>(n) * cost[algo].EstimateMs();
+    }
+    return b;
+  };
+
+  /// Serves `r` on the fleet-wide serial CPU timeline — the terminal
+  /// fallback when no shard can take it (all dead, or every queue full on
+  /// a re-route).
+  auto serve_cpu_global = [&](const Request& r, double now) {
+    cpu_free_at = std::max(cpu_free_at, now);
+    QueryResult q = serve_cpu(r, cpu_free_at);
+    cpu_free_at = q.finish_ms;
+    record_result(q, cost[r.algo].EstimateMs(), 0);
+  };
+
+  /// Load-aware admission. Tries live shards in increasing estimated
+  /// backlog — ties broken by queue depth (so a cold estimator, whose mean
+  /// is still 0, spreads a burst instead of piling it on one shard), then
+  /// by shard index. Returns the shard that admitted `r`, or nullptr when
+  /// every live queue is full (or the fleet is dead).
+  auto route = [&](const Request& r, double now) -> Shard* {
+    std::vector<std::tuple<double, size_t, uint32_t>> order;
+    order.reserve(shards.size());
+    for (Shard& s : shards) {
+      if (s.dead) continue;
+      order.emplace_back(backlog_ms(s, now), s.queue.Depth(), s.index);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [backlog, depth, index] : order) {
+      Shard& s = shards[index];
+      if (!s.queue.Admit(r)) continue;
+      ++s.queued_by_algo[r.algo];
+      return &s;
+    }
+    return nullptr;
+  };
+
+  /// Fault-aware drain: empties a quarantined shard's queue into the
+  /// deferred set, to be re-routed to peers once the global clock reaches
+  /// the fault time `t`.
+  auto drain_queue = [&](Shard& s, double t) {
+    while (true) {
+      std::optional<Request> r = s.queue.PopNext();
+      if (!r.has_value()) break;
+      --s.queued_by_algo[r->algo];
+      ++s.stat.rerouted_out;
+      deferred.push_back({t, drain_order++, *r});
+    }
+  };
+
+  auto dispatch = [&](Shard& s, double now) {
+    std::optional<Request> head = s.queue.PopNext();
+    ETA_CHECK(head.has_value());
+    --s.queued_by_algo[head->algo];
+    Batch batch;
+    batch.algo = head->algo;
+    batch.graph_id = head->graph_id;
+    batch.requests.push_back(*head);
+    if (base.mode == ServeMode::kSessionBatched && Batchable(batch.algo)) {
+      // Fold already-queued compatible requests. ExecuteBatch wave-splits
+      // past kMaxAttributedSources, so the fold limit is max_batch alone.
+      const uint32_t limit = std::max<uint32_t>(base.max_batch, 1);
+      if (batch.requests.size() < limit) {
+        std::vector<Request> more = s.queue.PopCompatible(
+            batch.algo, batch.graph_id,
+            limit - static_cast<uint32_t>(batch.requests.size()));
+        for (const Request& r : more) --s.queued_by_algo[r.algo];
+        batch.requests.insert(batch.requests.end(), more.begin(), more.end());
+      }
+    }
+
+    report.batch_occupancy.Add(batch.requests.size());
+    report.queue_depth.Add(s.queue.Depth());
+    ++report.batches;
+    ++s.stat.dispatches;
+    metrics
+        .GetHistogram("serve_batch_size", "Requests folded into one dispatch.",
+                      BatchSizeBuckets())
+        .Observe(static_cast<double>(batch.requests.size()));
+    metrics
+        .GetHistogram("serve_queue_depth", "Queue depth sampled at each dispatch.",
+                      QueueDepthBuckets())
+        .Observe(static_cast<double>(s.queue.Depth()));
+
+    const double estimate_ms = cost[batch.algo].EstimateMs();
+    double dispatch_cycles = 0;
+    double t = now;
+    std::vector<QueryResult> outcomes;
+    std::vector<Request> pending = std::move(batch.requests);
+
+    ResidentSession* rs = ensure_session(s, batch.graph_id, t);
+    if (rs != nullptr) {
+      const double dispatch_start = t;
+      const double device_before = rs->session->NowMs();
+      BatchOutcome out = ExecuteBatch(*rs->session,
+                                      Batch{batch.algo, batch.graph_id, pending}, t);
+      report.faults.Merge(out.faults);
+      s.stat.launch_failures += out.faults.launch_failures;
+      t += out.duration_ms;
+      dispatch_cycles += out.cycles;
+      capture_device_slice(s, *rs, dispatch_start, device_before);
+      outcomes = std::move(out.results);
+      pending = std::move(out.unserved);
+    }
+    // Quarantine-and-rebuild, with the fault-aware drain: the moment the
+    // shard's device is known lost (or staging failed), its queued work
+    // re-routes to peers rather than stalling behind the rebuild; only the
+    // in-flight remainder retries here. Device loss takes the whole device,
+    // so every resident session is torn down, not just the dispatching one.
+    while (!pending.empty() && s.rebuilds_left > 0 &&
+           (rs == nullptr || !rs->session->Healthy())) {
+      drain_queue(s, t);
+      --s.rebuilds_left;
+      ++s.stat.rebuilds;
+      ++report.session_rebuilds;
+      retire_all_sessions(s);
+      rs = ensure_session(s, batch.graph_id, t);
+      if (rs == nullptr) continue;
+      const double dispatch_start = t;
+      const double device_before = rs->session->NowMs();
+      BatchOutcome out = ExecuteBatch(*rs->session,
+                                      Batch{batch.algo, batch.graph_id, pending}, t);
+      report.faults.Merge(out.faults);
+      s.stat.launch_failures += out.faults.launch_failures;
+      t += out.duration_ms;
+      dispatch_cycles += out.cycles;
+      capture_device_slice(s, *rs, dispatch_start, device_before);
+      for (QueryResult& q : out.results) outcomes.push_back(std::move(q));
+      pending = std::move(out.unserved);
+    }
+    if (!pending.empty() && (rs == nullptr || !rs->session->Healthy()) &&
+        s.rebuilds_left == 0) {
+      // Rebuild budget exhausted: the shard is dead. Drain whatever queued
+      // after the last drain and route around it for good.
+      s.dead = true;
+      s.stat.dead = true;
+      drain_queue(s, t);
+      retire_all_sessions(s);
+    }
+    // Whatever the device path could not answer is served degraded, on
+    // this shard's timeline (it owned the requests).
+    for (const Request& r : pending) {
+      outcomes.push_back(serve_cpu(r, t));
+      t += cpu_query_ms[r.graph_id];
+      ++s.stat.degraded;
+    }
+
+    uint64_t served_on_device = 0;
+    for (const QueryResult& q : outcomes) {
+      if (q.status == QueryStatus::kOk) ++served_on_device;
+    }
+    const double cycles_per_query =
+        served_on_device > 0 ? dispatch_cycles / static_cast<double>(served_on_device)
+                             : 0;
+    s.stat.served += served_on_device;
+    for (const QueryResult& q : outcomes) {
+      record_result(q, estimate_ms, cycles_per_query);
+    }
+    s.free_at = t;
+    s.stat.busy_ms += t - now;
+  };
+
+  size_t next = 0;  // first trace entry that has not yet arrived
+  double now = 0;
+
+  auto fleet_dead = [&]() {
+    for (const Shard& s : shards) {
+      if (!s.dead) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    // Admit trace arrivals due now.
+    while (next < trace.size() && trace[next].arrival_ms <= now) {
+      const Request& r = trace[next];
+      if (fleet_dead()) {
+        serve_cpu_global(r, now);
+      } else if (route(r, now) == nullptr) {
+        reject(r);
+      }
+      ++next;
+    }
+    // Re-route requests drained out of quarantined shards whose fault time
+    // the clock has reached, in drain order.
+    if (!deferred.empty()) {
+      std::vector<Deferred> ready;
+      std::vector<Deferred> later;
+      for (Deferred& d : deferred) {
+        (d.ready_ms <= now ? ready : later).push_back(std::move(d));
+      }
+      deferred = std::move(later);
+      std::sort(ready.begin(), ready.end(), [](const Deferred& a, const Deferred& b) {
+        return a.ready_ms != b.ready_ms ? a.ready_ms < b.ready_ms : a.order < b.order;
+      });
+      for (const Deferred& d : ready) {
+        Shard* target = fleet_dead() ? nullptr : route(d.request, now);
+        if (target != nullptr) {
+          ++target->stat.rerouted_in;
+        } else {
+          // No live shard can take it; degraded beats lost.
+          serve_cpu_global(d.request, now);
+        }
+      }
+    }
+    // Sweep expired deadlines everywhere before dispatching.
+    for (Shard& s : shards) {
+      for (const Request& r : s.queue.ExpireDeadlines(now)) {
+        --s.queued_by_algo[r.algo];
+        time_out(r, now);
+      }
+    }
+    bool dispatched = false;
+    for (Shard& s : shards) {
+      if (!s.dead && s.free_at <= now && !s.queue.Empty()) {
+        dispatch(s, now);
+        dispatched = true;
+      }
+    }
+    if (dispatched) continue;
+
+    double next_t = kInf;
+    if (next < trace.size()) next_t = std::min(next_t, trace[next].arrival_ms);
+    for (const Deferred& d : deferred) next_t = std::min(next_t, d.ready_ms);
+    for (const Shard& s : shards) {
+      if (!s.dead && !s.queue.Empty() && s.free_at > now) {
+        next_t = std::min(next_t, s.free_at);
+      }
+    }
+    if (next_t == kInf) break;
+    now = std::max(now, next_t);
+  }
+
+  report.makespan_ms = std::max(max_finish, now);
+  for (Shard& s : shards) retire_all_sessions(s);
+
+  for (const auto& [algo, agg] : cost) {
+    if (agg.queries == 0) continue;
+    CostObservation obs;
+    obs.algo = core::AlgoName(algo);
+    obs.queries = agg.queries;
+    obs.mean_service_ms = agg.service_sum / static_cast<double>(agg.queries);
+    obs.mean_abs_error_ms = agg.abs_err_sum / static_cast<double>(agg.queries);
+    obs.mean_cycles = agg.cycles_sum / static_cast<double>(agg.queries);
+    report.cost_observations.push_back(std::move(obs));
+  }
+  metrics
+      .GetCounter("serve_session_rebuilds_total",
+                  "Unhealthy sessions torn down and re-staged.")
+      .Inc(static_cast<double>(report.session_rebuilds));
+  metrics
+      .GetCounter("serve_fault_backoff_ms_total",
+                  "Simulated time burned in fault-recovery backoff.")
+      .Inc(report.faults.backoff_ms);
+  metrics
+      .GetGauge("serve_degradation_ratio",
+                "Fraction of completed requests served by the CPU fallback.")
+      .Set(report.completed > 0
+               ? static_cast<double>(report.degraded) / static_cast<double>(report.completed)
+               : 0);
+  metrics.GetGauge("serve_makespan_ms", "Simulated time from t=0 to last completion.")
+      .Set(report.makespan_ms);
+  metrics.GetGauge("serve_load_ms", "Graph staging time of the first session.")
+      .Set(report.load_ms);
+  metrics.GetGauge("serve_shards", "Shards in the fleet.")
+      .Set(static_cast<double>(options_.shards));
+  for (const Shard& s : shards) {
+    const MetricLabels labels = {{"shard", std::to_string(s.index)}};
+    metrics
+        .GetCounter("serve_shard_dispatches_total", "Batches dispatched per shard.",
+                    labels)
+        .Inc(static_cast<double>(s.stat.dispatches));
+    metrics
+        .GetCounter("serve_shard_launch_failures_total",
+                    "Injected launch faults observed per shard.", labels)
+        .Inc(static_cast<double>(s.stat.launch_failures));
+    metrics
+        .GetCounter("serve_shard_rerouted_total",
+                    "Requests drained to healthy peers per quarantined shard.", labels)
+        .Inc(static_cast<double>(s.stat.rerouted_out));
+    metrics
+        .GetCounter("serve_shard_rebuilds_total", "Session rebuilds per shard.", labels)
+        .Inc(static_cast<double>(s.stat.rebuilds));
+    metrics
+        .GetCounter("serve_shard_evictions_total",
+                    "Resident graphs evicted under the memory budget per shard.", labels)
+        .Inc(static_cast<double>(s.stat.evictions));
+    metrics
+        .GetCounter("serve_shard_reloads_total",
+                    "Re-stagings of a previously staged graph per shard.", labels)
+        .Inc(static_cast<double>(s.stat.reloads));
+    metrics.GetGauge("serve_shard_busy_ms", "Simulated busy time per shard.", labels)
+        .Set(s.stat.busy_ms);
+    report.shard_stats.push_back(s.stat);
+  }
+  std::sort(report.results.begin(), report.results.end(),
+            [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  ETA_CHECK(report.results.size() == trace.size());
+  return report;
+}
+
+}  // namespace eta::serve

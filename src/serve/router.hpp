@@ -1,0 +1,95 @@
+// ShardedEngine — a fleet of GraphSessions behind one admission front.
+//
+// The sharded fleet is the serving-layer step past the single-session
+// ServeEngine: N shards, each owning one simulated device, replayed under
+// one deterministic discrete-event loop. Three policies live here:
+//
+//   Load-aware routing.  An arriving request goes to the live shard with
+//   the lowest estimated backlog: the time until the shard is next free
+//   plus the sum of its queued requests costed by the same per-algorithm
+//   running-mean service-time estimator the cost-model observations feed
+//   (ServeReport::cost_observations). Ties break to the lowest shard
+//   index; if the chosen queue is full the next-best shard is tried, and a
+//   request is rejected only when every live shard's queue is full.
+//
+//   Fault-aware routing.  When a shard's device is lost (or staging
+//   fails), the shard is quarantined: its queued requests are drained and
+//   re-routed to healthy peers at the fault time instead of stalling
+//   behind the rebuild, while the in-flight batch retries on the re-staged
+//   device under the shard's rebuild budget. A shard whose budget runs dry
+//   is dead — drained one last time and never routed to again. When every
+//   shard is dead, admission falls through to the CPU reference path, so
+//   an admitted request always completes (served or degraded, never lost).
+//
+//   LRU residency.  Each shard serves the whole graph catalog but keeps at
+//   most `device_mem_budget_bytes` of graphs resident, evicting the
+//   least-recently-used session to make room (estimated via
+//   core::ResidentGraph::EstimateDeviceBytes before paying the build,
+//   charged exactly via DeviceBytesPeak after). A single graph larger than
+//   the budget may still be staged alone — the budget bounds concurrent
+//   residency, it does not make graphs unservable.
+//
+// Determinism contract: the replay is a pure function of (graph catalog,
+// trace, options) — shard count included. Routing, draining, eviction and
+// the event order are all derived from the simulated clock and shard
+// index, never from host time or iteration order of unordered containers;
+// two identically-configured runs render byte-identical reports and
+// replay files. Unlike the single engine, a sharded dispatch folds only
+// already-queued compatible requests (no batch-window hold): the time a
+// shard spends busy is the natural window in which its queue accumulates,
+// and holding N independent windows open would couple the shards' clocks.
+//
+// Per-shard fault injection: with ShardedOptions::shard_faults set, shard
+// i uses shard_faults[i] verbatim (the way a test pins a device loss to
+// one shard — scripted `*_at` one-shots ignore the seed, so without an
+// override they would fire on every shard at once). Otherwise each shard
+// derives its injector from the base config with seed + shard index, so a
+// fleet under random fault rates does not fail in lockstep.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "serve/report.hpp"
+#include "serve/types.hpp"
+#include "sim/fault.hpp"
+
+namespace eta::serve {
+
+struct ShardedOptions {
+  /// Per-shard serving knobs (mode, queue capacity, max_batch, rebuild
+  /// budget, CPU fallback throughput, graph/device options). The mode must
+  /// be session-based; kNaivePerQuery has no session to shard.
+  /// batch_window_ms is ignored (see the determinism contract above).
+  ServeOptions base{};
+  uint32_t shards = 2;
+  /// Per-shard resident-graph budget in bytes; 0 = unlimited (no eviction).
+  uint64_t device_mem_budget_bytes = 0;
+  /// Optional per-shard fault-config overrides: shard i uses
+  /// shard_faults[i] when i < shard_faults.size(), else the derived base
+  /// config (base.graph.faults with seed + i).
+  std::vector<sim::FaultConfig> shard_faults;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedOptions options = {}) : options_(options) {}
+
+  const ShardedOptions& Options() const { return options_; }
+
+  /// Replays `trace` (sorted by arrival_ms; every Request::graph_id must
+  /// index `graphs`) against the fleet and returns the fleet report with
+  /// per-shard accounting in report.shard_stats. The per-request outcomes
+  /// are in report.results, sorted by request id.
+  ServeReport ServeMany(std::span<const graph::Csr* const> graphs,
+                        const std::vector<Request>& trace) const;
+
+  /// Single-graph convenience: the catalog is just `csr` (graph_id 0).
+  ServeReport Serve(const graph::Csr& csr, const std::vector<Request>& trace) const;
+
+ private:
+  ShardedOptions options_;
+};
+
+}  // namespace eta::serve

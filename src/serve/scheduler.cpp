@@ -2,46 +2,124 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace eta::serve {
+namespace {
+constexpr uint32_t kNoIndex = UINT32_MAX;
+}  // namespace
+
+bool QueryScheduler::PopsAfter(uint32_t a, uint32_t b) const {
+  const Entry& ea = entries_[a];
+  const Entry& eb = entries_[b];
+  if (ea.request.priority != eb.request.priority) {
+    return ea.request.priority < eb.request.priority;
+  }
+  return ea.seq > eb.seq;
+}
 
 bool QueryScheduler::Admit(const Request& request) {
-  if (queue_.size() >= capacity_) return false;
-  queue_.push_back({request, next_seq_++});
+  if (live_ >= capacity_) return false;
+  const uint32_t index = static_cast<uint32_t>(entries_.size());
+  entries_.push_back({request, next_seq_++, true});
+  ++live_;
+  std::vector<uint32_t>& lane = lanes_[LaneKey(request.algo, request.graph_id)];
+  lane.push_back(index);
+  std::push_heap(lane.begin(), lane.end(),
+                 [this](uint32_t a, uint32_t b) { return PopsAfter(a, b); });
   return true;
 }
 
 std::vector<Request> QueryScheduler::ExpireDeadlines(double now_ms) {
-  std::vector<Entry> expired;
-  auto split = std::stable_partition(queue_.begin(), queue_.end(), [&](const Entry& e) {
-    return !e.request.ExpiredAt(now_ms);
-  });
-  expired.assign(split, queue_.end());
-  queue_.erase(split, queue_.end());
-  std::sort(expired.begin(), expired.end(),
-            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
-  std::vector<Request> result;
-  result.reserve(expired.size());
-  for (const Entry& e : expired) result.push_back(e.request);
-  return result;
+  // entries_ is in admission order (compaction preserves it), so a forward
+  // scan yields expired requests sorted by seq without an explicit sort.
+  std::vector<Request> expired;
+  for (Entry& e : entries_) {
+    if (!e.live || !e.request.ExpiredAt(now_ms)) continue;
+    expired.push_back(e.request);
+    e.live = false;
+    --live_;
+  }
+  if (!expired.empty()) MaybeCompact();
+  return expired;
 }
 
-std::optional<Request> QueryScheduler::PopNext() {
-  size_t best = BestIndex([](const Request&) { return true; });
-  if (best == SIZE_MAX) return std::nullopt;
-  Request r = queue_[best].request;
-  queue_.erase(queue_.begin() + static_cast<long>(best));
+uint32_t QueryScheduler::PruneTop(std::vector<uint32_t>& lane) {
+  auto after = [this](uint32_t a, uint32_t b) { return PopsAfter(a, b); };
+  while (!lane.empty() && !entries_[lane.front()].live) {
+    std::pop_heap(lane.begin(), lane.end(), after);
+    lane.pop_back();
+  }
+  return lane.empty() ? kNoIndex : lane.front();
+}
+
+Request QueryScheduler::Take(uint32_t index) {
+  Entry& e = entries_[index];
+  ETA_CHECK(e.live);
+  e.live = false;
+  --live_;
+  Request r = e.request;
+  MaybeCompact();
   return r;
 }
 
-std::vector<Request> QueryScheduler::PopCompatible(core::Algo algo, uint32_t max_count) {
+std::optional<Request> QueryScheduler::PopNext() {
+  uint32_t best = kNoIndex;
+  std::vector<uint32_t>* best_lane = nullptr;
+  for (auto it = lanes_.begin(); it != lanes_.end();) {
+    uint32_t top = PruneTop(it->second);
+    if (top == kNoIndex) {
+      it = lanes_.erase(it);
+      continue;
+    }
+    if (best == kNoIndex || PopsAfter(best, top)) {
+      best = top;
+      best_lane = &it->second;
+    }
+    ++it;
+  }
+  if (best == kNoIndex) return std::nullopt;
+  auto after = [this](uint32_t a, uint32_t b) { return PopsAfter(a, b); };
+  std::pop_heap(best_lane->begin(), best_lane->end(), after);
+  best_lane->pop_back();
+  return Take(best);
+}
+
+std::vector<Request> QueryScheduler::PopCompatible(core::Algo algo, uint32_t graph_id,
+                                                   uint32_t max_count) {
   std::vector<Request> result;
+  auto it = lanes_.find(LaneKey(algo, graph_id));
+  if (it == lanes_.end()) return result;
+  auto after = [this](uint32_t a, uint32_t b) { return PopsAfter(a, b); };
   while (result.size() < max_count) {
-    size_t best = BestIndex([&](const Request& r) { return r.algo == algo; });
-    if (best == SIZE_MAX) break;
-    result.push_back(queue_[best].request);
-    queue_.erase(queue_.begin() + static_cast<long>(best));
+    uint32_t top = PruneTop(it->second);
+    if (top == kNoIndex) break;
+    std::pop_heap(it->second.begin(), it->second.end(), after);
+    it->second.pop_back();
+    result.push_back(Take(top));
+    // Take() may compact, invalidating the iterator's lane vector; re-find.
+    it = lanes_.find(LaneKey(algo, graph_id));
+    if (it == lanes_.end()) break;
   }
   return result;
+}
+
+void QueryScheduler::MaybeCompact() {
+  if (entries_.size() < 64 || live_ * 2 > entries_.size()) return;
+  std::vector<Entry> compacted;
+  compacted.reserve(live_);
+  for (const Entry& e : entries_) {
+    if (e.live) compacted.push_back(e);
+  }
+  entries_ = std::move(compacted);
+  lanes_.clear();
+  auto after = [this](uint32_t a, uint32_t b) { return PopsAfter(a, b); };
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    const Request& r = entries_[i].request;
+    std::vector<uint32_t>& lane = lanes_[LaneKey(r.algo, r.graph_id)];
+    lane.push_back(i);
+    std::push_heap(lane.begin(), lane.end(), after);
+  }
 }
 
 }  // namespace eta::serve

@@ -7,9 +7,19 @@
 // queueing deadline passes before dispatch are swept out by
 // ExpireDeadlines() and reported as timed out — an overloaded engine sheds
 // load explicitly instead of building unbounded queues.
+//
+// Implementation: entries append to a stable store and dispatch through
+// per-(algo, graph) binary heaps of store indices ordered by
+// (priority desc, seq asc). Pops mark tombstones instead of erasing from
+// the middle of a vector, so dispatch is O(log depth) amortized rather
+// than O(depth) — the difference is visible at the queue depths a sharded
+// fleet drains into one scheduler. The (priority, seq) order is a total
+// order (seqs are unique), so pop order is exactly the order the previous
+// scan-and-erase implementation produced.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -24,8 +34,8 @@ class QueryScheduler {
   /// Enqueues `request`; returns false (reject) if the queue is full.
   bool Admit(const Request& request);
 
-  bool Empty() const { return queue_.empty(); }
-  size_t Depth() const { return queue_.size(); }
+  bool Empty() const { return live_ == 0; }
+  size_t Depth() const { return live_; }
 
   /// Removes and returns every queued request that Request::ExpiredAt(now_ms)
   /// — i.e. whose start deadline lies strictly before `now_ms`; a request
@@ -36,36 +46,45 @@ class QueryScheduler {
   /// Pops the highest-priority (then oldest) request; nullopt when empty.
   std::optional<Request> PopNext();
 
-  /// Pops up to `max_count` queued requests running `algo`, in
-  /// priority/FIFO order — the batcher's fold operation.
-  std::vector<Request> PopCompatible(core::Algo algo, uint32_t max_count);
+  /// Pops up to `max_count` queued requests running `algo` against
+  /// `graph_id`, in priority/FIFO order — the batcher's fold operation.
+  std::vector<Request> PopCompatible(core::Algo algo, uint32_t graph_id,
+                                     uint32_t max_count);
 
  private:
   struct Entry {
     Request request;
     uint64_t seq = 0;  // admission order, the FIFO tiebreaker
+    bool live = false;
   };
 
-  /// Index of the best dispatchable entry among `queue_` entries matching
-  /// `pred`; SIZE_MAX when none.
-  template <typename Pred>
-  size_t BestIndex(Pred&& pred) const {
-    size_t best = SIZE_MAX;
-    for (size_t i = 0; i < queue_.size(); ++i) {
-      if (!pred(queue_[i].request)) continue;
-      if (best == SIZE_MAX ||
-          queue_[i].request.priority > queue_[best].request.priority ||
-          (queue_[i].request.priority == queue_[best].request.priority &&
-           queue_[i].seq < queue_[best].seq)) {
-        best = i;
-      }
-    }
-    return best;
+  /// One dispatch lane per (graph, algo) pair, keyed so iteration order is
+  /// deterministic. Lanes hold indices into entries_; dead indices are
+  /// pruned lazily at the heap top.
+  static uint64_t LaneKey(core::Algo algo, uint32_t graph_id) {
+    return (uint64_t{graph_id} << 8) | static_cast<uint64_t>(algo);
   }
+
+  /// Heap comparator: true when entry `a` must pop *after* entry `b`
+  /// (std::push_heap keeps the best-to-pop entry at the front).
+  bool PopsAfter(uint32_t a, uint32_t b) const;
+
+  /// Drops dead indices off the lane's top; returns the live top index or
+  /// UINT32_MAX when the lane is empty (empty lanes are erased by callers).
+  uint32_t PruneTop(std::vector<uint32_t>& lane);
+
+  /// Removes entry `index` (already popped from its lane) from the store.
+  Request Take(uint32_t index);
+
+  /// Rebuilds the store and lanes without dead entries once tombstones
+  /// dominate, keeping every per-pop cost amortized.
+  void MaybeCompact();
 
   size_t capacity_;
   uint64_t next_seq_ = 0;
-  std::vector<Entry> queue_;
+  size_t live_ = 0;
+  std::vector<Entry> entries_;
+  std::map<uint64_t, std::vector<uint32_t>> lanes_;
 };
 
 }  // namespace eta::serve

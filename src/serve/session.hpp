@@ -34,6 +34,9 @@ class GraphSession {
   /// Absolute session clock.
   double NowMs() const { return resident_.NowMs(); }
   uint64_t QueriesServed() const { return resident_.QueriesServed(); }
+  /// Exact kDevice footprint staged by this session — what the sharded
+  /// fleet's eviction accounting charges once the build has happened.
+  uint64_t DeviceBytesPeak() const { return resident_.DeviceBytesPeak(); }
   const graph::Csr& Graph() const { return resident_.Graph(); }
 
   /// One query against the resident topology; report.query_ms is its

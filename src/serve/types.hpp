@@ -24,6 +24,11 @@ struct Request {
   uint64_t id = 0;
   core::Algo algo = core::Algo::kBfs;
   graph::VertexId source = 0;
+  /// Which graph in the serving catalog this query targets. Single-graph
+  /// engines serve one catalog entry, so the default of 0 always resolves;
+  /// the sharded fleet uses it for residency (eviction/reload) decisions
+  /// and to keep folded batches on one topology.
+  uint32_t graph_id = 0;
   /// Arrival on the simulated clock (ms).
   double arrival_ms = 0;
   /// Maximum queueing delay before the query must be dispatched; requests

@@ -82,6 +82,42 @@ TEST(FixedHistogram, ValuesAboveAllBoundsLandInInf) {
   EXPECT_EQ(h.CumulativeCount(2), 1u);  // +Inf
 }
 
+TEST(FixedHistogram, RawSampleRetentionIsBounded) {
+  constexpr size_t kCap = FixedHistogram::kMaxRawSamples;
+  FixedHistogram h({10, 100, 1000});
+  for (size_t i = 0; i < kCap; ++i) h.Observe(5);
+  EXPECT_EQ(h.RetainedSamples(), kCap);
+  // At the cap every observation is still retained: percentiles are exact.
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 5.0);
+
+  for (int i = 0; i < 50; ++i) h.Observe(50);
+  for (int i = 0; i < 50; ++i) h.Observe(500);
+  EXPECT_EQ(h.Count(), kCap + 100);
+  EXPECT_EQ(h.RetainedSamples(), kCap);  // retention stopped growing
+  // Counts, sum, extrema and the bucket counts stay exact past the cap...
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(kCap) * 5.0 + 50 * 50.0 + 50 * 500.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 500.0);
+  EXPECT_EQ(h.CumulativeCount(0), kCap);        // le=10
+  EXPECT_EQ(h.CumulativeCount(1), kCap + 50);   // le=100
+  EXPECT_EQ(h.CumulativeCount(2), kCap + 100);  // le=1000
+  // ...while percentiles degrade to nearest-rank over the buckets: the
+  // median rank lands in the le=10 bucket, the maximum in le=1000.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(FixedHistogram, OverCapRankInInfBucketReportsExactMax) {
+  FixedHistogram h({1});
+  for (size_t i = 0; i <= FixedHistogram::kMaxRawSamples; ++i) h.Observe(7.25);
+  EXPECT_GT(h.Count(), FixedHistogram::kMaxRawSamples);
+  // Every observation is past the last bound, so any rank falls in the
+  // +Inf bucket — where the fallback reports the exact observed maximum
+  // rather than an unbounded edge.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 7.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 7.25);
+}
+
 // --- Registry -----------------------------------------------------------------
 
 TEST(MetricsRegistry, InternsChildrenByNameAndLabels) {

@@ -9,6 +9,7 @@
 #include "core/framework.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "serve/batcher.hpp"
 #include "serve/engine.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
@@ -152,11 +153,26 @@ TEST(QueryScheduler, PopCompatibleFiltersByAlgorithm) {
   sched.Admit({.id = 1, .algo = core::Algo::kBfs});
   sched.Admit({.id = 2, .algo = core::Algo::kSssp});
   sched.Admit({.id = 3, .algo = core::Algo::kBfs});
-  auto batch = sched.PopCompatible(core::Algo::kBfs, 8);
+  auto batch = sched.PopCompatible(core::Algo::kBfs, /*graph_id=*/0, 8);
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0].id, 1u);
   EXPECT_EQ(batch[1].id, 3u);
   EXPECT_EQ(sched.Depth(), 1u);
+}
+
+TEST(QueryScheduler, PopCompatibleFiltersByGraph) {
+  // A folded batch must stay on one topology: same algorithm, different
+  // catalog graph is not compatible.
+  QueryScheduler sched(8);
+  sched.Admit({.id = 1, .algo = core::Algo::kBfs, .graph_id = 0});
+  sched.Admit({.id = 2, .algo = core::Algo::kBfs, .graph_id = 1});
+  sched.Admit({.id = 3, .algo = core::Algo::kBfs, .graph_id = 1});
+  auto batch = sched.PopCompatible(core::Algo::kBfs, /*graph_id=*/1, 8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 2u);
+  EXPECT_EQ(batch[1].id, 3u);
+  EXPECT_EQ(sched.Depth(), 1u);
+  EXPECT_EQ(sched.PopNext()->id, 1u);
 }
 
 TEST(QueryScheduler, DeadlineExactlyAtNowStaysDispatchable) {
@@ -207,6 +223,162 @@ TEST(QueryScheduler, NoDeadlineNeverExpires) {
   ASSERT_TRUE(sched.Admit(r));
   EXPECT_FALSE(r.ExpiredAt(1e12));
   EXPECT_TRUE(sched.ExpireDeadlines(1e12).empty());
+}
+
+namespace {
+
+/// The original scan-and-erase scheduler, kept as the semantic reference:
+/// every pop scans for the best (priority desc, seq asc) entry and erases
+/// it from the middle of a vector. The production scheduler replaced this
+/// with tombstoned per-lane heaps; the deep-queue test below proves the
+/// pop/expiry sequences stayed byte-identical.
+class ReferenceScheduler {
+ public:
+  explicit ReferenceScheduler(size_t capacity) : capacity_(capacity) {}
+
+  bool Admit(const Request& r) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back({r, next_seq_++});
+    return true;
+  }
+  size_t Depth() const { return queue_.size(); }
+
+  std::vector<Request> ExpireDeadlines(double now_ms) {
+    // The original stable_partition + sort-by-seq reduces to: expired in
+    // admission order, survivors keep their relative order.
+    std::vector<Request> expired;
+    std::vector<Entry> kept;
+    for (const Entry& e : queue_) {
+      if (e.r.ExpiredAt(now_ms)) {
+        expired.push_back(e.r);
+      } else {
+        kept.push_back(e);
+      }
+    }
+    queue_ = std::move(kept);
+    return expired;
+  }
+
+  std::optional<Request> PopNext() { return PopBest([](const Request&) { return true; }); }
+
+  std::vector<Request> PopCompatible(core::Algo algo, uint32_t graph_id,
+                                     uint32_t max_count) {
+    std::vector<Request> out;
+    while (out.size() < max_count) {
+      auto r = PopBest([&](const Request& q) {
+        return q.algo == algo && q.graph_id == graph_id;
+      });
+      if (!r.has_value()) break;
+      out.push_back(*r);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Request r;
+    uint64_t seq;
+  };
+
+  template <typename Pred>
+  std::optional<Request> PopBest(Pred pred) {
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (!pred(queue_[i].r)) continue;
+      if (best == SIZE_MAX ||
+          queue_[i].r.priority > queue_[best].r.priority ||
+          (queue_[i].r.priority == queue_[best].r.priority &&
+           queue_[i].seq < queue_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) return std::nullopt;
+    Request r = queue_[best].r;
+    queue_.erase(queue_.begin() + static_cast<long>(best));
+    return r;
+  }
+
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> queue_;
+};
+
+}  // namespace
+
+TEST(QueryScheduler, DeepQueueReplayMatchesScanEraseReference) {
+  // Satellite regression for the quadratic-dispatch fix: at depth >= 4096,
+  // an interleaved admit/pop/fold/expire replay must produce the exact
+  // operation-by-operation output the original scan-and-erase scheduler
+  // produced (the engine's replay bytes are a pure function of this
+  // sequence).
+  constexpr size_t kDepth = 4608;
+  QueryScheduler sched(kDepth);
+  ReferenceScheduler ref(kDepth);
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto rnd = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const core::Algo algos[] = {core::Algo::kBfs, core::Algo::kSssp, core::Algo::kSswp};
+  uint64_t next_id = 0;
+  auto make_request = [&](double arrival) {
+    Request r;
+    r.id = next_id++;
+    r.algo = algos[rnd() % 3];
+    r.source = static_cast<graph::VertexId>(rnd() % 512);
+    r.graph_id = static_cast<uint32_t>(rnd() % 2);
+    r.arrival_ms = arrival;
+    r.deadline_ms = (rnd() % 4 == 0) ? static_cast<double>(rnd() % 50) : kNoDeadline;
+    r.priority = static_cast<int32_t>(rnd() % 5);
+    return r;
+  };
+
+  double now = 0;
+  for (size_t i = 0; i < kDepth; ++i) {
+    Request r = make_request(now);
+    ASSERT_EQ(sched.Admit(r), ref.Admit(r));
+  }
+  ASSERT_EQ(sched.Depth(), kDepth);
+
+  size_t steps = 0;
+  while ((ref.Depth() > 0 || sched.Depth() > 0) && steps < 100000) {
+    ++steps;
+    ASSERT_EQ(sched.Depth(), ref.Depth());
+    switch (rnd() % 5) {
+      case 0: {
+        auto a = sched.PopNext();
+        auto b = ref.PopNext();
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) ASSERT_EQ(a->id, b->id);
+        break;
+      }
+      case 1: {
+        const core::Algo algo = algos[rnd() % 3];
+        const uint32_t graph = static_cast<uint32_t>(rnd() % 2);
+        const uint32_t max = static_cast<uint32_t>(1 + rnd() % 40);
+        auto a = sched.PopCompatible(algo, graph, max);
+        auto b = ref.PopCompatible(algo, graph, max);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i].id, b[i].id);
+        break;
+      }
+      case 2: {
+        now += static_cast<double>(rnd() % 8);
+        auto a = sched.ExpireDeadlines(now);
+        auto b = ref.ExpireDeadlines(now);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i].id, b[i].id);
+        break;
+      }
+      default: {
+        Request r = make_request(now);
+        ASSERT_EQ(sched.Admit(r), ref.Admit(r));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(sched.Depth(), 0u);
+  EXPECT_EQ(ref.Depth(), 0u);
 }
 
 // --- Engine end-to-end --------------------------------------------------------
@@ -277,6 +449,70 @@ TEST(ServeEngine, OverflowingQueueRejectsExplicitly) {
   EXPECT_EQ(report.completed, 1u);
   EXPECT_EQ(report.rejected, 3u);
   EXPECT_EQ(report.results[0].status, QueryStatus::kOk);
+}
+
+TEST(ExecuteBatch, WaveSplitsPastAttributionCap) {
+  // A folded batch wider than the 32-bit attribution mask executes as
+  // successive launch waves; every request still gets its exact answer.
+  graph::Csr csr = RandomGraph(18);
+  GraphSession session(csr);
+  ASSERT_TRUE(session.Loaded());
+  constexpr size_t kRequests = 40;  // 32 + 8: two waves
+  Batch batch;
+  batch.algo = core::Algo::kBfs;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    Request r;
+    r.id = i;
+    r.algo = core::Algo::kBfs;
+    r.source = static_cast<graph::VertexId>((i * 13) % csr.NumVertices());
+    batch.requests.push_back(r);
+  }
+  BatchOutcome out = ExecuteBatch(session, batch, /*start_ms=*/1.0);
+  ASSERT_FALSE(out.device_failed);
+  ASSERT_TRUE(out.unserved.empty());
+  ASSERT_EQ(out.results.size(), kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    const QueryResult& q = out.results[i];
+    EXPECT_EQ(q.batch_size, i < 32 ? 32u : 8u) << "request " << i;
+    auto labels = core::CpuReference(csr, core::Algo::kBfs, batch.requests[i].source);
+    EXPECT_EQ(q.reached_vertices, CountReached(core::Algo::kBfs, labels))
+        << "request " << i;
+  }
+  // The waves tile [start, start + duration]: wave 1 starts where wave 0
+  // finished.
+  EXPECT_DOUBLE_EQ(out.results[0].start_ms, 1.0);
+  EXPECT_DOUBLE_EQ(out.results[32].start_ms, out.results[0].finish_ms);
+  EXPECT_DOUBLE_EQ(out.results[39].finish_ms, 1.0 + out.duration_ms);
+}
+
+TEST(ServeEngine, MaxBatchBeyondAttributionCapServesAndMatchesCapped) {
+  // Satellite regression: --max-batch 64 used to drive RunBatch into the
+  // kMaxAttributedSources ETA_CHECK abort. It must serve, and answer
+  // bit-identically to max_batch = 32 (the engine's fold limit clamps at
+  // the cap, so the wider setting changes nothing).
+  graph::Csr csr = RandomGraph(19);
+  std::vector<Request> trace;
+  for (uint64_t i = 0; i < 48; ++i) {
+    Request r;
+    r.id = i;
+    r.algo = core::Algo::kBfs;
+    r.source = static_cast<graph::VertexId>((i * 17) % csr.NumVertices());
+    r.arrival_ms = 0;
+    trace.push_back(r);
+  }
+  ServeOptions wide;
+  wide.mode = ServeMode::kSessionBatched;
+  wide.queue_capacity = 64;
+  wide.max_batch = 64;
+  ServeOptions capped = wide;
+  capped.max_batch = 32;
+  auto wide_report = ServeEngine(wide).Serve(csr, trace);
+  auto capped_report = ServeEngine(capped).Serve(csr, trace);
+  EXPECT_EQ(wide_report.completed, trace.size());
+  EXPECT_LE(wide_report.batch_occupancy.Max(),
+            core::ResidentGraph::kMaxAttributedSources);
+  EXPECT_EQ(wide_report.Render("replay"), capped_report.Render("replay"));
+  EXPECT_EQ(wide_report.Json(), capped_report.Json());
 }
 
 TEST(ServeEngine, ReportIsDeterministic) {

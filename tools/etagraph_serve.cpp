@@ -43,6 +43,11 @@
 //   --metrics-out   write the serve metrics registry (latency split, batch
 //                   sizes, cost-model error) as Prometheus text exposition
 //                   to this path
+//   --shards        serve on a sharded fleet of N device sessions behind one
+//                   load/fault-aware admission front (DESIGN.md section 10);
+//                   0 = the single-session engine                (default 0)
+//   --device-mem-budget  with --shards: per-shard resident-graph budget in
+//                   bytes, LRU-evicting past it; 0 = unlimited   (default 0)
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -52,6 +57,7 @@
 #include "prof/trace_export.hpp"
 #include "sanitizer/config.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "sim/fault.hpp"
 #include "serve/trace.hpp"
 #include "serve/trace_file.hpp"
@@ -97,6 +103,8 @@ int main(int argc, char** argv) {
   const bool profile = cl->GetBool("profile", false);
   const std::string trace_json = cl->GetString("trace-json", "");
   const std::string metrics_out = cl->GetString("metrics-out", "");
+  const auto shards = static_cast<uint32_t>(cl->GetInt("shards", 0));
+  const auto mem_budget = static_cast<uint64_t>(cl->GetInt("device-mem-budget", 0));
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -136,6 +144,12 @@ int main(int argc, char** argv) {
     options.mode = serve::ServeMode::kSessionBatched;
   } else {
     return Fail("unknown --mode '" + mode_name + "' (naive | session | batched)");
+  }
+  if (shards > 0 && options.mode == serve::ServeMode::kNaivePerQuery) {
+    return Fail("--shards requires a session mode (--mode=session or --mode=batched)");
+  }
+  if (mem_budget > 0 && shards == 0) {
+    return Fail("--device-mem-budget requires --shards");
   }
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
@@ -186,8 +200,16 @@ int main(int argc, char** argv) {
     trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
   }
 
-  serve::ServeEngine engine(options);
-  serve::ServeReport report = engine.Serve(csr, trace);
+  serve::ServeReport report;
+  if (shards > 0) {
+    serve::ShardedOptions sharded;
+    sharded.base = options;
+    sharded.shards = shards;
+    sharded.device_mem_budget_bytes = mem_budget;
+    report = serve::ShardedEngine(sharded).Serve(csr, trace);
+  } else {
+    report = serve::ServeEngine(options).Serve(csr, trace);
+  }
   std::printf("%s\n", report.Render("etagraph serve — trace replay").c_str());
 
   if (detail) {
