@@ -11,6 +11,7 @@
 #   scripts/check.sh --faults [build-dir]
 #   scripts/check.sh --profile [build-dir]
 #   scripts/check.sh --shard [build-dir]
+#   scripts/check.sh --async [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -31,6 +32,13 @@
 # diff and a no-request-lost completeness check, and the fleet-scaling gate
 # in bench_serve_throughput.
 #
+# --async builds normally and then exercises the stream dispatcher
+# (DESIGN.md section 11): the stream/event test binary, a sync-vs-async
+# replay diff across the serve matrix (shards x faults, single graph —
+# the byte-identity contract), a double-run async replay-determinism
+# diff, and the staging-overlap throughput-lift gate in
+# bench_overlap_serve.
+#
 # --profile builds normally and then exercises etaprof end to end
 # (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
 # and a profiled 64-query serve replay (trace JSON round-trip validated,
@@ -43,6 +51,7 @@ SANITIZE=0
 FAULTS=0
 PROFILE=0
 SHARD=0
+ASYNC=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
   shift
@@ -54,6 +63,9 @@ elif [[ "${1:-}" == "--profile" ]]; then
   shift
 elif [[ "${1:-}" == "--shard" ]]; then
   SHARD=1
+  shift
+elif [[ "${1:-}" == "--async" ]]; then
+  ASYNC=1
   shift
 fi
 
@@ -248,6 +260,57 @@ if [[ "$SHARD" == "1" ]]; then
   # gate inside the bench is what matters here, not the absolute numbers.
   "$BUILD_DIR/bench/bench_serve_throughput" --datasets=rmat --scale=0.1 \
     --requests=32 --json="$SHARD_DIR/BENCH_serve.json"
+  exit 0
+fi
+
+if [[ "$ASYNC" == "1" ]]; then
+  # Stream-dispatcher gate: the stream/event test binary first (exact),
+  # then the end-to-end contracts through etagraph_serve.
+  "$BUILD_DIR/tests/stream_test"
+
+  ASYNC_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$ASYNC_DIR"' EXIT
+
+  echo "== sync vs async replay identity (shards x faults, single graph) =="
+  # On a single-graph catalog prestaging never fires and every dispatch
+  # stream starts on idle engines, so the async schedule must reproduce the
+  # sync replay byte for byte — faults included (decisions are drawn at
+  # functional execution, identically in both schedules). The async replay
+  # must also be deterministic across two runs.
+  REQS=48
+  for shards in 1 2 4; do
+    for spec in "none" "lost=0.01" \
+                "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+      args=(--dataset=rmat --scale=0.1 --requests="$REQS" --mean-arrival=0.1
+            --queue-cap="$REQS" --shards="$shards")
+      label="shards=$shards faults=$spec"
+      if [[ "$spec" != "none" ]]; then
+        args+=(--faults="seed=3,$spec")
+      fi
+      safe="${label//[^a-zA-Z0-9]/_}"
+      "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+        --replay-out="$ASYNC_DIR/$safe.sync.txt" > /dev/null
+      for i in 1 2; do
+        "$BUILD_DIR/src/etagraph_serve" "${args[@]}" --async \
+          --replay-out="$ASYNC_DIR/$safe.async.$i.txt" > /dev/null
+      done
+      if ! diff -u "$ASYNC_DIR/$safe.sync.txt" "$ASYNC_DIR/$safe.async.1.txt"; then
+        echo "check.sh: async replay diverged from sync for $label" >&2
+        exit 1
+      fi
+      if ! diff -u "$ASYNC_DIR/$safe.async.1.txt" "$ASYNC_DIR/$safe.async.2.txt"; then
+        echo "check.sh: async replay nondeterministic for $label" >&2
+        exit 1
+      fi
+      echo "-- $label: async replay identical to sync, deterministic"
+    done
+  done
+
+  echo "== staging-overlap throughput contract =="
+  # The bench's own exit gates enforce answer identity sync vs async and a
+  # throughput lift on at least one staging-heavy mix.
+  "$BUILD_DIR/bench/bench_overlap_serve" --scale=0.1 --requests=96 \
+    --json="$ASYNC_DIR/BENCH_overlap_serve.json"
   exit 0
 fi
 

@@ -542,6 +542,22 @@ void ResidentGraph::Shutdown() {
 
 double ResidentGraph::NowMs() const { return state_->device.NowMs(); }
 
+double ResidentGraph::PrefetchTopology() {
+  if (shutdown_ || oom_ || device_lost_ || prefetched_) return 0;
+  if (options_.memory_mode != MemoryMode::kUnifiedPrefetch) return 0;
+  sim::Device& device = state_->device;
+  DeviceState& d = state_->d;
+  const double before = device.NowMs();
+  device.PrefetchAsync(d.row);
+  device.PrefetchAsync(d.col);
+  if (weights_staged_) device.PrefetchAsync(d.wts);
+  // The caller charges this op to a copy stream as one block, so the pages
+  // must be landed (not merely scheduled) before the clock delta is read.
+  device.Synchronize();
+  prefetched_ = true;
+  return device.NowMs() - before;
+}
+
 RunReport ResidentGraph::Run(Algo algo, VertexId source) {
   ETA_CHECK(source < csr_.NumVertices());
   std::vector<Weight> init_labels(csr_.NumVertices(), InitLabel(algo, false));

@@ -114,6 +114,17 @@ class ResidentGraph {
   /// Min-label propagation (connected components on symmetric graphs).
   RunReport RunConnectedComponents();
 
+  /// The async staging path (DESIGN.md section 11): hoists the first-query
+  /// topology prefetch out of the query so a stream-scheduling dispatcher
+  /// can charge it on a copy stream while another session computes. In
+  /// kUnifiedPrefetch mode this issues the same cudaMemPrefetchAsync
+  /// sequence the first query would have issued, waits the pages in, and
+  /// returns the incremental simulated milliseconds consumed; the first
+  /// query then skips its own prefetch, so query answers are bit-identical
+  /// either way. A no-op (returns 0) in every other memory mode, after the
+  /// prefetch has already happened, and on an OOM/lost/shut-down session.
+  double PrefetchTopology();
+
   /// Tears the session down: frees every resident device buffer, then runs
   /// the leakcheck sweep (Device::ReportLeaks) so an attached checker can
   /// report anything still allocated. Idempotent; the destructor calls it.

@@ -13,8 +13,8 @@ namespace {
 const char* TimelineThread(sim::SpanKind kind) {
   switch (kind) {
     case sim::SpanKind::kCompute: return "compute";
-    case sim::SpanKind::kTransferH2D: return "h2d";
-    case sim::SpanKind::kTransferD2H: return "d2h";
+    case sim::SpanKind::kTransferH2D: return "copy-h2d";
+    case sim::SpanKind::kTransferD2H: return "copy-d2h";
     case sim::SpanKind::kStall: return "stall";
   }
   return "?";

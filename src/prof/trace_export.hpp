@@ -38,10 +38,11 @@ struct TraceSpan {
   std::vector<TraceArg> args;
 };
 
-/// Converts a device timeline onto tracks "<process>/compute", ".../h2d",
-/// ".../d2h", ".../stall", shifting every span by `offset_ms` (how the serve
-/// layer maps a session's private device clock onto the serve clock; 0 for
-/// standalone runs).
+/// Converts a device timeline onto per-stream tracks "<process>/compute",
+/// ".../copy-h2d", ".../copy-d2h", ".../stall" — one track per engine, the
+/// stream model of DESIGN.md section 11 — shifting every span by
+/// `offset_ms` (how the serve layer maps a session's private device clock
+/// onto the serve clock; 0 for standalone runs).
 void AppendTimelineSpans(const sim::Timeline& timeline, std::string_view process,
                          double offset_ms, std::vector<TraceSpan>* out);
 

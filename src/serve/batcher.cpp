@@ -1,6 +1,9 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -10,8 +13,13 @@ bool Batchable(core::Algo algo) {
   return algo == core::Algo::kBfs || algo == core::Algo::kSssp;
 }
 
-BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms) {
+BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms,
+                          const BatchStreamContext* ctx) {
   ETA_CHECK(!batch.requests.empty());
+  if (ctx != nullptr) {
+    ETA_CHECK(ctx->streams != nullptr);
+    ETA_CHECK(ctx->stream.valid);
+  }
   BatchOutcome out;
   out.results.reserve(batch.requests.size());
 
@@ -25,13 +33,52 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
     return q;
   };
 
+  double t = start_ms;
+  // Executes one launch wave: on the running clock (sync), or as a compute
+  // op on the caller's stream (async) — the functional run is the same
+  // either way, only the timestamps come from the scheduled op. With a
+  // fresh stream and idle engines the op starts exactly where the sync
+  // clock would, so the two paths produce bit-identical outcomes. Returns
+  // false when the stream had already failed and the wave was cancelled
+  // without running.
+  auto run_wave = [&](std::string label, const std::function<core::RunReport()>& run,
+                      core::RunReport* report, double* wave_start) {
+    if (ctx == nullptr) {
+      *report = run();
+      *wave_start = t;
+      t += report->query_ms;
+      return true;
+    }
+    const sim::StreamOpStatus status = ctx->streams->LaunchAsync(
+        ctx->stream, std::move(label),
+        [&](double) {
+          *report = run();
+          return sim::StreamScheduler::LaunchOutcome{report->query_ms,
+                                                     report->DeviceFailed()};
+        },
+        /*earliest_ms=*/start_ms);
+    const sim::StreamOp& op = ctx->streams->Ops().back();
+    *wave_start = op.start_ms;
+    t = op.end_ms;
+    return status != sim::StreamOpStatus::kCancelled;
+  };
+  // Surfaces a wave that will never run as a cancelled op on the schedule
+  // (zero duration at the fault time) instead of silently dropping it.
+  auto cancel_wave = [&](std::string label) {
+    if (ctx == nullptr) return;
+    ctx->streams->LaunchAsync(
+        ctx->stream, std::move(label),
+        [](double) { return sim::StreamScheduler::LaunchOutcome{}; },
+        /*earliest_ms=*/start_ms);
+  };
+
   if (batch.requests.size() > 1 && Batchable(batch.algo)) {
     // Per-source attribution masks are kMaxAttributedSources bits wide, so
     // a batch beyond the cap executes as successive launch waves of at most
     // the cap. Each wave is a complete attributed launch; a device failure
     // leaves that wave and everything behind it unserved.
     constexpr size_t kWave = core::ResidentGraph::kMaxAttributedSources;
-    double t = start_ms;
+    const std::string wave_label = std::string(core::AlgoName(batch.algo)) + "-wave";
     for (size_t begin = 0; begin < batch.requests.size(); begin += kWave) {
       const size_t count = std::min(kWave, batch.requests.size() - begin);
       std::vector<graph::VertexId> sources;
@@ -40,16 +87,24 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
         ETA_CHECK(batch.requests[i].algo == batch.algo);
         sources.push_back(batch.requests[i].source);
       }
-      core::RunReport report = session.RunBatch(batch.algo, sources);
-      out.faults.Merge(report.faults);
-      out.cycles += report.query_counters.elapsed_cycles;
-      t += report.query_ms;
-      if (report.DeviceFailed()) {
+      core::RunReport report;
+      double wave_start = t;
+      const bool ran = run_wave(
+          wave_label, [&] { return session.RunBatch(batch.algo, sources); }, &report,
+          &wave_start);
+      if (ran) {
+        out.faults.Merge(report.faults);
+        out.cycles += report.query_counters.elapsed_cycles;
+      }
+      if (!ran || report.DeviceFailed()) {
         // All-or-nothing per wave: a folded launch that died answers
         // nobody, and later waves never dispatch on the failed session.
         out.unserved.assign(batch.requests.begin() + static_cast<long>(begin),
                             batch.requests.end());
         out.device_failed = true;
+        for (size_t b = begin + kWave; b < batch.requests.size(); b += kWave) {
+          cancel_wave(wave_label);
+        }
         break;
       }
       ETA_CHECK(report.per_source_reached.size() == count);
@@ -57,7 +112,7 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
         QueryResult q = base_result(batch.requests[begin + i]);
         q.reached_vertices = report.per_source_reached[i];
         q.batch_size = static_cast<uint32_t>(count);
-        q.start_ms = t - report.query_ms;
+        q.start_ms = wave_start;
         q.finish_ms = t;
         out.results.push_back(q);
       }
@@ -67,26 +122,33 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
   }
 
   // Sequential fallback: run each request on its own, back to back.
-  double t = start_ms;
   for (size_t i = 0; i < batch.requests.size(); ++i) {
     const Request& r = batch.requests[i];
-    core::RunReport report = session.RunQuery(r.algo, r.source);
-    out.faults.Merge(report.faults);
-    out.cycles += report.query_counters.elapsed_cycles;
-    t += report.query_ms;
-    if (report.DeviceFailed()) {
+    core::RunReport report;
+    double wave_start = t;
+    const bool ran = run_wave(
+        std::string(core::AlgoName(r.algo)),
+        [&] { return session.RunQuery(r.algo, r.source); }, &report, &wave_start);
+    if (ran) {
+      out.faults.Merge(report.faults);
+      out.cycles += report.query_counters.elapsed_cycles;
+    }
+    if (!ran || report.DeviceFailed()) {
       // This request and everything behind it goes back to the engine; a
       // session that just exhausted its retry budget (or lost its device)
       // is not a place to keep dispatching.
       out.unserved.assign(batch.requests.begin() + static_cast<long>(i),
                           batch.requests.end());
       out.device_failed = true;
+      for (size_t j = i + 1; j < batch.requests.size(); ++j) {
+        cancel_wave(std::string(core::AlgoName(batch.requests[j].algo)));
+      }
       break;
     }
     QueryResult q = base_result(r);
     q.reached_vertices = report.activated;
     q.batch_size = 1;
-    q.start_ms = t - report.query_ms;
+    q.start_ms = wave_start;
     q.finish_ms = t;
     out.results.push_back(q);
   }

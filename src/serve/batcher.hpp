@@ -17,6 +17,7 @@
 
 #include "serve/session.hpp"
 #include "serve/types.hpp"
+#include "sim/stream.hpp"
 
 namespace eta::serve {
 
@@ -55,6 +56,23 @@ struct BatchOutcome {
   bool device_failed = false;
 };
 
+/// Async dispatch context (DESIGN.md section 11). When passed to
+/// ExecuteBatch, every launch wave is enqueued as a compute op on `stream`
+/// of `streams` instead of being charged on a private running clock: the
+/// wave's start honours the stream tail (anything the caller enqueued
+/// first — a staging copy, a wait on a pre-stage event) and the compute
+/// engine's FIFO, and its timestamps come from the scheduled op. The
+/// functional execution (RunBatch/RunQuery, counters, sanitizer events,
+/// fault decisions) is exactly the synchronous path's; with a fresh stream
+/// and idle engines the schedule — and so the whole outcome — is
+/// bit-identical to the sync overload. A wave fault fails the stream, and
+/// the remaining waves surface as cancelled ops (zero duration, work never
+/// run) rather than silently disappearing from the schedule.
+struct BatchStreamContext {
+  sim::StreamScheduler* streams = nullptr;
+  sim::Stream stream{};
+};
+
 /// Executes `batch` on `session` starting at simulated time `start_ms`.
 /// Multi-request batches run as one attributed multi-source launch and are
 /// demultiplexed; size-one or non-batchable batches run sequentially (the
@@ -65,6 +83,8 @@ struct BatchOutcome {
 /// stamps and batch_size, so a 64-request dispatch answers bit-identically
 /// to two 32-request dispatches. On a device failure the remaining
 /// requests are returned unserved rather than half-answered.
-BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms);
+/// With `ctx`, waves are scheduled as stream ops (see BatchStreamContext).
+BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms,
+                          const BatchStreamContext* ctx = nullptr);
 
 }  // namespace eta::serve

@@ -24,6 +24,7 @@ std::string ServeReport::Render(const std::string& title) const {
     table.AddRow({name, value});
   };
   row("mode", ServeModeName(mode));
+  if (async_dispatch) row("dispatch", "async (streams)");
   row("requests", std::to_string(total_requests));
   row("completed", std::to_string(completed));
   row("rejected", std::to_string(rejected));
@@ -94,15 +95,31 @@ std::string ServeReport::Render(const std::string& title) const {
   }
 
   if (!shard_stats.empty()) {
-    util::Table shards({"Shard", "Dispatches", "Served", "Degraded", "In", "Out",
-                        "Rebuilds", "Evict", "Reload", "Faults", "Busy ms", "State"});
+    // The stream-dispatch columns appear only on async replays, keeping
+    // sync fleet output byte-identical to the pre-stream layout.
+    std::vector<std::string> header = {"Shard",    "Dispatches", "Served", "Degraded",
+                                       "In",       "Out",        "Rebuilds", "Evict",
+                                       "Reload",   "Faults",     "Busy ms"};
+    if (async_dispatch) {
+      header.insert(header.end(), {"Prestage", "Prestage ms", "Overlap ms"});
+    }
+    header.push_back("State");
+    util::Table shards(header);
     for (const ShardStat& s : shard_stats) {
-      shards.AddRow({std::to_string(s.shard), std::to_string(s.dispatches),
-                     std::to_string(s.served), std::to_string(s.degraded),
-                     std::to_string(s.rerouted_in), std::to_string(s.rerouted_out),
-                     std::to_string(s.rebuilds), std::to_string(s.evictions),
-                     std::to_string(s.reloads), std::to_string(s.launch_failures),
-                     util::FormatDouble(s.busy_ms, 3), s.dead ? "dead" : "up"});
+      std::vector<std::string> cells = {
+          std::to_string(s.shard),        std::to_string(s.dispatches),
+          std::to_string(s.served),       std::to_string(s.degraded),
+          std::to_string(s.rerouted_in),  std::to_string(s.rerouted_out),
+          std::to_string(s.rebuilds),     std::to_string(s.evictions),
+          std::to_string(s.reloads),      std::to_string(s.launch_failures),
+          util::FormatDouble(s.busy_ms, 3)};
+      if (async_dispatch) {
+        cells.push_back(std::to_string(s.prestages));
+        cells.push_back(util::FormatDouble(s.prestage_ms, 3));
+        cells.push_back(util::FormatDouble(s.overlap_ms, 3));
+      }
+      cells.push_back(s.dead ? "dead" : "up");
+      shards.AddRow(cells);
     }
     out += "\n";
     out += shards.Render("Shards");
@@ -147,6 +164,8 @@ std::string ServeReport::Json() const {
           faults.device_lost ? "true" : "false", check.launches_checked,
           static_cast<uint64_t>(check.ErrorCount()),
           static_cast<uint64_t>(check.WarningCount()));
+  // Emitted only on async replays so sync JSON stays byte-identical.
+  if (async_dispatch) out += ",\"async_dispatch\":true";
 
   // Per-algo latency split + cost-model observations.
   out += ",\"algos\":[";
@@ -183,10 +202,15 @@ std::string ServeReport::Json() const {
               ",\"rerouted_out\":%" PRIu64 ",\"rebuilds\":%" PRIu64
               ",\"evictions\":%" PRIu64 ",\"reloads\":%" PRIu64
               ",\"launch_failures\":%" PRIu64 ",\"dead\":%s,\"busy_ms\":%.4f"
-              ",\"peak_resident_bytes\":%" PRIu64 "}",
+              ",\"peak_resident_bytes\":%" PRIu64,
               s.shard, s.dispatches, s.served, s.degraded, s.rerouted_in,
               s.rerouted_out, s.rebuilds, s.evictions, s.reloads, s.launch_failures,
               s.dead ? "true" : "false", s.busy_ms, s.peak_resident_bytes);
+      if (async_dispatch) {
+        Appendf(out, ",\"prestages\":%" PRIu64 ",\"prestage_ms\":%.4f,\"overlap_ms\":%.4f",
+                s.prestages, s.prestage_ms, s.overlap_ms);
+      }
+      out += "}";
     }
     out += "]";
   }

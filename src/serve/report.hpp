@@ -53,10 +53,20 @@ struct ShardStat {
   bool dead = false;        // rebuild budget exhausted; routed around for good
   double busy_ms = 0;       // simulated time spent dispatching (incl. loads)
   uint64_t peak_resident_bytes = 0;  // high-water device residency
+
+  /// Async-dispatch (stream) accounting, DESIGN.md section 11; all zero
+  /// under the synchronous dispatcher.
+  uint64_t prestages = 0;  // sessions staged ahead on the copy stream
+  double prestage_ms = 0;  // copy-stream time spent pre-staging
+  double overlap_ms = 0;   // copy/compute engine overlap the shard achieved
 };
 
 struct ServeReport {
   ServeMode mode = ServeMode::kSessionBatched;
+  /// True when the replay ran the stream-based async dispatcher
+  /// (ShardedOptions::async_dispatch). Rendered only when set, so sync
+  /// report output is byte-identical with or without the stream layer.
+  bool async_dispatch = false;
 
   uint64_t total_requests = 0;
   uint64_t completed = 0;

@@ -18,6 +18,7 @@
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
+#include "sim/stream.hpp"
 #include "util/check.hpp"
 
 namespace eta::serve {
@@ -57,6 +58,13 @@ struct ResidentSession {
   // Trace-export bookmarks into this session's device timeline/profiler.
   size_t spans_done = 0;
   size_t launches_done = 0;
+  // Async-dispatch state (zero/invalid under the sync dispatcher). A
+  // pre-staged session finishes its copy-stream staging at ready_ms;
+  // consuming dispatches wait on ready_event. busy_until marks the session
+  // un-evictable (mid-copy or mid-compute) until that serve-clock time.
+  double ready_ms = 0;
+  sim::Event ready_event{};
+  double busy_until = 0;
 };
 
 struct Shard {
@@ -77,6 +85,13 @@ struct Shard {
   /// Queued-request composition per algorithm, the routing estimate input.
   std::map<core::Algo, uint64_t> queued_by_algo;
   ShardStat stat{};
+  /// Async dispatch only: the shard's stream scheduler (one compute engine
+  /// + one copy engine per direction), a dense name counter for the
+  /// per-dispatch streams, and a backoff mark after a failed pre-stage
+  /// build (so a staging fault is not re-drawn at every event tick).
+  std::unique_ptr<sim::StreamScheduler> streams;
+  uint64_t dispatch_seq = 0;
+  double no_prestage_until = 0;
 };
 
 /// A request drained out of a quarantined shard, to be re-routed once the
@@ -107,8 +122,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   }
 
   const ServeOptions& base = options_.base;
+  const bool async = options_.async_dispatch;
   ServeReport report;
   report.mode = base.mode;
+  report.async_dispatch = async;
   report.total_requests = trace.size();
   report.results.reserve(trace.size());
 
@@ -150,6 +167,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     }
     s.rebuilds_left = base.max_session_rebuilds;
     s.stat.shard = i;
+    if (async) s.streams = std::make_unique<sim::StreamScheduler>(base.graph.spec);
   }
 
   uint64_t lru_tick = 0;
@@ -163,7 +181,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
                                   double serve_start, double device_from) {
     if (!profiling || rs.session == nullptr) return;
     const double offset = serve_start - device_from;
-    const std::string track = "shard" + std::to_string(s.index) + "/device";
+    // Track "shardN" splits into per-engine threads (compute, copy-h2d,
+    // copy-d2h, kernels) in the exporter — the per-stream view of
+    // DESIGN.md section 11 rather than one merged device track.
+    const std::string track = "shard" + std::to_string(s.index);
     const auto& spans = rs.session->DeviceTimeline().Spans();
     prof::AppendTimelineSpans(std::span<const sim::Span>(spans).subspan(rs.spans_done),
                               track, offset, &report.trace_spans);
@@ -192,44 +213,75 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     while (!s.sessions.empty()) retire_session(s, s.sessions.size() - 1);
   };
 
+  /// Evicts idle least-recently-used residents until `need` more bytes fit
+  /// under the budget. A session still busy at time `t` (mid-copy of a
+  /// pre-stage, mid-compute of the in-flight dispatch — async only; sync
+  /// sessions are never busy at eviction time) is skipped: you cannot
+  /// unmap a graph an engine is reading. Stops when nothing evictable is
+  /// left, so a dispatch may transiently stage over budget rather than
+  /// stall (peak_resident_bytes records the honest high-water mark).
+  auto evict_for = [&](Shard& s, uint64_t need, double t) {
+    const uint64_t budget = options_.device_mem_budget_bytes;
+    if (budget == 0) return;
+    while (s.resident_bytes + need > budget && !s.sessions.empty()) {
+      size_t victim = s.sessions.size();
+      for (size_t i = 0; i < s.sessions.size(); ++i) {
+        if (s.sessions[i].busy_until > t) continue;
+        if (victim == s.sessions.size() ||
+            s.sessions[i].last_used < s.sessions[victim].last_used) {
+          victim = i;
+        }
+      }
+      if (victim == s.sessions.size()) break;
+      retire_session(s, victim);
+      ++s.stat.evictions;
+    }
+  };
+
   /// Returns the shard's resident session for `graph_id`, staging it (and
   /// evicting LRU residents under the memory budget) if needed; `t` is the
-  /// shard-local clock and is charged the staging time. Returns nullptr
-  /// when staging itself failed (injected allocation fault) — the caller's
-  /// quarantine loop owns the retry budget.
-  auto ensure_session = [&](Shard& s, uint32_t graph_id,
-                            double& t) -> ResidentSession* {
+  /// shard-local clock and is charged the staging time. Under async
+  /// dispatch `dstream` is the dispatch's stream: cold staging is placed
+  /// on it as a copy-engine op (so the engine FIFO and the trace see it),
+  /// and a hit on a still-staging pre-staged session waits on its ready
+  /// event. Returns nullptr when staging itself failed (injected
+  /// allocation fault) — the caller's quarantine loop owns the retry
+  /// budget.
+  auto ensure_session = [&](Shard& s, uint32_t graph_id, double& t,
+                            sim::Stream dstream = {}) -> ResidentSession* {
     for (ResidentSession& rs : s.sessions) {
       if (rs.graph_id == graph_id) {
         rs.last_used = ++lru_tick;
+        if (dstream.valid && rs.ready_event.valid) {
+          s.streams->Wait(dstream, rs.ready_event);
+          t = std::max(t, rs.ready_ms);
+        }
         return &rs;
       }
     }
     const graph::Csr& csr = *graphs[graph_id];
-    const uint64_t budget = options_.device_mem_budget_bytes;
-    if (budget > 0) {
-      const uint64_t need =
-          core::ResidentGraph::EstimateDeviceBytes(csr, s.graph_options);
-      // Evict least-recently-used residents until the estimate fits; a
-      // single over-budget graph may still be staged alone.
-      while (s.resident_bytes + need > budget && !s.sessions.empty()) {
-        size_t victim = 0;
-        for (size_t i = 1; i < s.sessions.size(); ++i) {
-          if (s.sessions[i].last_used < s.sessions[victim].last_used) victim = i;
-        }
-        retire_session(s, victim);
-        ++s.stat.evictions;
-      }
-    }
-    const double t0 = t;
+    evict_for(s, core::ResidentGraph::EstimateDeviceBytes(csr, s.graph_options), t);
     ResidentSession rs;
     rs.graph_id = graph_id;
     rs.session = std::make_unique<GraphSession>(csr, s.graph_options);
     rs.last_used = ++lru_tick;
-    t += rs.session->LoadMs();
+    if (dstream.valid) {
+      // Mirror the staging charge as a copy-engine op on the dispatch
+      // stream: with idle engines it lands exactly at [t, t + LoadMs] —
+      // the sync charge — and when a pre-stage still occupies the copy
+      // engine the two transfers serialize honestly.
+      s.streams->CopyAsync(dstream, sim::StreamOpKind::kCopyH2D,
+                           rs.session->LoadMs(),
+                           "stage-g" + std::to_string(graph_id),
+                           /*earliest_ms=*/t, rs.session->DeviceBytesPeak());
+      t = s.streams->Ops().back().end_ms;
+    } else {
+      t += rs.session->LoadMs();
+    }
     if (profiling) {
-      capture_device_slice(s, rs, t0, 0.0);  // fresh device clock starts at 0
-      prof::TraceSpan span{"serve/session", "session-load", t0, t, {}};
+      const double start = t - rs.session->LoadMs();
+      capture_device_slice(s, rs, start, 0.0);  // fresh device clock starts at 0
+      prof::TraceSpan span{"serve/session", "session-load", start, t, {}};
       span.args.push_back({"shard", std::to_string(s.index), /*number=*/true});
       report.trace_spans.push_back(std::move(span));
     }
@@ -442,19 +494,37 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     std::vector<QueryResult> outcomes;
     std::vector<Request> pending = std::move(batch.requests);
 
-    ResidentSession* rs = ensure_session(s, batch.graph_id, t);
-    if (rs != nullptr) {
+    // Async dispatch: each ExecuteBatch attempt runs as a DAG on a fresh
+    // stream — staging copy (or a wait on the pre-stage event), then the
+    // launch waves as compute ops. Fresh per attempt, because a wave fault
+    // fails its stream for good; the engine FIFOs carry the persistent
+    // serialization across dispatches.
+    auto new_dispatch_stream = [&]() -> sim::Stream {
+      if (!async) return {};
+      return s.streams->CreateStream("shard" + std::to_string(s.index) + "-dispatch" +
+                                     std::to_string(s.dispatch_seq++));
+    };
+    auto execute = [&](ResidentSession& rs, sim::Stream dstream) {
       const double dispatch_start = t;
-      const double device_before = rs->session->NowMs();
-      BatchOutcome out = ExecuteBatch(*rs->session,
-                                      Batch{batch.algo, batch.graph_id, pending}, t);
+      const double device_before = rs.session->NowMs();
+      const BatchStreamContext ctx{s.streams.get(), dstream};
+      BatchOutcome out =
+          ExecuteBatch(*rs.session, Batch{batch.algo, batch.graph_id, pending}, t,
+                       async ? &ctx : nullptr);
       report.faults.Merge(out.faults);
       s.stat.launch_failures += out.faults.launch_failures;
       t += out.duration_ms;
       dispatch_cycles += out.cycles;
-      capture_device_slice(s, *rs, dispatch_start, device_before);
-      outcomes = std::move(out.results);
+      capture_device_slice(s, rs, dispatch_start, device_before);
+      if (async) rs.busy_until = std::max(rs.busy_until, t);
       pending = std::move(out.unserved);
+      return out.results;
+    };
+
+    sim::Stream dstream = new_dispatch_stream();
+    ResidentSession* rs = ensure_session(s, batch.graph_id, t, dstream);
+    if (rs != nullptr) {
+      outcomes = execute(*rs, dstream);
     }
     // Quarantine-and-rebuild, with the fault-aware drain: the moment the
     // shard's device is known lost (or staging failed), its queued work
@@ -468,19 +538,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       ++s.stat.rebuilds;
       ++report.session_rebuilds;
       retire_all_sessions(s);
-      rs = ensure_session(s, batch.graph_id, t);
+      dstream = new_dispatch_stream();
+      rs = ensure_session(s, batch.graph_id, t, dstream);
       if (rs == nullptr) continue;
-      const double dispatch_start = t;
-      const double device_before = rs->session->NowMs();
-      BatchOutcome out = ExecuteBatch(*rs->session,
-                                      Batch{batch.algo, batch.graph_id, pending}, t);
-      report.faults.Merge(out.faults);
-      s.stat.launch_failures += out.faults.launch_failures;
-      t += out.duration_ms;
-      dispatch_cycles += out.cycles;
-      capture_device_slice(s, *rs, dispatch_start, device_before);
-      for (QueryResult& q : out.results) outcomes.push_back(std::move(q));
-      pending = std::move(out.unserved);
+      for (QueryResult& q : execute(*rs, dstream)) outcomes.push_back(std::move(q));
     }
     if (!pending.empty() && (rs == nullptr || !rs->session->Healthy()) &&
         s.rebuilds_left == 0) {
@@ -512,6 +573,92 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     }
     s.free_at = t;
     s.stat.busy_ms += t - now;
+  };
+
+  /// Async dispatch: while a shard's compute engine is busy (free_at in
+  /// the future), stage the next queued graph on its own copy stream —
+  /// the session build plus the hoisted topology prefetch
+  /// (GraphSession::PrefetchTopology) run now, overlapping the in-flight
+  /// dispatch's compute, and the consuming dispatch waits on the recorded
+  /// ready event instead of paying the staging serially. At most one
+  /// pre-stage triggers per busy window (once inserted, the head graph is
+  /// resident and the trigger condition goes false). On a single-graph
+  /// catalog the head graph is always resident, so this never fires and
+  /// the async replay stays byte-identical to the sync one.
+  auto maybe_prestage = [&](Shard& s, double now) {
+    if (!async || s.dead || s.queue.Empty()) return;
+    if (s.free_at <= now) return;            // idle shards just dispatch
+    if (now < s.no_prestage_until) return;   // backing off a failed build
+    const std::optional<Request> head = s.queue.PeekNext();
+    if (!head.has_value()) return;
+    const uint32_t graph_id = head->graph_id;
+    for (const ResidentSession& rs : s.sessions) {
+      if (rs.graph_id == graph_id) return;   // resident (or already staging)
+    }
+    const graph::Csr& csr = *graphs[graph_id];
+    const uint64_t budget = options_.device_mem_budget_bytes;
+    const uint64_t need = core::ResidentGraph::EstimateDeviceBytes(csr, s.graph_options);
+    if (budget > 0) {
+      // Feasibility first: only idle sessions are evictable, and unlike a
+      // dispatch (which must stage), a pre-stage that cannot fit simply
+      // does not happen — no point evicting graphs it cannot use.
+      uint64_t evictable = 0;
+      bool all_evictable = true;
+      for (const ResidentSession& rs : s.sessions) {
+        if (rs.busy_until > now) {
+          all_evictable = false;
+        } else {
+          evictable += rs.resident_bytes;
+        }
+      }
+      const uint64_t kept = s.resident_bytes - evictable;
+      if (kept + need > budget && !(all_evictable && kept == 0)) return;
+      evict_for(s, need, now);
+    }
+    ResidentSession rs;
+    rs.graph_id = graph_id;
+    rs.session = std::make_unique<GraphSession>(csr, s.graph_options);
+    rs.last_used = ++lru_tick;
+    // Hoist the first-query topology prefetch into the staging op, so the
+    // whole load lands on the copy engine ahead of the dispatch (answers
+    // are unaffected — the first query simply finds the pages resident).
+    rs.session->PrefetchTopology();
+    if (!rs.session->Loaded()) {
+      // Injected staging fault: drop the build and sit out this busy
+      // window; the consuming dispatch will stage (and retry) under its
+      // own quarantine budget.
+      rs.session->Shutdown();
+      if (const sanitizer::SanitizerReport* c = rs.session->CheckReport()) {
+        report.check.Merge(*c);
+      }
+      s.no_prestage_until = s.free_at;
+      return;
+    }
+    rs.resident_bytes = rs.session->DeviceBytesPeak();
+    const double stage_ms = rs.session->NowMs();  // load + hoisted prefetch
+    const sim::Stream cstream = s.streams->CreateStream(
+        "shard" + std::to_string(s.index) + "-prestage-g" + std::to_string(graph_id));
+    s.streams->CopyAsync(cstream, sim::StreamOpKind::kCopyH2D, stage_ms,
+                         "prestage-g" + std::to_string(graph_id),
+                         /*earliest_ms=*/now, rs.resident_bytes);
+    const sim::StreamOp& op = s.streams->Ops().back();
+    rs.ready_event = s.streams->CreateEvent();
+    s.streams->Record(cstream, rs.ready_event);
+    rs.ready_ms = op.end_ms;
+    rs.busy_until = op.end_ms;  // mid-copy until then; not evictable
+    ++s.stat.prestages;
+    s.stat.prestage_ms += stage_ms;
+    if (profiling) {
+      capture_device_slice(s, rs, op.start_ms, 0.0);
+      prof::TraceSpan span{"serve/session", "prestage", op.start_ms, op.end_ms, {}};
+      span.args.push_back({"shard", std::to_string(s.index), /*number=*/true});
+      span.args.push_back({"graph", std::to_string(graph_id), /*number=*/true});
+      report.trace_spans.push_back(std::move(span));
+    }
+    s.resident_bytes += rs.resident_bytes;
+    s.stat.peak_resident_bytes = std::max(s.stat.peak_resident_bytes, s.resident_bytes);
+    if (!s.staged_graphs.insert(graph_id).second) ++s.stat.reloads;
+    s.sessions.push_back(std::move(rs));
   };
 
   size_t next = 0;  // first trace entry that has not yet arrived
@@ -573,6 +720,9 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     }
     if (dispatched) continue;
 
+    // Busy shards overlap staging with their in-flight compute.
+    for (Shard& s : shards) maybe_prestage(s, now);
+
     double next_t = kInf;
     if (next < trace.size()) next_t = std::min(next_t, trace[next].arrival_ms);
     for (const Deferred& d : deferred) next_t = std::min(next_t, d.ready_ms);
@@ -586,7 +736,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   }
 
   report.makespan_ms = std::max(max_finish, now);
-  for (Shard& s : shards) retire_all_sessions(s);
+  for (Shard& s : shards) {
+    retire_all_sessions(s);
+    if (async) s.stat.overlap_ms = s.streams->OverlapMs();
+  }
 
   for (const auto& [algo, agg] : cost) {
     if (agg.queries == 0) continue;
@@ -645,6 +798,17 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         .Inc(static_cast<double>(s.stat.reloads));
     metrics.GetGauge("serve_shard_busy_ms", "Simulated busy time per shard.", labels)
         .Set(s.stat.busy_ms);
+    if (async) {
+      // Emitted only on async replays, keeping sync metrics byte-identical.
+      metrics
+          .GetCounter("serve_shard_prestages_total",
+                      "Sessions pre-staged on the copy stream per shard.", labels)
+          .Inc(static_cast<double>(s.stat.prestages));
+      metrics
+          .GetGauge("serve_shard_overlap_ms",
+                    "Copy/compute engine overlap achieved per shard.", labels)
+          .Set(s.stat.overlap_ms);
+    }
     report.shard_stats.push_back(s.stat);
   }
   std::sort(report.results.begin(), report.results.end(),

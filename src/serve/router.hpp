@@ -39,6 +39,22 @@
 // shard spends busy is the natural window in which its queue accumulates,
 // and holding N independent windows open would couple the shards' clocks.
 //
+// Async dispatch (ShardedOptions::async_dispatch, DESIGN.md section 11):
+// each shard owns a sim::StreamScheduler modelling one compute engine plus
+// one copy engine per direction. A dispatch becomes a per-dispatch stream
+// (cold staging as a copy op, launch waves as compute ops); while the
+// compute engine is busy, the next queued graph pre-stages on its own copy
+// stream and records an event the consuming dispatch waits on. The replay
+// stays a pure function of its inputs — the stream schedule is derived
+// from the same simulated clock, and double runs stay byte-identical. On a
+// single-graph catalog the head graph is always resident, no pre-staging
+// triggers, and the async replay is byte-identical to the sync one (the
+// equivalence scripts/check.sh --async gates); multi-graph catalogs keep
+// bit-identical per-request answers while timestamps shift earlier. A
+// launch fault fails only its own stream: the dispatch's remaining waves
+// cancel at the fault time, pre-stages on other streams keep running, and
+// the quarantine/rebuild path proceeds exactly as in the sync dispatcher.
+//
 // Per-shard fault injection: with ShardedOptions::shard_faults set, shard
 // i uses shard_faults[i] verbatim (the way a test pins a device loss to
 // one shard — scripted `*_at` one-shots ignore the seed, so without an
@@ -70,6 +86,14 @@ struct ShardedOptions {
   /// shard_faults[i] when i < shard_faults.size(), else the derived base
   /// config (base.graph.faults with seed + i).
   std::vector<sim::FaultConfig> shard_faults;
+  /// Stream-based async dispatch (DESIGN.md section 11): each shard runs a
+  /// sim::StreamScheduler; dispatches become small event DAGs (stage op ->
+  /// event -> launch waves on a compute stream), and while a shard's
+  /// compute engine is busy the dispatcher pre-stages the next queued
+  /// graph on the copy stream (build + hoisted topology prefetch), so
+  /// staging overlaps compute instead of serializing behind it. Off by
+  /// default; the sync path is untouched when false.
+  bool async_dispatch = false;
 };
 
 class ShardedEngine {

@@ -85,6 +85,22 @@ std::optional<Request> QueryScheduler::PopNext() {
   return Take(best);
 }
 
+std::optional<Request> QueryScheduler::PeekNext() const {
+  // Const scan instead of the lane heaps (whose tops may be tombstones
+  // that only a mutating prune can drop); same (priority desc, seq asc)
+  // total order as PopsAfter.
+  const Entry* best = nullptr;
+  for (const Entry& e : entries_) {
+    if (!e.live) continue;
+    if (best == nullptr || e.request.priority > best->request.priority ||
+        (e.request.priority == best->request.priority && e.seq < best->seq)) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->request;
+}
+
 std::vector<Request> QueryScheduler::PopCompatible(core::Algo algo, uint32_t graph_id,
                                                    uint32_t max_count) {
   std::vector<Request> result;

@@ -46,6 +46,11 @@ class QueryScheduler {
   /// Pops the highest-priority (then oldest) request; nullopt when empty.
   std::optional<Request> PopNext();
 
+  /// Returns (a copy of) the request PopNext would pop, without popping —
+  /// what the async dispatcher's pre-staging looks at to decide which
+  /// graph to stage on the copy stream while the compute engine is busy.
+  std::optional<Request> PeekNext() const;
+
   /// Pops up to `max_count` queued requests running `algo` against
   /// `graph_id`, in priority/FIFO order — the batcher's fold operation.
   std::vector<Request> PopCompatible(core::Algo algo, uint32_t graph_id,

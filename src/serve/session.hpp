@@ -39,6 +39,12 @@ class GraphSession {
   uint64_t DeviceBytesPeak() const { return resident_.DeviceBytesPeak(); }
   const graph::Csr& Graph() const { return resident_.Graph(); }
 
+  /// Async staging hook (ResidentGraph::PrefetchTopology): hoists the
+  /// first-query topology prefetch into the staging phase so an async
+  /// dispatcher can charge load + prefetch as one copy-stream op. Returns
+  /// the incremental simulated ms; 0 when there is nothing to hoist.
+  double PrefetchTopology() { return resident_.PrefetchTopology(); }
+
   /// One query against the resident topology; report.query_ms is its
   /// incremental simulated cost.
   core::RunReport RunQuery(core::Algo algo, graph::VertexId source) {

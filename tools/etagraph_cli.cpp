@@ -37,6 +37,12 @@
 //   --trace-json  with --profile: also write the merged Chrome/Perfetto
 //                 trace-event JSON (open at https://ui.perfetto.dev) to
 //                 this path.
+//   --async       run the query through the stream scheduler (DESIGN.md
+//                 section 11): staging + topology prefetch as a copy-stream
+//                 op, the traversal as a compute op gated on the stage
+//                 event, then print the stream schedule. Answers and
+//                 counters are bit-identical to the synchronous run.
+//                 etagraph framework traversals only.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -56,6 +62,7 @@
 #include "sanitizer/config.hpp"
 #include "sanitizer/report.hpp"
 #include "sim/fault.hpp"
+#include "sim/stream.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
@@ -186,6 +193,7 @@ int main(int argc, char** argv) {
   const std::string faults_spec = cl->GetString("faults", "");
   const bool profile = cl->GetBool("profile", false);
   const std::string trace_json = cl->GetString("trace-json", "");
+  const bool async = cl->GetBool("async", false);
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -232,6 +240,11 @@ int main(int argc, char** argv) {
   if (source >= csr.NumVertices()) return Fail("--source out of range");
   std::printf("graph: %u vertices, %u edges, topology %s\n", csr.NumVertices(),
               csr.NumEdges(), util::FormatBytes(csr.TopologyBytes()).c_str());
+
+  if (async && (algo_name == "pagerank" || algo_name == "cc" ||
+                algo_name == "hybrid-bfs")) {
+    return Fail("--async supports etagraph traversals (bfs, sssp, sswp) only");
+  }
 
   // --- PageRank path ---------------------------------------------------------
   if (algo_name == "pagerank") {
@@ -314,6 +327,9 @@ int main(int argc, char** argv) {
   if (profile && framework != "etagraph") {
     return Fail("--profile supports --framework=etagraph only");
   }
+  if (async && framework != "etagraph") {
+    return Fail("--async supports --framework=etagraph only");
+  }
 
   core::RunReport report;
   if (framework == "etagraph") {
@@ -334,7 +350,45 @@ int main(int argc, char** argv) {
     } else {
       return Fail("unknown --mode '" + mode_name + "'");
     }
-    report = core::EtaGraph(options).Run(csr, algo, source);
+    if (async) {
+      // Stream-scheduled one-shot (DESIGN.md section 11): staging plus the
+      // hoisted topology prefetch run as one copy-stream op, the traversal
+      // as a compute op gated on the stage event. The functional run is
+      // exactly the synchronous one — only the schedule view is new (and a
+      // single query has nothing to overlap with; the serving layer's
+      // --async pipelines real work across these streams).
+      core::ResidentGraph resident(csr, options,
+                                   /*stage_weights=*/core::IsWeighted(algo));
+      sim::StreamScheduler streams(options.spec);
+      const sim::Stream copy = streams.CreateStream("copy");
+      const sim::Stream compute = streams.CreateStream("compute");
+      const double stage_ms = resident.LoadMs() + resident.PrefetchTopology();
+      streams.CopyAsync(copy, sim::StreamOpKind::kCopyH2D, stage_ms, "stage",
+                        /*earliest_ms=*/0, resident.DeviceBytesPeak());
+      const sim::Event staged = streams.CreateEvent();
+      streams.Record(copy, staged);
+      streams.Wait(compute, staged);
+      streams.LaunchAsync(compute, algo_name, [&](double) {
+        report = resident.Run(algo, source);
+        return sim::StreamScheduler::LaunchOutcome{report.query_ms,
+                                                   report.DeviceFailed()};
+      });
+      resident.Shutdown();
+      if (const sanitizer::SanitizerReport* c = resident.CheckReport()) {
+        report.check = *c;
+      }
+      std::printf("stream schedule (simulated):\n");
+      for (const sim::StreamOp& op : streams.Ops()) {
+        std::printf("  %-8s %-9s %-12s %9.3f -> %9.3f ms\n",
+                    sim::StreamOpKindName(op.kind),
+                    sim::StreamOpStatusName(op.status), op.label.c_str(),
+                    op.start_ms, op.end_ms);
+      }
+      std::printf("  device sync %.3f ms, copy/compute overlap %.3f ms\n",
+                  streams.SynchronizeMs(), streams.OverlapMs());
+    } else {
+      report = core::EtaGraph(options).Run(csr, algo, source);
+    }
   } else if (framework == "tigr") {
     report = baselines::Tigr().Run(csr, algo, source);
   } else if (framework == "gunrock") {

@@ -48,6 +48,11 @@
 //                   0 = the single-session engine                (default 0)
 //   --device-mem-budget  with --shards: per-shard resident-graph budget in
 //                   bytes, LRU-evicting past it; 0 = unlimited   (default 0)
+//   --async         with --shards: stream-based async dispatch (DESIGN.md
+//                   section 11) — staging runs on a copy stream overlapping
+//                   compute, dispatches pipeline as event DAGs. Answers are
+//                   bit-identical to the sync dispatcher; on a single-graph
+//                   replay the whole report is byte-identical
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = cl->GetString("metrics-out", "");
   const auto shards = static_cast<uint32_t>(cl->GetInt("shards", 0));
   const auto mem_budget = static_cast<uint64_t>(cl->GetInt("device-mem-budget", 0));
+  const bool async = cl->GetBool("async", false);
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -150,6 +156,9 @@ int main(int argc, char** argv) {
   }
   if (mem_budget > 0 && shards == 0) {
     return Fail("--device-mem-budget requires --shards");
+  }
+  if (async && shards == 0) {
+    return Fail("--async requires --shards");
   }
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
@@ -206,6 +215,7 @@ int main(int argc, char** argv) {
     sharded.base = options;
     sharded.shards = shards;
     sharded.device_mem_budget_bytes = mem_budget;
+    sharded.async_dispatch = async;
     report = serve::ShardedEngine(sharded).Serve(csr, trace);
   } else {
     report = serve::ServeEngine(options).Serve(csr, trace);
