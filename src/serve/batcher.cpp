@@ -59,7 +59,9 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
         /*earliest_ms=*/start_ms);
     const sim::StreamOp& op = ctx->streams->Ops().back();
     *wave_start = op.start_ms;
-    t = op.end_ms;
+    // A cancelled op is stamped at the stream's fault time, which may
+    // precede `t`; never move the batch clock backwards.
+    t = std::max(t, op.end_ms);
     return status != sim::StreamOpStatus::kCancelled;
   };
   // Surfaces a wave that will never run as a cancelled op on the schedule

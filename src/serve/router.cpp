@@ -641,7 +641,9 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     s.streams->CopyAsync(cstream, sim::StreamOpKind::kCopyH2D, stage_ms,
                          "prestage-g" + std::to_string(graph_id),
                          /*earliest_ms=*/now, rs.resident_bytes);
-    const sim::StreamOp& op = s.streams->Ops().back();
+    // Copy, not reference: Record() appends to the same ops vector and a
+    // reallocation would invalidate a reference taken here.
+    const sim::StreamOp op = s.streams->Ops().back();
     rs.ready_event = s.streams->CreateEvent();
     s.streams->Record(cstream, rs.ready_event);
     rs.ready_ms = op.end_ms;

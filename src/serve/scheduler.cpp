@@ -23,6 +23,7 @@ bool QueryScheduler::Admit(const Request& request) {
   const uint32_t index = static_cast<uint32_t>(entries_.size());
   entries_.push_back({request, next_seq_++, true});
   ++live_;
+  peek_valid_ = false;
   std::vector<uint32_t>& lane = lanes_[LaneKey(request.algo, request.graph_id)];
   lane.push_back(index);
   std::push_heap(lane.begin(), lane.end(),
@@ -40,7 +41,10 @@ std::vector<Request> QueryScheduler::ExpireDeadlines(double now_ms) {
     e.live = false;
     --live_;
   }
-  if (!expired.empty()) MaybeCompact();
+  if (!expired.empty()) {
+    peek_valid_ = false;
+    MaybeCompact();
+  }
   return expired;
 }
 
@@ -58,6 +62,7 @@ Request QueryScheduler::Take(uint32_t index) {
   ETA_CHECK(e.live);
   e.live = false;
   --live_;
+  peek_valid_ = false;
   Request r = e.request;
   MaybeCompact();
   return r;
@@ -88,7 +93,9 @@ std::optional<Request> QueryScheduler::PopNext() {
 std::optional<Request> QueryScheduler::PeekNext() const {
   // Const scan instead of the lane heaps (whose tops may be tombstones
   // that only a mutating prune can drop); same (priority desc, seq asc)
-  // total order as PopsAfter.
+  // total order as PopsAfter. The result is memoized until the live set
+  // mutates, so repeated idle-tick peeks are O(1).
+  if (peek_valid_) return peek_cache_;
   const Entry* best = nullptr;
   for (const Entry& e : entries_) {
     if (!e.live) continue;
@@ -97,8 +104,9 @@ std::optional<Request> QueryScheduler::PeekNext() const {
       best = &e;
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return best->request;
+  peek_cache_ = best == nullptr ? std::nullopt : std::optional<Request>(best->request);
+  peek_valid_ = true;
+  return peek_cache_;
 }
 
 std::vector<Request> QueryScheduler::PopCompatible(core::Algo algo, uint32_t graph_id,

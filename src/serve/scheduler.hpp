@@ -90,6 +90,11 @@ class QueryScheduler {
   size_t live_ = 0;
   std::vector<Entry> entries_;
   std::map<uint64_t, std::vector<uint32_t>> lanes_;
+  /// PeekNext memo, valid until the live set next mutates — the async
+  /// dispatcher peeks once per shard per event-loop tick, which would
+  /// otherwise rescan the whole store on every idle iteration.
+  mutable bool peek_valid_ = false;
+  mutable std::optional<Request> peek_cache_;
 };
 
 }  // namespace eta::serve
