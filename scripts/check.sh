@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate.
 #
-# Configures + builds the whole tree (the root CMakeLists applies
-# -Wall -Wextra; the src/serve target additionally compiles with -Werror),
-# refuses any compiler warning that mentions the serving layer, and then
-# runs the full test suite. Usage:
+# Configures + builds the whole tree in strict mode (-DETA_STRICT_WARNINGS=ON:
+# -Wall -Wextra -Wshadow -Werror everywhere), refuses any compiler warning
+# that mentions the serving layer, runs scripts/lint.sh, and then runs the
+# full test suite. Usage:
 #
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --sanitize [build-dir]
+#   scripts/check.sh --tsan [build-dir]
 #   scripts/check.sh --faults [build-dir]
 #   scripts/check.sh --profile [build-dir]
 #   scripts/check.sh --shard [build-dir]
 #   scripts/check.sh --async [build-dir]
+#   scripts/check.sh --verify [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -19,6 +21,12 @@
 # simulated kernels execute against real host backing memory, which is
 # exactly what makes host ASan meaningful here: a simulator indexing bug
 # that slipped past etacheck would be a real heap-buffer-overflow.
+#
+# --tsan builds into a third build tree (default build-tsan) with
+# ThreadSanitizer and runs the full test suite under it. The simulator is
+# single-threaded by design; TSan enforces that no stray thread creation or
+# unsynchronized shared state sneaks into the stream/async layer, whose
+# code is written against real concurrent semantics.
 #
 # --faults builds normally and then exercises the fault model end to end
 # (DESIGN.md section 8): the fault/recovery test binaries, a CLI fault
@@ -39,6 +47,15 @@
 # diff, and the staging-overlap throughput-lift gate in
 # bench_overlap_serve.
 #
+# --verify builds normally and then exercises etaverify end to end
+# (DESIGN.md section 12): the verifier test binary, a planted-bug matrix
+# (each surgical DAG plant x BFS/SSSP must exit nonzero and report the
+# expected finding kind with buffer attribution, while the replay stays
+# byte-identical to the healthy run — the timing-luck defects replay
+# diffs cannot see), a clean multi-graph matrix over shards x faults that
+# must verify with zero findings, and a double-run byte-identity diff of
+# the verifier's JSON report.
+#
 # --profile builds normally and then exercises etaprof end to end
 # (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
 # and a profiled 64-query serve replay (trace JSON round-trip validated,
@@ -48,12 +65,17 @@
 set -euo pipefail
 
 SANITIZE=0
+TSAN=0
 FAULTS=0
 PROFILE=0
 SHARD=0
 ASYNC=0
+VERIFY=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
+  shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
   shift
 elif [[ "${1:-}" == "--faults" ]]; then
   FAULTS=1
@@ -67,6 +89,9 @@ elif [[ "${1:-}" == "--shard" ]]; then
 elif [[ "${1:-}" == "--async" ]]; then
   ASYNC=1
   shift
+elif [[ "${1:-}" == "--verify" ]]; then
+  VERIFY=1
+  shift
 fi
 
 if [[ "$SANITIZE" == "1" ]]; then
@@ -74,11 +99,20 @@ if [[ "$SANITIZE" == "1" ]]; then
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DETA_STRICT_WARNINGS=ON \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+elif [[ "$TSAN" == "1" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  SAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DETA_STRICT_WARNINGS=ON \
     -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 else
   BUILD_DIR="${1:-build}"
-  cmake -B "$BUILD_DIR" -S .
+  cmake -B "$BUILD_DIR" -S . -DETA_STRICT_WARNINGS=ON
 fi
 
 LOG="$(mktemp)"
@@ -314,4 +348,94 @@ if [[ "$ASYNC" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$VERIFY" == "1" ]]; then
+  # etaverify gate: the verifier test binary first (exact), then the
+  # planted-bug and clean matrices through etagraph_serve. Every planted
+  # run must keep its replay byte-identical to the healthy run — the
+  # plants are timing-luck defects the dynamic diffs cannot see — while
+  # the static verifier reports them and fails the process.
+  "$BUILD_DIR/tests/verify_test"
+
+  VERIFY_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$VERIFY_DIR"' EXIT
+
+  CATALOG_ARGS=(--dataset=rmat --scale=0.1 --requests=60 --mean-arrival=0.01
+                --queue-cap=60 --shards=1 --catalog=3 --async)
+
+  echo "== planted-bug matrix (plant x algorithm) =="
+  declare -A EXPECT=(
+    [drop-ready-wait]="race-read-write use-before-ready"
+    [swap-record-wait]="wait-unrecorded"
+    [double-prestage]="race-write-write"
+  )
+  for algo_frac in "--bfs-frac=1 --sssp-frac=0" "--bfs-frac=0 --sssp-frac=1"; do
+    # Healthy baseline for this trace mix: must verify clean, and its
+    # replay is the byte-identity reference for every plant below.
+    frac_safe="${algo_frac//[^a-zA-Z0-9]/_}"
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/src/etagraph_serve" "${CATALOG_ARGS[@]}" --verify-dag $algo_frac \
+      --replay-out="$VERIFY_DIR/healthy.$frac_safe.txt" > /dev/null
+    for plant in drop-ready-wait swap-record-wait double-prestage; do
+      label="plant=$plant $algo_frac"
+      safe="${label//[^a-zA-Z0-9]/_}"
+      # shellcheck disable=SC2086
+      if "$BUILD_DIR/src/etagraph_serve" "${CATALOG_ARGS[@]}" --verify-dag \
+          --plant="$plant" $algo_frac \
+          --replay-out="$VERIFY_DIR/$safe.txt" > "$VERIFY_DIR/$safe.out"; then
+        echo "check.sh: $label was not reported (exit 0)" >&2
+        exit 1
+      fi
+      for kind in ${EXPECT[$plant]}; do
+        if ! grep -q "ERROR \[etaverify\] $kind" "$VERIFY_DIR/$safe.out"; then
+          echo "check.sh: $label missing expected finding '$kind':" >&2
+          cat "$VERIFY_DIR/$safe.out" >&2
+          exit 1
+        fi
+      done
+      # The plant must be invisible to the dynamic replay: byte-identical
+      # outcomes, only the static verifier's verdict differs.
+      if ! diff -u "$VERIFY_DIR/healthy.$frac_safe.txt" "$VERIFY_DIR/$safe.txt"; then
+        echo "check.sh: $label perturbed the replay" >&2
+        exit 1
+      fi
+      echo "-- $label: reported (${EXPECT[$plant]}), replay untouched"
+    done
+  done
+
+  echo "== clean matrix (shards x faults, multi-graph async) =="
+  for shards in 1 2 4; do
+    for spec in "none" "lost=0.01" \
+                "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+      args=(--dataset=rmat --scale=0.1 --requests=48 --mean-arrival=0.1
+            --queue-cap=48 --shards="$shards" --catalog=2 --async --verify-dag)
+      label="shards=$shards faults=$spec"
+      if [[ "$spec" != "none" ]]; then
+        args+=(--faults="seed=3,$spec")
+      fi
+      safe="${label//[^a-zA-Z0-9]/_}"
+      for i in 1 2; do
+        if ! "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+            --verify-json="$VERIFY_DIR/$safe.$i.json" > /dev/null; then
+          echo "check.sh: false positive — $label failed verification" >&2
+          cat "$VERIFY_DIR/$safe.$i.json" >&2
+          exit 1
+        fi
+      done
+      # The verifier's verdict is a pure function of the DAG: two runs of
+      # one configuration must emit byte-identical reports.
+      if ! diff -u "$VERIFY_DIR/$safe.1.json" "$VERIFY_DIR/$safe.2.json"; then
+        echo "check.sh: verifier report nondeterministic for $label" >&2
+        exit 1
+      fi
+      echo "-- $label: clean, report deterministic"
+    done
+  done
+  exit 0
+fi
+
+# Lint gates the default build only; the sanitizer trees run the same
+# sources under the same profile, so re-linting them is pure duplication.
+if [[ "$SANITIZE" == "0" && "$TSAN" == "0" ]]; then
+  scripts/lint.sh "$BUILD_DIR"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

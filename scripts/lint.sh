@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Static analysis over the library, tools, and bench sources.
+# Static analysis over the library, tool, bench, and test sources. Any
+# diagnostic is fatal (exit nonzero) — scripts/check.sh gates on this.
 #
 #   scripts/lint.sh [build-dir]
 #
-# Preferred path: clang-tidy with the profile in .clang-tidy, driven by the
+# Preferred path: clang-tidy with the profile in .clang-tidy (bugprone-*,
+# performance-*, concurrency-*, WarningsAsErrors '*'), driven by the
 # compile database cmake writes into the build dir. When clang-tidy is not
 # installed (the reproduction container ships only g++), falls back to a
 # strict g++ re-parse of every translation unit:
@@ -15,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-SOURCES=$(find src tools bench -name '*.cpp' | sort)
+SOURCES=$(find src tools bench tests -name '*.cpp' | sort)
 
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -28,9 +30,8 @@ fi
 
 echo "lint.sh: clang-tidy not found; strict g++ syntax pass"
 # Mirror the include setup the build uses: library headers are found
-# relative to src/, bench files include their own directory, and tests/tools
-# use the gtest from the environment (not needed for -fsyntax-only of
-# src/tools/bench, none of which include gtest).
+# relative to src/, bench files include their own directory, and the tests
+# pick up the environment's gtest from the default include path.
 FLAGS=(-std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic -Wshadow -Werror
        -Isrc -Ibench)
 FAILED=0

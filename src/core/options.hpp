@@ -54,6 +54,13 @@ struct EtaGraphOptions {
   /// timestamp is identical to an unchecked run. Findings land in
   /// RunReport::check.
   sanitizer::Config check{};
+  /// etaverify DAG logging (DESIGN.md section 12). Off by default: the
+  /// stream scheduler records nothing and every simulated counter and
+  /// timestamp is bit-identical to an unverified run. On, each stream op
+  /// logs its program-order position, Record/Wait event edges, and buffer
+  /// access set at enqueue time (host-side bookkeeping, zero simulated
+  /// cost) for static happens-before verification by verify::VerifyDag.
+  bool verify_dag = false;
   /// Hardware fault injection (DESIGN.md section 8). Off by default: no
   /// injector is attached and every simulated counter is bit-identical to a
   /// faultless run (bench_fault_overhead enforces this). When enabled, the

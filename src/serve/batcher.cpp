@@ -57,6 +57,12 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
                                                      report->DeviceFailed()};
         },
         /*earliest_ms=*/start_ms);
+    if (status != sim::StreamOpStatus::kCancelled) {
+      // Failed waves still ran (the fault struck mid-launch), so they
+      // accessed the session's buffers like any other wave.
+      ctx->streams->AnnotateLastOp(
+          {{ctx->topo_alloc, false}, {ctx->state_alloc, true}});
+    }
     const sim::StreamOp& op = ctx->streams->Ops().back();
     *wave_start = op.start_ms;
     // A cancelled op is stamped at the stream's fault time, which may

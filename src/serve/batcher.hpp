@@ -71,6 +71,12 @@ struct BatchOutcome {
 struct BatchStreamContext {
   sim::StreamScheduler* streams = nullptr;
   sim::Stream stream{};
+  /// etaverify allocation handles of the session being dispatched
+  /// (kNoAlloc when the DAG log is off): each wave that actually runs is
+  /// annotated as reading the staged topology and writing the session's
+  /// per-query state; cancelled waves never ran and carry no accesses.
+  uint32_t topo_alloc = sim::DagAccess::kNoAlloc;
+  uint32_t state_alloc = sim::DagAccess::kNoAlloc;
 };
 
 /// Executes `batch` on `session` starting at simulated time `start_ms`.

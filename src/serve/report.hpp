@@ -15,6 +15,7 @@
 #include "prof/trace_export.hpp"
 #include "sanitizer/report.hpp"
 #include "serve/metrics.hpp"
+#include "verify/verify.hpp"
 #include "serve/types.hpp"
 #include "util/histogram.hpp"
 
@@ -128,6 +129,12 @@ struct ServeReport {
   /// launches_checked == 0 unless ServeOptions::graph.check enabled a
   /// checker.
   sanitizer::SanitizerReport check;
+
+  /// etaverify findings over every shard's recorded stream DAG (merged);
+  /// empty with ops_checked == 0 unless ServeOptions::graph.verify_dag
+  /// enabled the log on an async replay. Like `check`, not rendered by
+  /// Render() — tools print it separately.
+  verify::DagReport verify;
 
   /// Completed requests per simulated second of makespan.
   double ThroughputQps() const;

@@ -20,6 +20,7 @@
 #include "serve/session.hpp"
 #include "sim/stream.hpp"
 #include "util/check.hpp"
+#include "verify/verify.hpp"
 
 namespace eta::serve {
 namespace {
@@ -65,6 +66,15 @@ struct ResidentSession {
   double ready_ms = 0;
   sim::Event ready_event{};
   double busy_until = 0;
+  /// etaverify allocation handles for this staging epoch (kNoAlloc when
+  /// the DAG log is off): the session's staged topology and its mutable
+  /// per-query state. A re-staged graph gets fresh handles — accesses to
+  /// distinct epochs never conflict.
+  uint32_t topo_alloc = sim::DagAccess::kNoAlloc;
+  uint32_t state_alloc = sim::DagAccess::kNoAlloc;
+  /// The copy stream a pre-stage ran on (invalid for cold stages) — the
+  /// kSwapRecordWait plant records the ready event here, too late.
+  sim::Stream prestage_stream{};
 };
 
 struct Shard {
@@ -92,6 +102,12 @@ struct Shard {
   std::unique_ptr<sim::StreamScheduler> streams;
   uint64_t dispatch_seq = 0;
   double no_prestage_until = 0;
+  /// The previous dispatch's stream: the serve loop only dispatches once
+  /// free_at is reached, i.e. the host observed that stream complete, so
+  /// each new dispatch host-joins it in the DAG log.
+  sim::Stream last_dispatch{};
+  /// Dense staging-epoch counter for etaverify allocation names.
+  uint64_t stage_epochs = 0;
 };
 
 /// A request drained out of a quarantined shard, to be re-routed once the
@@ -123,6 +139,9 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
 
   const ServeOptions& base = options_.base;
   const bool async = options_.async_dispatch;
+  using DagPlant = ShardedOptions::DagPlant;
+  const DagPlant plant = options_.plant;
+  ETA_CHECK(plant == DagPlant::kNone || async);
   ServeReport report;
   report.mode = base.mode;
   report.async_dispatch = async;
@@ -167,8 +186,25 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     }
     s.rebuilds_left = base.max_session_rebuilds;
     s.stat.shard = i;
-    if (async) s.streams = std::make_unique<sim::StreamScheduler>(base.graph.spec);
+    if (async) {
+      s.streams = std::make_unique<sim::StreamScheduler>(base.graph.spec);
+      if (base.graph.verify_dag) s.streams->EnableDagLog();
+    }
   }
+
+  /// etaverify: registers this staging epoch's allocations and annotates
+  /// the staging copy just enqueued as writing both (it materializes the
+  /// topology and the session's device state). No-op — one untaken branch
+  /// — when the DAG log is off.
+  auto register_stage_allocs = [&](Shard& s, ResidentSession& rs) {
+    if (s.streams == nullptr || !s.streams->DagLogEnabled()) return;
+    const std::string name = "shard" + std::to_string(s.index) + "/g" +
+                             std::to_string(rs.graph_id) + "#" +
+                             std::to_string(s.stage_epochs++);
+    rs.topo_alloc = s.streams->RegisterAlloc(name + "/topo");
+    rs.state_alloc = s.streams->RegisterAlloc(name + "/state");
+    s.streams->AnnotateLastOp({{rs.topo_alloc, true}, {rs.state_alloc, true}});
+  };
 
   uint64_t lru_tick = 0;
   uint64_t drain_order = 0;
@@ -253,7 +289,17 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       if (rs.graph_id == graph_id) {
         rs.last_used = ++lru_tick;
         if (dstream.valid && rs.ready_event.valid) {
-          s.streams->Wait(dstream, rs.ready_event);
+          // Plants (test-only, see ShardedOptions::DagPlant): the serve
+          // clock still honours ready_ms below, so the replay's answers
+          // and timestamps stay green — only the recorded DAG loses the
+          // ordering edge, which is exactly what etaverify must catch.
+          if (plant != DagPlant::kDropReadyWait) {
+            s.streams->Wait(dstream, rs.ready_event);
+          }
+          if (plant == DagPlant::kSwapRecordWait && rs.prestage_stream.valid &&
+              !s.streams->Recorded(rs.ready_event)) {
+            s.streams->Record(rs.prestage_stream, rs.ready_event);
+          }
           t = std::max(t, rs.ready_ms);
         }
         return &rs;
@@ -274,6 +320,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
                            rs.session->LoadMs(),
                            "stage-g" + std::to_string(graph_id),
                            /*earliest_ms=*/t, rs.session->DeviceBytesPeak());
+      register_stage_allocs(s, rs);
       t = s.streams->Ops().back().end_ms;
     } else {
       t += rs.session->LoadMs();
@@ -501,13 +548,28 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     // serialization across dispatches.
     auto new_dispatch_stream = [&]() -> sim::Stream {
       if (!async) return {};
-      return s.streams->CreateStream("shard" + std::to_string(s.index) + "-dispatch" +
-                                     std::to_string(s.dispatch_seq++));
+      // The host only reaches this point once it observed the previous
+      // dispatch stream complete (free_at gating, or the quarantine loop
+      // retrying after the attempt's fault time): record that knowledge
+      // as a join, so cross-dispatch accesses are ordered in the DAG log.
+      if (s.last_dispatch.valid) s.streams->HostJoin(s.last_dispatch);
+      s.last_dispatch = s.streams->CreateStream(
+          "shard" + std::to_string(s.index) + "-dispatch" +
+          std::to_string(s.dispatch_seq++));
+      return s.last_dispatch;
+    };
+    auto execute_ctx = [&](const ResidentSession& rs, sim::Stream dstream) {
+      BatchStreamContext ctx;
+      ctx.streams = s.streams.get();
+      ctx.stream = dstream;
+      ctx.topo_alloc = rs.topo_alloc;
+      ctx.state_alloc = rs.state_alloc;
+      return ctx;
     };
     auto execute = [&](ResidentSession& rs, sim::Stream dstream) {
       const double dispatch_start = t;
       const double device_before = rs.session->NowMs();
-      const BatchStreamContext ctx{s.streams.get(), dstream};
+      const BatchStreamContext ctx = execute_ctx(rs, dstream);
       BatchOutcome out =
           ExecuteBatch(*rs.session, Batch{batch.algo, batch.graph_id, pending}, t,
                        async ? &ctx : nullptr);
@@ -641,11 +703,30 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     s.streams->CopyAsync(cstream, sim::StreamOpKind::kCopyH2D, stage_ms,
                          "prestage-g" + std::to_string(graph_id),
                          /*earliest_ms=*/now, rs.resident_bytes);
+    register_stage_allocs(s, rs);
+    rs.prestage_stream = cstream;
     // Copy, not reference: Record() appends to the same ops vector and a
     // reallocation would invalidate a reference taken here.
     const sim::StreamOp op = s.streams->Ops().back();
     rs.ready_event = s.streams->CreateEvent();
-    s.streams->Record(cstream, rs.ready_event);
+    if (plant != DagPlant::kSwapRecordWait) {
+      // kSwapRecordWait (test-only): the record the consuming dispatch
+      // needs is omitted here and issued — too late — by the consumer.
+      s.streams->Record(cstream, rs.ready_event);
+    }
+    if (plant == DagPlant::kDoublePrestage) {
+      // kDoublePrestage (test-only): a duplicate zero-duration staging
+      // copy of the same buffer on its own stream, ordered by nothing —
+      // timing is untouched (the copy engine tail cannot move backward),
+      // but the DAG now carries an unordered write-write pair.
+      const sim::Stream dup = s.streams->CreateStream(
+          "shard" + std::to_string(s.index) + "-prestage-g" +
+          std::to_string(graph_id) + "-dup");
+      s.streams->CopyAsync(dup, sim::StreamOpKind::kCopyH2D, 0.0,
+                           "prestage-g" + std::to_string(graph_id) + "-dup",
+                           /*earliest_ms=*/now, 0);
+      s.streams->AnnotateLastOp({{rs.topo_alloc, true}});
+    }
     rs.ready_ms = op.end_ms;
     rs.busy_until = op.end_ms;  // mid-copy until then; not evictable
     ++s.stat.prestages;
@@ -740,7 +821,15 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   report.makespan_ms = std::max(max_finish, now);
   for (Shard& s : shards) {
     retire_all_sessions(s);
-    if (async) s.stat.overlap_ms = s.streams->OverlapMs();
+    if (async) {
+      s.stat.overlap_ms = s.streams->OverlapMs();
+      if (s.streams->DagLogEnabled()) {
+        // Returning the report is the host's device-wide synchronize:
+        // every stream's tail is observed here, so none is an orphan.
+        s.streams->HostJoinAll();
+        report.verify.Merge(verify::VerifyDag(*s.streams));
+      }
+    }
   }
 
   for (const auto& [algo, agg] : cost) {

@@ -63,8 +63,70 @@ double& StreamScheduler::EngineTail(StreamOpKind dir) {
   }
 }
 
+void StreamScheduler::EnableDagLog() {
+  if (dag_ == nullptr) dag_ = std::make_unique<DagLog>();
+}
+
+uint32_t StreamScheduler::RegisterAlloc(std::string name) {
+  if (dag_ == nullptr) return DagAccess::kNoAlloc;
+  dag_->allocs.push_back(std::move(name));
+  return static_cast<uint32_t>(dag_->allocs.size() - 1);
+}
+
+void StreamScheduler::AnnotateLastOp(const std::vector<DagAccess>& accesses) {
+  if (dag_ == nullptr) return;
+  ETA_CHECK(!dag_->nodes.empty() && dag_->nodes.back().type == DagNode::Type::kOp);
+  for (const DagAccess& a : accesses) {
+    if (a.alloc == DagAccess::kNoAlloc) continue;
+    ETA_CHECK(a.alloc < dag_->allocs.size());
+    dag_->nodes.back().accesses.push_back(a);
+  }
+}
+
+void StreamScheduler::HostJoin(Stream s) {
+  if (dag_ == nullptr) return;
+  ETA_CHECK(s.valid && s.id < streams_.size());
+  DagNode node;
+  node.type = DagNode::Type::kJoin;
+  node.stream = s.id;
+  dag_->nodes.push_back(std::move(node));
+}
+
+void StreamScheduler::HostJoinAll() {
+  if (dag_ == nullptr) return;
+  DagNode node;
+  node.type = DagNode::Type::kJoin;
+  node.stream = DagNode::kNoStream;
+  dag_->nodes.push_back(std::move(node));
+}
+
+const std::vector<DagNode>& StreamScheduler::DagNodes() const {
+  static const std::vector<DagNode> kEmpty;
+  return dag_ != nullptr ? dag_->nodes : kEmpty;
+}
+
+const std::vector<std::string>& StreamScheduler::DagAllocs() const {
+  static const std::vector<std::string> kEmpty;
+  return dag_ != nullptr ? dag_->allocs : kEmpty;
+}
+
+void StreamScheduler::LogOp(StreamOpKind kind, uint32_t stream,
+                            const std::string& label, uint32_t event, bool bound,
+                            bool cancelled) {
+  if (dag_ == nullptr) return;
+  DagNode node;
+  node.kind = kind;
+  node.stream = stream;
+  node.event = event;
+  node.bound = bound;
+  node.cancelled = cancelled;
+  node.label = label;
+  dag_->nodes.push_back(std::move(node));
+}
+
 StreamOpStatus StreamScheduler::Cancel(StreamState& st, Stream s, StreamOpKind kind,
-                                       std::string label) {
+                                       std::string label, uint32_t event) {
+  LogOp(kind, s.id, label, event, /*bound=*/false, /*cancelled=*/true);
   StreamOp op;
   op.kind = kind;
   op.status = StreamOpStatus::kCancelled;
@@ -96,6 +158,7 @@ StreamOpStatus StreamScheduler::CopyAsync(Stream s, StreamOpKind dir, double dur
   ETA_CHECK(duration_ms >= 0);
   StreamState& st = Get(s);
   if (st.failed) return Cancel(st, s, dir, std::move(label));
+  LogOp(dir, s.id, label);
   double& engine = EngineTail(dir);
   StreamOp op;
   op.kind = dir;
@@ -118,6 +181,7 @@ StreamOpStatus StreamScheduler::LaunchAsync(
     const std::function<LaunchOutcome(double start_ms)>& work, double earliest_ms) {
   StreamState& st = Get(s);
   if (st.failed) return Cancel(st, s, StreamOpKind::kCompute, std::move(label));
+  LogOp(StreamOpKind::kCompute, s.id, label);
   double& engine = EngineTail(StreamOpKind::kCompute);
   const double start = std::max({earliest_ms, st.tail_ms, engine});
   // Functional execution happens now, in program order; `start` tells the
@@ -160,6 +224,7 @@ StreamOpStatus StreamScheduler::LaunchAsync(Stream s, Device& device, std::strin
 void StreamScheduler::Record(Stream s, Event e) {
   StreamState& st = Get(s);
   ETA_CHECK(e.valid && e.id < events_.size());
+  LogOp(StreamOpKind::kRecord, s.id, "record", e.id);
   EventState& ev = events_[e.id];
   ev.recorded = true;
   ev.failed = st.failed;
@@ -180,11 +245,17 @@ void StreamScheduler::Wait(Stream s, Event e) {
   ETA_CHECK(e.valid && e.id < events_.size());
   const EventState& ev = events_[e.id];
   // Snapshot semantics: a wait enqueued before the record binds to nothing.
-  if (!ev.recorded) return;
-  if (st.failed) {
-    Cancel(st, s, StreamOpKind::kWait, "wait");
+  // The DAG log still sees it (bound=false) — an unbound wait is exactly
+  // the ordering bug etaverify exists to catch.
+  if (!ev.recorded) {
+    LogOp(StreamOpKind::kWait, s.id, "wait", e.id, /*bound=*/false);
     return;
   }
+  if (st.failed) {
+    Cancel(st, s, StreamOpKind::kWait, "wait", e.id);
+    return;
+  }
+  LogOp(StreamOpKind::kWait, s.id, "wait", e.id, /*bound=*/true);
   StreamOp op;
   op.kind = StreamOpKind::kWait;
   op.stream = s.id;

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,41 @@ struct StreamOp {
   uint64_t bytes = 0;  // copy ops only
 
   double DurationMs() const { return end_ms - start_ms; }
+};
+
+/// One entry of an op's recorded buffer access set (etaverify, DESIGN.md
+/// section 12): the op reads or writes `alloc`, a device allocation handle
+/// from StreamScheduler::RegisterAlloc.
+struct DagAccess {
+  static constexpr uint32_t kNoAlloc = UINT32_MAX;
+
+  uint32_t alloc = kNoAlloc;
+  bool write = false;
+};
+
+/// One program-order entry of the DAG verification log. kOp nodes mirror
+/// enqueued stream ops (including snapshot no-op waits, which never appear
+/// in Ops()); kJoin nodes mark host-side synchronization points — the
+/// instants the enqueueing code observed a stream's completion before
+/// proceeding (the static analog of cudaStreamSynchronize).
+struct DagNode {
+  enum class Type : uint8_t { kOp, kJoin };
+  static constexpr uint32_t kNoStream = UINT32_MAX;
+  static constexpr uint32_t kNoEvent = UINT32_MAX;
+
+  Type type = Type::kOp;
+  StreamOpKind kind = StreamOpKind::kCompute;
+  /// kOp: the op's stream. kJoin: the joined stream, kNoStream = join-all.
+  uint32_t stream = kNoStream;
+  uint32_t event = kNoEvent;  // kRecord/kWait only
+  /// kWait only: the event had been recorded when the wait was enqueued
+  /// (snapshot semantics — an unbound wait orders nothing at runtime).
+  bool bound = false;
+  /// The op was cancelled (its stream had failed); its functor never ran,
+  /// so it carries no accesses the verifier should consider.
+  bool cancelled = false;
+  std::string label;
+  std::vector<DagAccess> accesses;
 };
 
 class StreamScheduler {
@@ -171,6 +207,41 @@ class StreamScheduler {
 
   const std::vector<StreamOp>& Ops() const { return ops_; }
 
+  /// --- DAG verification log (etaverify, DESIGN.md section 12) ----------
+  ///
+  /// Off by default: every hook below reduces to one untaken branch, no
+  /// allocation happens, and the schedule — timestamps, engine tails,
+  /// Ops() — is bit-identical with or without the log (recording is
+  /// host-side bookkeeping only, mirroring the AccessObserver contract).
+  void EnableDagLog();
+  bool DagLogEnabled() const { return dag_ != nullptr; }
+
+  /// Registers a device allocation for access tracking and returns its
+  /// dense handle (DagAccess::kNoAlloc when the log is disabled). Each
+  /// staging epoch of a graph is its own allocation: a buffer freed and
+  /// re-staged later is a *different* allocation, so accesses to distinct
+  /// epochs never conflict.
+  uint32_t RegisterAlloc(std::string name);
+
+  /// Attaches `accesses` to the most recently enqueued op. Call directly
+  /// after the enqueue that produced the op; kNoAlloc entries are dropped,
+  /// and the call is a no-op when the log is disabled.
+  void AnnotateLastOp(const std::vector<DagAccess>& accesses);
+
+  /// Records that the enqueueing code observed stream `s` complete before
+  /// proceeding (e.g. the serve loop dispatching only once free_at was
+  /// reached): everything enqueued on `s` so far happens-before everything
+  /// enqueued — on any stream — after this call.
+  void HostJoin(Stream s);
+  /// Records a device-wide synchronize: every op enqueued so far
+  /// happens-before everything enqueued after this call.
+  void HostJoinAll();
+
+  /// The recorded log, program order. Empty unless EnableDagLog() ran.
+  const std::vector<DagNode>& DagNodes() const;
+  /// Registered allocation names, dense in handle order.
+  const std::vector<std::string>& DagAllocs() const;
+
   /// Engine occupancy as a Timeline (copy ops as transfer spans, compute
   /// ops as compute spans). Per-kind spans never overlap (one op per
   /// engine), so Timeline's invariants hold; OverlapMs() is the
@@ -191,13 +262,23 @@ class StreamScheduler {
     double ready_ms = 0;
   };
 
+  struct DagLog {
+    std::vector<DagNode> nodes;
+    std::vector<std::string> allocs;
+  };
+
   StreamState& Get(Stream s);
   const StreamState& Get(Stream s) const;
   double& EngineTail(StreamOpKind dir);
 
   /// Appends a cancelled op at the stream's failure time.
   StreamOpStatus Cancel(StreamState& st, Stream s, StreamOpKind kind,
-                        std::string label);
+                        std::string label, uint32_t event = DagNode::kNoEvent);
+
+  /// DAG-log hook: records one kOp node when the log is enabled.
+  void LogOp(StreamOpKind kind, uint32_t stream, const std::string& label,
+             uint32_t event = DagNode::kNoEvent, bool bound = false,
+             bool cancelled = false);
 
   DeviceSpec spec_;
   std::vector<StreamState> streams_;
@@ -205,6 +286,7 @@ class StreamScheduler {
   std::vector<StreamOp> ops_;
   double engine_tail_[3] = {0, 0, 0};  // h2d, d2h, compute
   Timeline timeline_;
+  std::unique_ptr<DagLog> dag_;
 };
 
 }  // namespace eta::sim

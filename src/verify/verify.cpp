@@ -1,0 +1,363 @@
+#include "verify/verify.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "sim/stream.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace eta::verify {
+
+namespace {
+
+/// snprintf into a std::string, matching the sanitizer-report style.
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+const char* KindDescription(DagFindingKind kind) {
+  switch (kind) {
+    case DagFindingKind::kRaceWriteWrite: return "unordered cross-stream writes to";
+    case DagFindingKind::kRaceReadWrite: return "unordered cross-stream read/write of";
+    case DagFindingKind::kUseBeforeReady: return "read with no ordered staging write of";
+    case DagFindingKind::kWaitUnrecorded:
+      return "wait on an event never recorded before it";
+    case DagFindingKind::kWaitCycle:
+      return "wait satisfiable only by a record ordered after it";
+    case DagFindingKind::kOrphanStream:
+      return "stream tail never observed by any host join";
+  }
+  return "?";
+}
+
+/// Dense bitset reachability over the DAG log. Every edge points backward
+/// in log order, so one forward pass closes the relation: row i holds
+/// every node that happens-before node i.
+class Reach {
+ public:
+  explicit Reach(size_t n) : words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+  /// Declares `pred` (pred < node) a direct predecessor of `node`,
+  /// folding in pred's already-closed ancestry.
+  void AddPred(size_t node, size_t pred) {
+    uint64_t* row = &bits_[node * words_];
+    const uint64_t* pred_row = &bits_[pred * words_];
+    for (size_t w = 0; w < words_; ++w) row[w] |= pred_row[w];
+    row[pred / 64] |= uint64_t{1} << (pred % 64);
+  }
+
+  /// a happens-before b; callers ensure a < b in log order.
+  bool Before(size_t a, size_t b) const {
+    return ((bits_[b * words_ + a / 64] >> (a % 64)) & 1) != 0;
+  }
+
+ private:
+  size_t words_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace
+
+const char* DagFindingKindName(DagFindingKind kind) {
+  switch (kind) {
+    case DagFindingKind::kRaceWriteWrite: return "race-write-write";
+    case DagFindingKind::kRaceReadWrite: return "race-read-write";
+    case DagFindingKind::kUseBeforeReady: return "use-before-ready";
+    case DagFindingKind::kWaitUnrecorded: return "wait-unrecorded";
+    case DagFindingKind::kWaitCycle: return "wait-cycle";
+    case DagFindingKind::kOrphanStream: return "orphan-stream";
+  }
+  return "?";
+}
+
+std::string DagFinding::Message() const {
+  std::string out;
+  Appendf(out, "ERROR [etaverify] %s: %s", DagFindingKindName(kind),
+          KindDescription(kind));
+  if (!buffer.empty()) Appendf(out, " %s", buffer.c_str());
+  Appendf(out, " in '%s' on stream %s (op %" PRIu64 ")", op.c_str(), stream.c_str(),
+          op_index);
+  if (peer_index != kNoNode) {
+    Appendf(out, " vs '%s' on stream %s (op %" PRIu64 ")", peer_op.c_str(),
+            peer_stream.c_str(), peer_index);
+  }
+  if (occurrences > 1) Appendf(out, " (x%" PRIu64 ")", occurrences);
+  if (!note.empty()) out += " — " + note;
+  return out;
+}
+
+uint64_t DagReport::Count() const {
+  uint64_t n = 0;
+  for (const DagFinding& f : findings) n += f.occurrences;
+  return n;
+}
+
+void DagReport::Merge(const DagReport& other) {
+  ops_checked += other.ops_checked;
+  streams_checked += other.streams_checked;
+  allocs_checked += other.allocs_checked;
+  events_checked += other.events_checked;
+  for (const DagFinding& f : other.findings) {
+    bool merged = false;
+    for (DagFinding& mine : findings) {
+      if (mine.kind == f.kind && mine.stream == f.stream && mine.op == f.op &&
+          mine.buffer == f.buffer) {
+        mine.occurrences += f.occurrences;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) findings.push_back(f);
+  }
+}
+
+std::string DagReport::Render(bool verbose) const {
+  if (findings.empty() && !verbose) return "";
+  std::string out;
+  Appendf(out,
+          "========= etaverify: %" PRIu64 " finding(s) over %" PRIu64 " op(s), %" PRIu64
+          " stream(s), %" PRIu64 " alloc(s), %" PRIu64 " event(s)\n",
+          Count(), ops_checked, streams_checked, allocs_checked, events_checked);
+  for (const DagFinding& f : findings) {
+    out += "=========   " + f.Message() + "\n";
+  }
+  return out;
+}
+
+std::string DagReport::Json() const {
+  std::string out = "{\n";
+  Appendf(out, "  \"findings_total\": %" PRIu64 ",\n", Count());
+  Appendf(out, "  \"ops_checked\": %" PRIu64 ",\n", ops_checked);
+  Appendf(out, "  \"streams_checked\": %" PRIu64 ",\n", streams_checked);
+  Appendf(out, "  \"allocs_checked\": %" PRIu64 ",\n", allocs_checked);
+  Appendf(out, "  \"events_checked\": %" PRIu64 ",\n", events_checked);
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const DagFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    Appendf(out, "\"kind\": \"%s\", ", DagFindingKindName(f.kind));
+    Appendf(out, "\"stream\": \"%s\", ", util::JsonEscape(f.stream).c_str());
+    Appendf(out, "\"op\": \"%s\", ", util::JsonEscape(f.op).c_str());
+    Appendf(out, "\"op_index\": %" PRIu64 ", ", f.op_index);
+    Appendf(out, "\"buffer\": \"%s\", ", util::JsonEscape(f.buffer).c_str());
+    if (f.peer_index != DagFinding::kNoNode) {
+      Appendf(out, "\"peer_stream\": \"%s\", ", util::JsonEscape(f.peer_stream).c_str());
+      Appendf(out, "\"peer_op\": \"%s\", ", util::JsonEscape(f.peer_op).c_str());
+      Appendf(out, "\"peer_index\": %" PRIu64 ", ", f.peer_index);
+    }
+    Appendf(out, "\"occurrences\": %" PRIu64 "}", f.occurrences);
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}";
+  return out;
+}
+
+DagReport VerifyDag(const sim::StreamScheduler& streams) {
+  using sim::DagNode;
+  DagReport rep;
+  const std::vector<DagNode>& nodes = streams.DagNodes();
+  const std::vector<std::string>& allocs = streams.DagAllocs();
+  rep.allocs_checked = allocs.size();
+  const size_t n = nodes.size();
+  if (n == 0) return rep;
+
+  // --- Close happens-before over the log's backward-pointing edges. ----
+  Reach reach(n);
+  std::map<uint32_t, size_t> last_op;      // stream id -> latest kOp node
+  std::map<uint32_t, size_t> last_record;  // event id -> latest record node
+  std::set<uint32_t> events;
+  std::vector<size_t> joins;
+  size_t latest_join = DagFinding::kNoNode;
+
+  for (size_t i = 0; i < n; ++i) {
+    const DagNode& node = nodes[i];
+    if (node.type == DagNode::Type::kJoin) {
+      if (node.stream == DagNode::kNoStream) {
+        for (const auto& [stream, idx] : last_op) reach.AddPred(i, idx);
+      } else if (auto it = last_op.find(node.stream); it != last_op.end()) {
+        reach.AddPred(i, it->second);
+      }
+      if (latest_join != DagFinding::kNoNode) reach.AddPred(i, latest_join);
+      latest_join = i;
+      joins.push_back(i);
+      continue;
+    }
+    ++rep.ops_checked;
+    if (auto it = last_op.find(node.stream); it != last_op.end()) {
+      reach.AddPred(i, it->second);
+    }
+    if (latest_join != DagFinding::kNoNode) reach.AddPred(i, latest_join);
+    if (node.kind == sim::StreamOpKind::kWait && node.bound) {
+      auto it = last_record.find(node.event);
+      ETA_CHECK(it != last_record.end());  // bound: a record preceded in log order
+      reach.AddPred(i, it->second);
+    }
+    if (node.kind == sim::StreamOpKind::kRecord) last_record[node.event] = i;
+    if (node.event != DagNode::kNoEvent) events.insert(node.event);
+    last_op[node.stream] = i;
+  }
+  rep.streams_checked = last_op.size();
+  rep.events_checked = events.size();
+
+  auto stream_name = [&](uint32_t id) {
+    sim::Stream s;
+    s.id = id;
+    s.valid = true;
+    return streams.StreamName(s);
+  };
+  auto add_finding = [&](DagFinding f) {
+    for (DagFinding& mine : rep.findings) {
+      if (mine.kind == f.kind && mine.stream == f.stream && mine.op == f.op &&
+          mine.buffer == f.buffer) {
+        ++mine.occurrences;
+        return;
+      }
+    }
+    rep.findings.push_back(std::move(f));
+  };
+  auto attribute = [&](DagFinding& f, size_t node) {
+    f.stream = stream_name(nodes[node].stream);
+    f.op = nodes[node].label;
+    f.op_index = node;
+  };
+  auto attribute_peer = [&](DagFinding& f, size_t node) {
+    f.peer_stream = stream_name(nodes[node].stream);
+    f.peer_op = nodes[node].label;
+    f.peer_index = node;
+  };
+
+  // --- Per-allocation access lists (cancelled ops never ran — their
+  // functors were skipped — so they contribute no accesses). -----------
+  struct Access {
+    size_t node = 0;
+    bool write = false;
+  };
+  std::vector<std::vector<Access>> by_alloc(allocs.size());
+  for (size_t i = 0; i < n; ++i) {
+    const DagNode& node = nodes[i];
+    if (node.type != DagNode::Type::kOp || node.cancelled) continue;
+    for (const sim::DagAccess& a : node.accesses) {
+      ETA_CHECK(a.alloc < allocs.size());
+      by_alloc[a.alloc].push_back({i, a.write});
+    }
+  }
+
+  // --- (a) Races: conflicting cross-stream accesses with no ordering. --
+  for (size_t al = 0; al < by_alloc.size(); ++al) {
+    const std::vector<Access>& accs = by_alloc[al];
+    for (size_t x = 0; x < accs.size(); ++x) {
+      for (size_t y = x + 1; y < accs.size(); ++y) {
+        const Access& a = accs[x];  // log order: a.node <= b.node
+        const Access& b = accs[y];
+        if (!a.write && !b.write) continue;
+        if (a.node == b.node) continue;  // one op's own accesses
+        if (nodes[a.node].stream == nodes[b.node].stream) continue;
+        if (reach.Before(a.node, b.node)) continue;
+        DagFinding f;
+        f.kind = (a.write && b.write) ? DagFindingKind::kRaceWriteWrite
+                                      : DagFindingKind::kRaceReadWrite;
+        attribute(f, b.node);
+        f.buffer = allocs[al];
+        attribute_peer(f, a.node);
+        f.note = "no happens-before path between the accesses";
+        add_finding(std::move(f));
+      }
+    }
+  }
+
+  // --- (b) Use-before-ready: a read no staging write is ordered before. -
+  for (size_t al = 0; al < by_alloc.size(); ++al) {
+    const std::vector<Access>& accs = by_alloc[al];
+    for (const Access& a : accs) {
+      if (a.write) continue;
+      bool ready = false;
+      for (const Access& w : accs) {
+        if (!w.write) continue;
+        if (w.node == a.node ||
+            (w.node < a.node && reach.Before(w.node, a.node))) {
+          ready = true;
+          break;
+        }
+      }
+      if (ready) continue;
+      DagFinding f;
+      f.kind = DagFindingKind::kUseBeforeReady;
+      attribute(f, a.node);
+      f.buffer = allocs[al];
+      f.note = "the consumer may observe an unstaged buffer";
+      add_finding(std::move(f));
+    }
+  }
+
+  // --- (c)+(d) Unbound waits: silent no-ops, or deadlocks when the only
+  // satisfying record is ordered after the wait. ------------------------
+  for (size_t i = 0; i < n; ++i) {
+    const DagNode& node = nodes[i];
+    if (node.type != DagNode::Type::kOp || node.kind != sim::StreamOpKind::kWait ||
+        node.bound || node.cancelled) {
+      continue;
+    }
+    size_t later_record = DagFinding::kNoNode;
+    bool ordered_after = false;
+    for (size_t j = i + 1; j < n; ++j) {
+      const DagNode& r = nodes[j];
+      if (r.type != DagNode::Type::kOp || r.kind != sim::StreamOpKind::kRecord ||
+          r.event != node.event) {
+        continue;
+      }
+      later_record = j;
+      ordered_after = reach.Before(i, j);
+      break;
+    }
+    DagFinding f;
+    attribute(f, i);
+    if (later_record != DagFinding::kNoNode && ordered_after) {
+      f.kind = DagFindingKind::kWaitCycle;
+      attribute_peer(f, later_record);
+      Appendf(f.note, "event %u: a blocking wait here can never be satisfied",
+              node.event);
+    } else {
+      f.kind = DagFindingKind::kWaitUnrecorded;
+      if (later_record != DagFinding::kNoNode) {
+        attribute_peer(f, later_record);
+        Appendf(f.note,
+                "event %u is recorded only later — likely a swapped Record/Wait pair; "
+                "snapshot semantics make this wait a no-op",
+                node.event);
+      } else {
+        Appendf(f.note, "event %u is never recorded; this wait is a silent no-op",
+                node.event);
+      }
+    }
+    add_finding(std::move(f));
+  }
+
+  // --- (c) Orphan streams: tail work no host join ever observes. -------
+  for (const auto& [stream, idx] : last_op) {
+    bool joined = false;
+    for (size_t j : joins) {
+      if (j > idx && reach.Before(idx, j)) {
+        joined = true;
+        break;
+      }
+    }
+    if (joined) continue;
+    DagFinding f;
+    f.kind = DagFindingKind::kOrphanStream;
+    attribute(f, idx);
+    f.note = "the host finishes without ever observing this stream complete";
+    add_finding(std::move(f));
+  }
+
+  return rep;
+}
+
+}  // namespace eta::verify

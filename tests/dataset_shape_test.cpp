@@ -49,7 +49,7 @@ INSTANTIATE_TEST_SUITE_P(
         ShapeTarget{"sk2005", 0.63, 0.78, 45, 80, 0.60, 0.80},
         // uk-2006: the query source reaches a ~1e-4 sliver in 4 hops.
         ShapeTarget{"uk2006", 0.60, 0.80, 3, 6, 0.0, 0.01}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 TEST(DatasetShape, SkewMatchesSocialNetworks) {
   // The paper quotes max out-degrees of 5.2K-33K on graphs of ~10-40 avg

@@ -396,8 +396,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixCase{"everything_at_once",
                                  "seed=3,ecc=0.1,uecc=0.04,hang=0.04,lost=0.005,"
                                  "alloc=0.1,watchdog=5"}),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 TEST(ServeFaults, DeviceLossTriggersRebuildThenRecovers) {

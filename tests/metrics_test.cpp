@@ -141,7 +141,9 @@ TEST(MetricsRegistry, ReferencesSurviveLaterRegistrations) {
   MetricsRegistry reg;
   Counter& first = reg.GetCounter("c0", "h", {});
   for (int i = 0; i < 64; ++i) {
-    reg.GetHistogram("h" + std::to_string(i), "h", {1, 2}, {});
+    std::string name = "h";
+    name += std::to_string(i);
+    reg.GetHistogram(name, "h", {1, 2}, {});
   }
   first.Inc(7);
   EXPECT_DOUBLE_EQ(reg.FindCounter("c0", {})->Value(), 7.0);

@@ -349,7 +349,9 @@ TEST(QueryScheduler, DeepQueueReplayMatchesScanEraseReference) {
         auto a = sched.PopNext();
         auto b = ref.PopNext();
         ASSERT_EQ(a.has_value(), b.has_value());
-        if (a.has_value()) ASSERT_EQ(a->id, b->id);
+        if (a.has_value()) {
+          ASSERT_EQ(a->id, b->id);
+        }
         break;
       }
       case 1: {

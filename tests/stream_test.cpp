@@ -119,6 +119,85 @@ TEST(StreamScheduler, CrossStreamEventChainOrdersDependentWork) {
   EXPECT_DOUBLE_EQ(sched.StreamEndMs(c), 4.5);
 }
 
+TEST(StreamScheduler, LateRecordDoesNotRetroactivelyBindAnEarlierWait) {
+  StreamScheduler sched;
+  Stream a = sched.CreateStream("a");
+  Stream b = sched.CreateStream("b");
+  Event e = sched.CreateEvent();
+  sched.Wait(b, e);  // enqueued before any record: binds to nothing, ever
+  sched.CopyAsync(a, StreamOpKind::kCopyH2D, 5.0, "stage");
+  sched.Record(a, e);  // too late for b's wait
+  sched.LaunchAsync(b, "kernel", [](double) { return Ok(1.0); });
+  // b's kernel is NOT held to the stage's completion at 5.0 — the record
+  // landed after the wait was enqueued, and snapshot semantics never
+  // retrofit the dependency.
+  EXPECT_DOUBLE_EQ(sched.Ops().back().start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(sched.StreamEndMs(b), 1.0);
+  // The wait op never materialized on the schedule (it was a no-op)...
+  for (const StreamOp& op : sched.Ops()) EXPECT_NE(op.kind, StreamOpKind::kWait);
+  EXPECT_TRUE(sched.Recorded(e));
+}
+
+TEST(StreamScheduler, EventHandleReuseAcrossDispatchesBindsToLatestRecord) {
+  StreamScheduler sched;
+  Stream copy = sched.CreateStream("copy");
+  Stream d0 = sched.CreateStream("dispatch0");
+  Stream d1 = sched.CreateStream("dispatch1");
+  Event ready = sched.CreateEvent();
+
+  // Dispatch 0 consumes the first staging epoch.
+  sched.CopyAsync(copy, StreamOpKind::kCopyH2D, 2.0, "stage0");
+  sched.Record(copy, ready);
+  sched.Wait(d0, ready);
+  sched.LaunchAsync(d0, "wave0", [](double) { return Ok(1.0); });
+  EXPECT_DOUBLE_EQ(sched.Ops().back().start_ms, 2.0);
+
+  // The same handle is re-recorded for a second epoch — the router's
+  // ResidentSession keeps one ready_event across its whole life.
+  sched.CopyAsync(copy, StreamOpKind::kCopyH2D, 4.0, "stage1");
+  sched.Record(copy, ready);
+  EXPECT_DOUBLE_EQ(sched.EventMs(ready), 6.0);  // re-record overwrites
+  sched.Wait(d1, ready);
+  sched.LaunchAsync(d1, "wave1", [](double) { return Ok(1.0); });
+  // Dispatch 1 waits for the *latest* record (6.0), not the first (2.0).
+  EXPECT_DOUBLE_EQ(sched.Ops().back().start_ms, 6.0);
+  EXPECT_DOUBLE_EQ(sched.StreamEndMs(d1), 7.0);
+  // Dispatch 0's schedule was sealed before the re-record and is unmoved.
+  EXPECT_DOUBLE_EQ(sched.StreamEndMs(d0), 3.0);
+}
+
+TEST(StreamScheduler, CancelledWaveEventIsObservableByAnIndependentStream) {
+  StreamScheduler sched;
+  Stream a = sched.CreateStream("a");
+  Stream watcher = sched.CreateStream("watcher");
+  Stream bystander = sched.CreateStream("bystander");
+
+  sched.LaunchAsync(a, "wave0", [](double) { return Ok(2.0); });
+  sched.LaunchAsync(a, "dies",
+                    [](double) { return StreamScheduler::LaunchOutcome{1.0, true}; });
+  // The next wave cancels; the dispatcher still records the batch-done
+  // event after it, as the real batcher does after cancelled waves.
+  EXPECT_EQ(sched.LaunchAsync(a, "wave2", [](double) { return Ok(2.0); }),
+            StreamOpStatus::kCancelled);
+  Event done = sched.CreateEvent();
+  sched.Record(a, done);
+
+  // An independent healthy stream observes the event: complete at the
+  // fault time (not the would-be end of the cancelled wave), failed flag
+  // carried, and a wait on it poisons the waiter —
+  EXPECT_TRUE(sched.Recorded(done));
+  EXPECT_TRUE(sched.EventFailed(done));
+  EXPECT_DOUBLE_EQ(sched.EventMs(done), 3.0);
+  EXPECT_TRUE(sched.Complete(done, 3.0));
+  sched.Wait(watcher, done);
+  EXPECT_TRUE(sched.StreamFailed(watcher));
+  // — while a stream that never touches the event stays healthy.
+  EXPECT_EQ(sched.LaunchAsync(bystander, "independent",
+                              [](double) { return Ok(1.0); }),
+            StreamOpStatus::kDone);
+  EXPECT_FALSE(sched.StreamFailed(bystander));
+}
+
 TEST(StreamScheduler, QueryOnAnIncompleteEventSaysNotYet) {
   StreamScheduler sched;
   Stream a = sched.CreateStream("a");

@@ -43,6 +43,11 @@
 //                 event, then print the stream schedule. Answers and
 //                 counters are bit-identical to the synchronous run.
 //                 etagraph framework traversals only.
+//   --verify-dag  with --async: run etaverify (DESIGN.md section 12) over
+//                 the recorded stream DAG — static happens-before checks
+//                 for unordered conflicting accesses, use-before-ready
+//                 consumers, unbound waits, wait cycles, and orphan
+//                 streams. Exit 1 on any finding.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -64,6 +69,7 @@
 #include "sim/fault.hpp"
 #include "sim/stream.hpp"
 #include "util/cli.hpp"
+#include "verify/verify.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
 
@@ -194,11 +200,15 @@ int main(int argc, char** argv) {
   const bool profile = cl->GetBool("profile", false);
   const std::string trace_json = cl->GetString("trace-json", "");
   const bool async = cl->GetBool("async", false);
+  const bool verify_dag = cl->GetBool("verify-dag", false);
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
   if (!trace_json.empty() && !profile) {
     return Fail("--trace-json requires --profile");
+  }
+  if (verify_dag && !async) {
+    return Fail("--verify-dag requires --async");
   }
 
   sanitizer::Config check_cfg{};
@@ -332,6 +342,7 @@ int main(int argc, char** argv) {
   }
 
   core::RunReport report;
+  bool dag_clean = true;
   if (framework == "etagraph") {
     core::EtaGraphOptions options;
     options.degree_limit = k;
@@ -360,11 +371,15 @@ int main(int argc, char** argv) {
       core::ResidentGraph resident(csr, options,
                                    /*stage_weights=*/core::IsWeighted(algo));
       sim::StreamScheduler streams(options.spec);
+      if (verify_dag) streams.EnableDagLog();
+      const uint32_t topo_alloc = streams.RegisterAlloc("graph/topo");
+      const uint32_t state_alloc = streams.RegisterAlloc("graph/state");
       const sim::Stream copy = streams.CreateStream("copy");
       const sim::Stream compute = streams.CreateStream("compute");
       const double stage_ms = resident.LoadMs() + resident.PrefetchTopology();
       streams.CopyAsync(copy, sim::StreamOpKind::kCopyH2D, stage_ms, "stage",
                         /*earliest_ms=*/0, resident.DeviceBytesPeak());
+      streams.AnnotateLastOp({{topo_alloc, true}, {state_alloc, true}});
       const sim::Event staged = streams.CreateEvent();
       streams.Record(copy, staged);
       streams.Wait(compute, staged);
@@ -373,6 +388,7 @@ int main(int argc, char** argv) {
         return sim::StreamScheduler::LaunchOutcome{report.query_ms,
                                                    report.DeviceFailed()};
       });
+      streams.AnnotateLastOp({{topo_alloc, false}, {state_alloc, true}});
       resident.Shutdown();
       if (const sanitizer::SanitizerReport* c = resident.CheckReport()) {
         report.check = *c;
@@ -386,6 +402,13 @@ int main(int argc, char** argv) {
       }
       std::printf("  device sync %.3f ms, copy/compute overlap %.3f ms\n",
                   streams.SynchronizeMs(), streams.OverlapMs());
+      if (verify_dag) {
+        // Printing the schedule above was the host's synchronize.
+        streams.HostJoinAll();
+        const verify::DagReport dag = verify::VerifyDag(streams);
+        std::printf("%s", dag.Render(/*verbose=*/true).c_str());
+        dag_clean = dag.Clean();
+      }
     } else {
       report = core::EtaGraph(options).Run(csr, algo, source);
     }
@@ -415,5 +438,6 @@ int main(int argc, char** argv) {
   if (check_cfg.Enabled()) {
     if (int rc = EmitCheck(report.check, check_json); rc != 0) return rc;
   }
+  if (!dag_clean) return 1;
   return report.DeviceFailed() ? 1 : 0;
 }

@@ -53,9 +53,26 @@
 //                   compute, dispatches pipeline as event DAGs. Answers are
 //                   bit-identical to the sync dispatcher; on a single-graph
 //                   replay the whole report is byte-identical
+//   --catalog       serve N graphs instead of one: graphs 1..N-1 are
+//                   scaled-down variants of the primary --dataset and the
+//                   generated trace round-robins graph ids across them, so
+//                   staging/eviction/pre-staging actually exercise.
+//                   Requires --shards and --dataset                (default 1)
+//   --verify-dag    with --async: run etaverify (DESIGN.md section 12) over
+//                   every shard's recorded stream DAG — static
+//                   happens-before checks for unordered conflicting
+//                   accesses, use-before-ready consumers, unbound waits,
+//                   wait cycles, and orphan streams. Exit 1 on any finding.
+//   --verify-json   also write the etaverify findings as JSON to this path
+//   --plant         with --verify-dag: surgically plant one ordering bug in
+//                   the async dispatcher (test gate for etaverify): one of
+//                   drop-ready-wait, swap-record-wait, double-prestage.
+//                   Answers stay bit-identical; the DAG carries the bug.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
@@ -111,11 +128,43 @@ int main(int argc, char** argv) {
   const auto shards = static_cast<uint32_t>(cl->GetInt("shards", 0));
   const auto mem_budget = static_cast<uint64_t>(cl->GetInt("device-mem-budget", 0));
   const bool async = cl->GetBool("async", false);
+  const auto catalog_n = static_cast<uint32_t>(cl->GetInt("catalog", 1));
+  const bool verify_dag = cl->GetBool("verify-dag", false);
+  const std::string verify_json = cl->GetString("verify-json", "");
+  const std::string plant_name = cl->GetString("plant", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
   if (!trace_json.empty() && !profile) {
     return Fail("--trace-json requires --profile");
+  }
+  if (verify_dag && !async) {
+    return Fail("--verify-dag requires --async");
+  }
+  if (!verify_json.empty() && !verify_dag) {
+    return Fail("--verify-json requires --verify-dag");
+  }
+  serve::ShardedOptions::DagPlant plant = serve::ShardedOptions::DagPlant::kNone;
+  if (!plant_name.empty()) {
+    if (!verify_dag) return Fail("--plant requires --verify-dag");
+    if (plant_name == "drop-ready-wait") {
+      plant = serve::ShardedOptions::DagPlant::kDropReadyWait;
+    } else if (plant_name == "swap-record-wait") {
+      plant = serve::ShardedOptions::DagPlant::kSwapRecordWait;
+    } else if (plant_name == "double-prestage") {
+      plant = serve::ShardedOptions::DagPlant::kDoublePrestage;
+    } else {
+      return Fail("unknown --plant '" + plant_name +
+                  "' (drop-ready-wait | swap-record-wait | double-prestage)");
+    }
+  }
+  if (catalog_n < 1) return Fail("--catalog must be >= 1");
+  if (catalog_n > 1 && shards == 0) return Fail("--catalog requires --shards");
+  if (catalog_n > 1 && dataset.empty()) {
+    return Fail("--catalog requires --dataset (scaled variants of one dataset)");
+  }
+  if (catalog_n > 1 && !trace_path.empty()) {
+    return Fail("--catalog works with a generated trace, not --trace");
   }
 
   sanitizer::Config check_cfg{};
@@ -166,6 +215,7 @@ int main(int argc, char** argv) {
   options.graph.check = check_cfg;
   options.graph.faults = fault_cfg;
   options.graph.profile = profile;
+  options.graph.verify_dag = verify_dag;
 
   graph::Csr csr;
   if (!graph_path.empty()) {
@@ -183,6 +233,27 @@ int main(int argc, char** argv) {
   if (!csr.HasWeights()) csr.DeriveWeights(1);
   std::printf("graph: %u vertices, %u edges, topology %s\n", csr.NumVertices(),
               csr.NumEdges(), util::FormatBytes(csr.TopologyBytes()).c_str());
+
+  // Multi-graph catalog: graph 0 is the primary load above; 1..N-1 are
+  // scaled-down variants of the same dataset (the bench_overlap_serve
+  // idiom), so the fleet actually stages, evicts, and pre-stages.
+  std::vector<graph::Csr> extra_graphs;
+  for (uint32_t g = 1; g < catalog_n; ++g) {
+    static constexpr double kSubScales[] = {0.8, 0.65, 0.5};
+    extra_graphs.push_back(graph::BuildDatasetCached(
+        dataset, "eta_dataset_cache", scale * kSubScales[(g - 1) % 3]));
+    if (!extra_graphs.back().HasWeights()) extra_graphs.back().DeriveWeights(1);
+  }
+  std::vector<const graph::Csr*> graphs = {&csr};
+  for (const graph::Csr& g : extra_graphs) graphs.push_back(&g);
+  uint32_t min_vertices = csr.NumVertices();
+  for (const graph::Csr* g : graphs) {
+    min_vertices = std::min(min_vertices, g->NumVertices());
+  }
+  if (catalog_n > 1) {
+    std::printf("catalog: %u graph(s), smallest %u vertices\n", catalog_n,
+                min_vertices);
+  }
 
   std::vector<serve::Request> trace;
   if (!trace_path.empty()) {
@@ -206,7 +277,14 @@ int main(int argc, char** argv) {
     trace_options.sssp_fraction = sssp_frac;
     trace_options.deadline_ms = deadline > 0 ? deadline : serve::kNoDeadline;
     trace_options.seed = seed;
-    trace = serve::GenerateTrace(csr.NumVertices(), trace_options);
+    trace = serve::GenerateTrace(min_vertices, trace_options);
+    if (catalog_n > 1) {
+      // Round-robin the catalog so every shard cycles through graphs
+      // (sources stay valid: they were drawn below min_vertices).
+      for (size_t i = 0; i < trace.size(); ++i) {
+        trace[i].graph_id = static_cast<uint32_t>(i % graphs.size());
+      }
+    }
   }
 
   serve::ServeReport report;
@@ -216,7 +294,8 @@ int main(int argc, char** argv) {
     sharded.shards = shards;
     sharded.device_mem_budget_bytes = mem_budget;
     sharded.async_dispatch = async;
-    report = serve::ShardedEngine(sharded).Serve(csr, trace);
+    sharded.plant = plant;
+    report = serve::ShardedEngine(sharded).ServeMany(graphs, trace);
   } else {
     report = serve::ServeEngine(options).Serve(csr, trace);
   }
@@ -278,6 +357,15 @@ int main(int argc, char** argv) {
       if (!out) return Fail("cannot write --check-json file '" + check_json + "'");
     }
     if (report.check.ErrorCount() > 0) return 1;
+  }
+  if (verify_dag) {
+    std::printf("%s", report.verify.Render(/*verbose=*/true).c_str());
+    if (!verify_json.empty()) {
+      std::ofstream out(verify_json);
+      out << report.verify.Json() << "\n";
+      if (!out) return Fail("cannot write --verify-json file '" + verify_json + "'");
+    }
+    if (!report.verify.Clean()) return 1;
   }
   return 0;
 }
