@@ -14,6 +14,7 @@
 #   scripts/check.sh --shard [build-dir]
 #   scripts/check.sh --async [build-dir]
 #   scripts/check.sh --verify [build-dir]
+#   scripts/check.sh --overload [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -56,6 +57,15 @@
 # must verify with zero findings, and a double-run byte-identity diff of
 # the verifier's JSON report.
 #
+# --overload builds normally and then exercises the overload-control stack
+# (DESIGN.md section 13): the overload/router test binaries, an open-loop
+# CLI matrix (arrivals x shards x faults with the full control stack on:
+# SLO admission, brownout, retry budget, breaker), a double-run
+# replay-determinism diff with a no-request-lost completeness check on
+# every cell, and the calibrated-capacity gates in bench_overload (gold
+# goodput >= 95% at 2x offered load, queues bounded, byte-identical
+# double runs).
+#
 # --profile builds normally and then exercises etaprof end to end
 # (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
 # and a profiled 64-query serve replay (trace JSON round-trip validated,
@@ -71,6 +81,7 @@ PROFILE=0
 SHARD=0
 ASYNC=0
 VERIFY=0
+OVERLOAD=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
   shift
@@ -91,6 +102,9 @@ elif [[ "${1:-}" == "--async" ]]; then
   shift
 elif [[ "${1:-}" == "--verify" ]]; then
   VERIFY=1
+  shift
+elif [[ "${1:-}" == "--overload" ]]; then
+  OVERLOAD=1
   shift
 fi
 
@@ -430,6 +444,75 @@ if [[ "$VERIFY" == "1" ]]; then
       echo "-- $label: clean, report deterministic"
     done
   done
+  exit 0
+fi
+
+if [[ "$OVERLOAD" == "1" ]]; then
+  # Overload-control gate: targeted test binaries first (exact), then the
+  # end-to-end open-loop matrix through etagraph_serve with the full
+  # control stack engaged, then the calibrated-capacity bench gates.
+  "$BUILD_DIR/tests/overload_test"
+  "$BUILD_DIR/tests/router_test"
+
+  OV_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$OV_DIR"' EXIT
+
+  echo "== open-loop matrix (arrivals x shards x faults) + replay determinism =="
+  # Every cell runs the whole stack: SLO admission with per-class targets,
+  # brownout + shed ladders, fleet retry budget, per-shard breaker. Two
+  # runs must replay byte-identically, and every generated request must
+  # have exactly one terminal outcome (ok / degraded / shedded / rejected /
+  # timed out) — overload may refuse work, never lose it.
+  REQS=48
+  for shards in 1 4; do
+    for spec in "none" "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+      args=(--dataset=slashdot --shards="$shards" --queue-cap="$REQS"
+            --arrivals="poisson:rate=4000,n=$REQS,gold=0.2,silver=0.3"
+            --slo-shed --slo-targets=50,200,1000 --shed-backlog=20,40
+            --brownout=10,30 --retry-budget=50,10 --breaker=5,2)
+      label="shards=$shards faults=$spec"
+      if [[ "$spec" != "none" ]]; then
+        args+=(--faults="seed=3,$spec")
+      fi
+      safe="${label//[^a-zA-Z0-9]/_}"
+      for i in 1 2; do
+        "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+          --replay-out="$OV_DIR/$safe.$i.txt" > /dev/null
+      done
+      if ! diff -u "$OV_DIR/$safe.1.txt" "$OV_DIR/$safe.2.txt"; then
+        echo "check.sh: overload replay diverged for $label" >&2
+        exit 1
+      fi
+      outcomes="$(grep -cv '^#' "$OV_DIR/$safe.1.txt")"
+      if [[ "$outcomes" != "$REQS" ]]; then
+        echo "check.sh: $label: $outcomes outcomes for $REQS requests" >&2
+        exit 1
+      fi
+      echo "-- $label: replays identical, all $REQS requests accounted for"
+    done
+  done
+
+  echo "== legacy byte-stability (no overload flags => no overload output) =="
+  # A classless run must not mention the overload machinery anywhere: the
+  # new report rows, JSON keys, and metric families appear only when the
+  # feature is active.
+  "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=32 \
+    --metrics-out="$OV_DIR/legacy.prom" > "$OV_DIR/legacy.txt"
+  if grep -Eiq "slo|shed|brownout|breaker|retry_budget" \
+      "$OV_DIR/legacy.txt" "$OV_DIR/legacy.prom"; then
+    echo "check.sh: overload output leaked into a legacy run:" >&2
+    grep -Ein "slo|shed|brownout|breaker|retry_budget" \
+      "$OV_DIR/legacy.txt" "$OV_DIR/legacy.prom" >&2
+    exit 1
+  fi
+  echo "-- legacy run clean"
+
+  echo "== calibrated-capacity contract =="
+  # The bench's own exit gates enforce completeness, bounded queues, and
+  # gold goodput >= 95% at 0.8x / 1.2x / 2.0x calibrated capacity, plus
+  # byte-identical double runs at every multiple.
+  "$BUILD_DIR/bench/bench_overload" --requests=240 \
+    --json="$OV_DIR/BENCH_overload.json"
   exit 0
 fi
 

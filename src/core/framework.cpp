@@ -677,6 +677,15 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
       report = std::move(attempt_report);
       break;
     }
+    // Fleet-wide retry budget: one token per retry (the token also covers
+    // the re-stage a UECC retry needs). A dry bucket ends recovery exactly
+    // like exhausting max_retries — the caller's degraded path takes over —
+    // so a sticky-fault storm cannot multiply offered load.
+    if (options_.recovery.budget != nullptr && !options_.recovery.budget->TryAcquireRetry()) {
+      faults.exhausted = true;
+      report = std::move(attempt_report);
+      break;
+    }
     if (failure.status == sim::LaunchStatus::kEccUncorrectable) {
       RestageCorrupted(&faults);
     }

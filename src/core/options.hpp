@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "core/retry_budget.hpp"
 #include "sanitizer/config.hpp"
 #include "sim/fault.hpp"
 #include "sim/spec.hpp"
@@ -74,6 +76,11 @@ struct EtaGraphOptions {
     uint32_t max_retries = 3;
     double backoff_base_ms = 0.5;
     double backoff_multiplier = 2.0;
+    /// Optional fleet-wide retry budget shared across sessions (copies of
+    /// these options alias the same bucket). Before each in-session retry
+    /// the attempt loop draws a token; denial ends recovery for that query
+    /// as if retries were exhausted. nullptr = legacy unbounded retries.
+    std::shared_ptr<RetryBudget> budget{};
   } recovery{};
   /// Test-only fault injection: reintroduces the bug classes etacheck
   /// exists to catch, inside the real shipping kernels, so the planted-bug

@@ -30,6 +30,7 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
     q.algo = r.algo;
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
+    q.slo = r.slo;
     return q;
   };
 

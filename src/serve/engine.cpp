@@ -11,6 +11,7 @@
 #include "prof/trace_export.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/overload.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "util/check.hpp"
@@ -58,6 +59,17 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   std::unique_ptr<GraphSession> session;
   double now = 0;
   uint32_t rebuilds_left = options_.max_session_rebuilds;
+
+  // Optional retry budget (DESIGN.md §13): one token bucket shared into the
+  // session's recovery options, refilled from the serve clock, capping
+  // fault retries and session rebuilds per simulated second.
+  core::EtaGraphOptions graph_options = options_.graph;
+  std::shared_ptr<core::RetryBudget> budget;
+  if (options_.overload.retry_tokens_per_s > 0) {
+    budget = std::make_shared<core::RetryBudget>(core::RetryBudget::Config{
+        options_.overload.retry_tokens_per_s, options_.overload.retry_burst});
+    graph_options.recovery.budget = budget;
+  }
 
   const bool profiling = options_.graph.profile;
   MetricsRegistry& metrics = report.metrics;
@@ -119,7 +131,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     const double t0 = now;
     spans_done = 0;
     launches_done = 0;
-    session = std::make_unique<GraphSession>(csr, options_.graph);
+    session = std::make_unique<GraphSession>(csr, graph_options);
     now += session->LoadMs();
     if (profiling) {
       capture_device_slice(t0, 0.0);  // a fresh device clock starts at 0
@@ -139,7 +151,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       // The very first staging failed (an injected allocation fault).
       // Rebuilding is the only play; if the budget runs dry the whole
       // replay is served degraded on the CPU.
-      while (session == nullptr && rebuilds_left > 0) {
+      while (session == nullptr && rebuilds_left > 0 &&
+             (budget == nullptr || budget->TryAcquireRebuild())) {
         --rebuilds_left;
         ++report.session_rebuilds;
         if (build_session()) report.load_ms = session->LoadMs();
@@ -157,6 +170,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.algo = r.algo;
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
+    q.slo = r.slo;
     report.results.push_back(q);
     ++report.rejected;
     count_query(r.algo, QueryStatus::kRejected);
@@ -170,6 +184,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.arrival_ms = r.arrival_ms;
     q.start_ms = when_ms;
     q.finish_ms = when_ms;
+    q.slo = r.slo;
     report.results.push_back(q);
     ++report.timed_out;
     count_query(r.algo, QueryStatus::kTimedOut);
@@ -201,6 +216,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     q.batch_size = 0;
     q.start_ms = start;
     q.finish_ms = start + cpu_query_ms;
+    q.slo = r.slo;
     ++report.degraded;
     if (profiling) {
       prof::TraceSpan span{"serve/cpu-fallback", std::string(core::AlgoName(r.algo)),
@@ -212,6 +228,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   };
 
   while (true) {
+    if (budget != nullptr) budget->Advance(now);
     admit_until(now);
     expire_at(now);
     if (sched.Empty()) {
@@ -315,6 +332,10 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       // the same doomed query forever is not a recovery strategy.
       while (!pending.empty() && rebuilds_left > 0 &&
              (session == nullptr || !session->Healthy())) {
+        // A rebuild re-stages the whole graph — the most expensive recovery
+        // step there is; the fleet-wide budget gates it first. Denial falls
+        // through to the CPU fallback without burning a rebuild.
+        if (budget != nullptr && !budget->TryAcquireRebuild()) break;
         --rebuilds_left;
         ++report.session_rebuilds;
         retire_session();
@@ -334,7 +355,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       // Naive strawman: a fresh device per query — allocate, stage the full
       // topology, run, tear down. total_ms is that query's whole bill.
       for (const Request& r : pending) {
-        core::EtaGraph engine(options_.graph);
+        core::EtaGraph engine(graph_options);
         core::RunReport run = engine.Run(csr, r.algo, r.source);
         report.faults.Merge(run.faults);
         report.check.Merge(run.check);
@@ -349,6 +370,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         q.algo = r.algo;
         q.source = r.source;
         q.arrival_ms = r.arrival_ms;
+        q.slo = r.slo;
         q.reached_vertices = run.activated;
         q.batch_size = 1;
         q.start_ms = now;
@@ -458,6 +480,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       .Set(report.load_ms);
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  FinalizeOverloadReport(options_.overload, budget.get(), &report);
   ETA_CHECK(report.results.size() == trace.size());
   return report;
 }

@@ -29,9 +29,31 @@ std::string ServeReport::Render(const std::string& title) const {
   row("completed", std::to_string(completed));
   row("rejected", std::to_string(rejected));
   row("timed out", std::to_string(timed_out));
+  if (overload.Active()) row("shedded", std::to_string(shedded));
   row("degraded (cpu fallback)", std::to_string(degraded));
   row("dispatches", std::to_string(batches));
   if (session_rebuilds > 0) row("session rebuilds", std::to_string(session_rebuilds));
+  if (overload.brownout_configured) {
+    row("brownout level (final/max)", std::to_string(overload.brownout_level) + "/" +
+                                          std::to_string(overload.brownout_max_level));
+    row("brownout transitions",
+        std::to_string(overload.brownout_transitions.size()));
+    row("brownout degraded", std::to_string(overload.brownout_degraded));
+  }
+  if (overload.budget_configured) {
+    row("retry budget granted (retry/rebuild)",
+        std::to_string(overload.retry_granted) + "/" +
+            std::to_string(overload.rebuild_granted));
+    row("retry budget denied (retry/rebuild)",
+        std::to_string(overload.retry_denied) + "/" +
+            std::to_string(overload.rebuild_denied));
+  }
+  if (overload.breaker_configured) {
+    row("breaker opens", std::to_string(overload.breaker_opens));
+    row("breaker probes (failed)", std::to_string(overload.breaker_probes) + " (" +
+                                       std::to_string(overload.breaker_probe_failures) +
+                                       ")");
+  }
   if (faults.launch_failures > 0 || faults.ecc_corrected > 0) {
     row("launch failures", std::to_string(faults.launch_failures));
     row("query retries", std::to_string(faults.retries));
@@ -92,6 +114,21 @@ std::string ServeReport::Render(const std::string& title) const {
     }
     out += "\n";
     out += cost.Render("Cost model observations");
+  }
+
+  if (!slo_stats.empty()) {
+    util::Table slo({"Class", "Target ms", "Offered", "Ok", "Degraded", "Shed",
+                     "Timed out", "Rejected", "Goodput %", "p50 ms", "p99 ms"});
+    for (const SloStat& s : slo_stats) {
+      slo.AddRow({SloClassName(s.slo), util::FormatDouble(s.slo_target_ms, 1),
+                  std::to_string(s.offered), std::to_string(s.ok),
+                  std::to_string(s.degraded), std::to_string(s.shedded),
+                  std::to_string(s.timed_out), std::to_string(s.rejected),
+                  util::FormatDouble(100.0 * s.Goodput(), 1),
+                  util::FormatDouble(s.p50_ms, 3), util::FormatDouble(s.p99_ms, 3)});
+    }
+    out += "\n";
+    out += slo.Render("SLO classes");
   }
 
   if (!shard_stats.empty()) {
@@ -166,6 +203,40 @@ std::string ServeReport::Json() const {
           static_cast<uint64_t>(check.WarningCount()));
   // Emitted only on async replays so sync JSON stays byte-identical.
   if (async_dispatch) out += ",\"async_dispatch\":true";
+  // Overload-control block: emitted only when an overload feature was
+  // configured or the trace carried SLO classes, so legacy JSON stays
+  // byte-identical (same contract as async_dispatch).
+  if (overload.Active()) {
+    Appendf(out, ",\"shedded\":%" PRIu64, shedded);
+    Appendf(out,
+            ",\"overload\":{\"brownout_level\":%u,\"brownout_max_level\":%u"
+            ",\"brownout_transitions\":%" PRIu64 ",\"brownout_degraded\":%" PRIu64
+            ",\"retry_granted\":%" PRIu64 ",\"retry_denied\":%" PRIu64
+            ",\"rebuild_granted\":%" PRIu64 ",\"rebuild_denied\":%" PRIu64
+            ",\"breaker_opens\":%" PRIu64 ",\"breaker_probes\":%" PRIu64
+            ",\"breaker_probe_failures\":%" PRIu64 "}",
+            overload.brownout_level, overload.brownout_max_level,
+            static_cast<uint64_t>(overload.brownout_transitions.size()),
+            overload.brownout_degraded, overload.retry_granted, overload.retry_denied,
+            overload.rebuild_granted, overload.rebuild_denied, overload.breaker_opens,
+            overload.breaker_probes, overload.breaker_probe_failures);
+  }
+  if (!slo_stats.empty()) {
+    out += ",\"slo\":[";
+    for (size_t i = 0; i < slo_stats.size(); ++i) {
+      const SloStat& s = slo_stats[i];
+      if (i > 0) out += ",";
+      Appendf(out,
+              "{\"class\":\"%s\",\"target_ms\":%.1f,\"offered\":%" PRIu64
+              ",\"ok\":%" PRIu64 ",\"degraded\":%" PRIu64 ",\"shedded\":%" PRIu64
+              ",\"timed_out\":%" PRIu64 ",\"rejected\":%" PRIu64 ",\"slo_met\":%" PRIu64
+              ",\"goodput\":%.4f,\"p50_ms\":%.4f,\"p99_ms\":%.4f}",
+              SloClassName(s.slo), s.slo_target_ms, s.offered, s.ok, s.degraded,
+              s.shedded, s.timed_out, s.rejected, s.slo_met, s.Goodput(), s.p50_ms,
+              s.p99_ms);
+    }
+    out += "]";
+  }
 
   // Per-algo latency split + cost-model observations.
   out += ",\"algos\":[";

@@ -62,6 +62,67 @@ struct ShardStat {
   double overlap_ms = 0;   // copy/compute engine overlap the shard achieved
 };
 
+/// Per-SLO-class accounting of a replay (DESIGN.md §13). Built only from
+/// classed requests; empty on legacy classless traces, so legacy report
+/// output is byte-identical with the overload layer built.
+struct SloStat {
+  SloClass slo = SloClass::kNone;
+  double slo_target_ms = 0;
+  uint64_t offered = 0;    // requests of this class in the trace
+  uint64_t ok = 0;         // served on the device
+  uint64_t degraded = 0;   // answered by the CPU fallback
+  uint64_t shedded = 0;    // shed at admission
+  uint64_t timed_out = 0;
+  uint64_t rejected = 0;
+  /// Completed (ok or degraded) within the class target — the goodput
+  /// numerator.
+  uint64_t slo_met = 0;
+  double p50_ms = 0;  // completion latency percentiles over ok + degraded
+  double p99_ms = 0;
+  double Goodput() const {
+    return offered == 0 ? 0 : static_cast<double>(slo_met) / static_cast<double>(offered);
+  }
+};
+
+/// One hysteretic ladder level change, on the simulated clock.
+struct LadderTransition {
+  double at_ms = 0;
+  uint32_t from_level = 0;
+  uint32_t to_level = 0;
+};
+
+/// Overload-control outcome counters (brownout ladder, retry budget,
+/// circuit breaker). The `*_configured` flags gate rendering: a legacy run
+/// (all features off, classless trace) emits none of these rows/keys.
+struct OverloadStats {
+  bool slo_active = false;         // any classed request seen
+  bool shed_configured = false;    // admission controller armed
+  bool brownout_configured = false;
+  bool budget_configured = false;
+  bool breaker_configured = false;
+  bool Active() const {
+    return slo_active || shed_configured || brownout_configured || budget_configured ||
+           breaker_configured;
+  }
+
+  /// Brownout ladder (router backlog estimate → degrade classes to CPU).
+  uint32_t brownout_level = 0;      // level at end of replay
+  uint32_t brownout_max_level = 0;  // deepest level reached
+  uint64_t brownout_degraded = 0;   // requests degraded by the ladder
+  std::vector<LadderTransition> brownout_transitions;
+
+  /// Fleet-wide retry-budget token bucket.
+  uint64_t retry_granted = 0;
+  uint64_t retry_denied = 0;
+  uint64_t rebuild_granted = 0;
+  uint64_t rebuild_denied = 0;
+
+  /// Circuit breaker over quarantined shards.
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_probe_failures = 0;
+};
+
 struct ServeReport {
   ServeMode mode = ServeMode::kSessionBatched;
   /// True when the replay ran the stream-based async dispatcher
@@ -73,6 +134,9 @@ struct ServeReport {
   uint64_t completed = 0;
   uint64_t rejected = 0;
   uint64_t timed_out = 0;
+  /// Requests the admission controller shed as provably unable to meet
+  /// their SLO (QueryStatus::kShedded); disjoint from `completed`.
+  uint64_t shedded = 0;
   /// Requests the device path could not answer (faults exhausted every
   /// retry and rebuild) that were served by the CPU fallback instead.
   /// Counted inside `completed` — a degraded answer is still an answer.
@@ -117,6 +181,13 @@ struct ServeReport {
 
   /// Per-shard accounting, shard index order; empty outside ShardedEngine.
   std::vector<ShardStat> shard_stats;
+
+  /// Per-SLO-class accounting, class order (bronze, silver, gold); empty on
+  /// classless traces.
+  std::vector<SloStat> slo_stats;
+
+  /// Overload-control counters; all-default (and unrendered) on legacy runs.
+  OverloadStats overload;
 
   /// Merged trace spans (device timeline slices mapped onto the serve
   /// clock, per-launch kernel spans, queue/batcher/session/cpu serve

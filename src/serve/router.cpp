@@ -12,10 +12,12 @@
 #include <utility>
 
 #include "core/framework.hpp"
+#include "core/retry_budget.hpp"
 #include "cpu/reference.hpp"
 #include "prof/trace_export.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/overload.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "sim/stream.hpp"
@@ -94,6 +96,9 @@ struct Shard {
   std::set<uint32_t> staged_graphs;
   /// Queued-request composition per algorithm, the routing estimate input.
   std::map<core::Algo, uint64_t> queued_by_algo;
+  /// Overload control (DESIGN.md §13): a disabled breaker (the default)
+  /// always allows routing, keeping the legacy path byte-identical.
+  CircuitBreaker breaker{CircuitBreaker::Options{}};
   ShardStat stat{};
   /// Async dispatch only: the shard's stream scheduler (one compute engine
   /// + one copy engine per direction), a dense name counter for the
@@ -171,6 +176,22 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         std::max(1.0, base.cpu_fallback_units_per_ms);
   }
 
+  // Overload control (DESIGN.md §13). Everything defaults off: no budget
+  // object, disabled breakers, empty ladders — the legacy event loop takes
+  // the exact same branches and produces the exact same bytes.
+  const OverloadOptions& ov = base.overload;
+  std::shared_ptr<core::RetryBudget> retry_budget;
+  if (ov.retry_tokens_per_s > 0) {
+    retry_budget = std::make_shared<core::RetryBudget>(
+        core::RetryBudget::Config{ov.retry_tokens_per_s, ov.retry_burst});
+  }
+  // Hysteretic ladders over the router's backlog estimate: level 1 acts on
+  // bronze, level 2 on silver. Active only under slo_admission.
+  HysteresisLadder brownout({ov.brownout_bronze_backlog_ms, ov.brownout_silver_backlog_ms},
+                            ov.hysteresis);
+  HysteresisLadder shed_ladder({ov.shed_bronze_backlog_ms, ov.shed_silver_backlog_ms},
+                               ov.hysteresis);
+
   std::vector<Shard> shards;
   shards.reserve(options_.shards);
   for (uint32_t i = 0; i < options_.shards; ++i) {
@@ -178,6 +199,9 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     Shard& s = shards.back();
     s.index = i;
     s.graph_options = base.graph;
+    s.graph_options.recovery.budget = retry_budget;  // nullptr when unconfigured
+    s.breaker = CircuitBreaker(
+        CircuitBreaker::Options{ov.breaker_cooldown_ms, ov.breaker_backoff});
     if (i < options_.shard_faults.size()) {
       s.graph_options.faults = options_.shard_faults[i];
     } else if (base.graph.faults.Enabled()) {
@@ -358,9 +382,27 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     q.algo = r.algo;
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
+    q.slo = r.slo;
     report.results.push_back(q);
     ++report.rejected;
     count_query(r.algo, QueryStatus::kRejected);
+  };
+  /// Shed at admission: a terminal answer stamped at the decision time —
+  /// the request never queues, so no device (or deadline-sweep) work is
+  /// wasted on it. report.shedded is tallied from results in
+  /// FinalizeOverloadReport.
+  auto shed = [&](const Request& r, double when_ms) {
+    QueryResult q;
+    q.id = r.id;
+    q.status = QueryStatus::kShedded;
+    q.algo = r.algo;
+    q.source = r.source;
+    q.arrival_ms = r.arrival_ms;
+    q.start_ms = when_ms;
+    q.finish_ms = when_ms;
+    q.slo = r.slo;
+    report.results.push_back(q);
+    count_query(r.algo, QueryStatus::kShedded);
   };
   auto time_out = [&](const Request& r, double when_ms) {
     QueryResult q;
@@ -371,6 +413,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     q.arrival_ms = r.arrival_ms;
     q.start_ms = when_ms;
     q.finish_ms = when_ms;
+    q.slo = r.slo;
     report.results.push_back(q);
     ++report.timed_out;
     count_query(r.algo, QueryStatus::kTimedOut);
@@ -387,6 +430,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     q.algo = r.algo;
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
+    q.slo = r.slo;
     q.reached_vertices = cpu::CountReached(labels, core::IsWidest(r.algo));
     q.batch_size = 0;
     q.start_ms = start;
@@ -469,13 +513,19 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   /// Load-aware admission. Tries live shards in increasing estimated
   /// backlog — ties broken by queue depth (so a cold estimator, whose mean
   /// is still 0, spreads a burst instead of piling it on one shard), then
-  /// by shard index. Returns the shard that admitted `r`, or nullptr when
-  /// every live queue is full (or the fleet is dead).
-  auto route = [&](const Request& r, double now) -> Shard* {
+  /// by shard index. A breaker-open shard is skipped (and reported via
+  /// `breaker_blocked`); a half-open one admits a single probe. Returns the
+  /// shard that admitted `r`, or nullptr when every live queue is full (or
+  /// the fleet is dead).
+  auto route = [&](const Request& r, double now, bool* breaker_blocked = nullptr) -> Shard* {
     std::vector<std::tuple<double, size_t, uint32_t>> order;
     order.reserve(shards.size());
     for (Shard& s : shards) {
       if (s.dead) continue;
+      if (!s.breaker.AllowRoute(now, s.queue.Empty())) {
+        if (breaker_blocked != nullptr) *breaker_blocked = true;
+        continue;
+      }
       order.emplace_back(backlog_ms(s, now), s.queue.Depth(), s.index);
     }
     std::sort(order.begin(), order.end());
@@ -486,6 +536,19 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       return &s;
     }
     return nullptr;
+  };
+
+  /// The admission controller's fleet backlog estimate: the least estimated
+  /// backlog over shards a request could actually route to (kInf when none
+  /// is routable). Uses the breaker's side-effect-free preview so the
+  /// estimate never consumes a half-open probe slot.
+  auto min_backlog_ms = [&](double now) {
+    double b = kInf;
+    for (Shard& s : shards) {
+      if (s.dead || !s.breaker.WouldAllow(now, s.queue.Empty())) continue;
+      b = std::min(b, backlog_ms(s, now));
+    }
+    return b;
   };
 
   /// Fault-aware drain: empties a quarantined shard's queue into the
@@ -595,6 +658,12 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     // so every resident session is torn down, not just the dispatching one.
     while (!pending.empty() && s.rebuilds_left > 0 &&
            (rs == nullptr || !rs->session->Healthy())) {
+      // Fleet-wide retry budget: a rebuild re-stages a whole graph, the
+      // most load-amplifying recovery step. A dry bucket defers recovery —
+      // the shard keeps its (fast-failing) session and its rebuild budget,
+      // the remainder of this dispatch degrades to the CPU, and a later
+      // dispatch rebuilds once tokens refill.
+      if (retry_budget != nullptr && !retry_budget->TryAcquireRebuild()) break;
       drain_queue(s, t);
       --s.rebuilds_left;
       ++s.stat.rebuilds;
@@ -613,6 +682,19 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       s.stat.dead = true;
       drain_queue(s, t);
       retire_all_sessions(s);
+    }
+    // Circuit breaker: a dispatch whose device path ended unhealthy opens
+    // the shard's breaker (quarantine with cooldown, then a half-open
+    // probe); a healthy end closes it — including a successful probe. The
+    // open transition drains the queue to peers, mirroring the dead-shard
+    // quarantine. No-ops entirely when the breaker is unconfigured.
+    if (s.breaker.Enabled() && !s.dead) {
+      if (rs == nullptr || !rs->session->Healthy()) {
+        s.breaker.OnDispatchFailure(t);
+        drain_queue(s, t);
+      } else {
+        s.breaker.OnDispatchSuccess();
+      }
     }
     // Whatever the device path could not answer is served degraded, on
     // this shard's timeline (it owned the requests).
@@ -754,15 +836,81 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     return true;
   };
 
+  /// Single admission point for fresh arrivals and quarantine re-routes;
+  /// returns the admitting shard, or nullptr when the request reached a
+  /// terminal state here. Classless requests keep the legacy path
+  /// bit-for-bit (route, else reject — or the CPU for re-routes). Classed
+  /// requests under slo_admission run the admission controller, in
+  /// precedence order: brownout degrade → pressure shed → predictive shed →
+  /// route → class-ordered full-queue fallback.
+  auto admit_one = [&](const Request& r, double at, bool rerouted) -> Shard* {
+    if (fleet_dead()) {
+      serve_cpu_global(r, at);
+      return nullptr;
+    }
+    if (ov.slo_admission && r.slo != SloClass::kNone) {
+      const double b = min_backlog_ms(at);
+      const uint32_t brownout_level = brownout.Update(b, at);
+      const uint32_t shed_level = shed_ladder.Update(b, at);
+      // (1) Brownout: at level 1 bronze answers come from the CPU fallback,
+      // at level 2 silver too — degraded beats shed, shed beats collapse.
+      if ((brownout_level >= 1 && r.slo == SloClass::kBronze) ||
+          (brownout_level >= 2 && r.slo == SloClass::kSilver)) {
+        ++report.overload.brownout_degraded;
+        serve_cpu_global(r, at);
+        return nullptr;
+      }
+      if (r.slo != SloClass::kGold) {
+        // (2) Pressure shed: class-ordered (bronze first), hysteretic.
+        if ((shed_level >= 1 && r.slo == SloClass::kBronze) ||
+            (shed_level >= 2 && r.slo == SloClass::kSilver)) {
+          shed(r, at);
+          return nullptr;
+        }
+        // (3) Predictive shed: when even the least-loaded routable shard's
+        // queue wait plus the running-mean service estimate lands past the
+        // class target, the request provably cannot meet its SLO — shed
+        // now, before it wastes a queue slot and device work, instead of
+        // timing out later. Strict >: a request that lands exactly on its
+        // target is still admitted (the ExpiredAt boundary rule).
+        const double target = SloTargetMs(ov, r.slo);
+        if (b == kInf || at + b + cost[r.algo].EstimateMs() > r.arrival_ms + target) {
+          shed(r, at);
+          return nullptr;
+        }
+      }
+      Shard* target = route(r, at);
+      if (target != nullptr) return target;
+      // (4) Every routable queue is full. Gold is never shed while any
+      // shard is alive — it gets a real (if slow) CPU answer; lower
+      // classes shed. Shed-vs-reject precedence: a classed request never
+      // sees kRejected.
+      if (r.slo == SloClass::kGold) {
+        serve_cpu_global(r, at);
+      } else {
+        shed(r, at);
+      }
+      return nullptr;
+    }
+    // Legacy classless path. If the breaker (when configured) held every
+    // live shard out of routing, degrade instead of rejecting: the queues
+    // were not full, the fleet was cooling down.
+    bool breaker_blocked = false;
+    Shard* target = route(r, at, &breaker_blocked);
+    if (target != nullptr) return target;
+    if (rerouted || breaker_blocked) {
+      serve_cpu_global(r, at);
+    } else {
+      reject(r);
+    }
+    return nullptr;
+  };
+
   while (true) {
+    if (retry_budget != nullptr) retry_budget->Advance(now);
     // Admit trace arrivals due now.
     while (next < trace.size() && trace[next].arrival_ms <= now) {
-      const Request& r = trace[next];
-      if (fleet_dead()) {
-        serve_cpu_global(r, now);
-      } else if (route(r, now) == nullptr) {
-        reject(r);
-      }
+      admit_one(trace[next], now, /*rerouted=*/false);
       ++next;
     }
     // Re-route requests drained out of quarantined shards whose fault time
@@ -778,13 +926,8 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         return a.ready_ms != b.ready_ms ? a.ready_ms < b.ready_ms : a.order < b.order;
       });
       for (const Deferred& d : ready) {
-        Shard* target = fleet_dead() ? nullptr : route(d.request, now);
-        if (target != nullptr) {
-          ++target->stat.rerouted_in;
-        } else {
-          // No live shard can take it; degraded beats lost.
-          serve_cpu_global(d.request, now);
-        }
+        Shard* target = admit_one(d.request, now, /*rerouted=*/true);
+        if (target != nullptr) ++target->stat.rerouted_in;
       }
     }
     // Sweep expired deadlines everywhere before dispatching.
@@ -904,6 +1047,15 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   }
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  report.overload.brownout_level = brownout.level();
+  report.overload.brownout_max_level = brownout.max_level();
+  report.overload.brownout_transitions = brownout.transitions();
+  for (const Shard& s : shards) {
+    report.overload.breaker_opens += s.breaker.opens();
+    report.overload.breaker_probes += s.breaker.probes();
+    report.overload.breaker_probe_failures += s.breaker.probe_failures();
+  }
+  FinalizeOverloadReport(ov, retry_budget.get(), &report);
   ETA_CHECK(report.results.size() == trace.size());
   return report;
 }

@@ -20,6 +20,23 @@ namespace eta::serve {
 
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
+/// Service-level-objective class of a request. Classless (kNone) requests
+/// take the legacy path: no shedding, no brownout, no per-class accounting.
+/// Classed requests carry a completion target (OverloadOptions) and are
+/// subject to the admission controller: under pressure bronze is degraded or
+/// shed first, then silver; gold is never shed while any shard is alive.
+enum class SloClass : uint8_t {
+  kNone = 0,
+  kBronze,
+  kSilver,
+  kGold,
+};
+const char* SloClassName(SloClass slo);
+/// Inverse of SloClassName; nullopt on an unknown name.
+std::optional<SloClass> ParseSloClass(std::string_view name);
+/// Canonical scheduler priority for a class (gold jumps the queue).
+int32_t SloPriority(SloClass slo);
+
 struct Request {
   uint64_t id = 0;
   core::Algo algo = core::Algo::kBfs;
@@ -37,6 +54,11 @@ struct Request {
   double deadline_ms = kNoDeadline;
   /// Higher values are dispatched first; FIFO within a priority level.
   int32_t priority = 0;
+  /// SLO class; kNone means the legacy classless path (see SloClass).
+  SloClass slo = SloClass::kNone;
+  /// Originating tenant (arrival-process bookkeeping only; the engine does
+  /// not partition by tenant).
+  uint32_t tenant = 0;
 
   double StartDeadline() const { return arrival_ms + deadline_ms; }
 
@@ -52,6 +74,7 @@ enum class QueryStatus : uint8_t {
   kRejected,  // admission queue was full on arrival
   kTimedOut,  // still queued when the start deadline passed
   kDegraded,  // device path exhausted; served by the CPU fallback instead
+  kShedded,   // admission controller predicted a hopeless SLO and shed it
 };
 const char* QueryStatusName(QueryStatus status);
 /// Inverse of QueryStatusName (for replay-file round trips); nullopt on an
@@ -73,6 +96,8 @@ struct QueryResult {
   double arrival_ms = 0;
   double start_ms = 0;   // dispatch time on the simulated clock
   double finish_ms = 0;  // completion time on the simulated clock
+  /// Copied from the request so per-class accounting survives into reports.
+  SloClass slo = SloClass::kNone;
 
   double QueueMs() const { return start_ms - arrival_ms; }
   double LatencyMs() const { return finish_ms - arrival_ms; }
@@ -89,6 +114,50 @@ enum class ServeMode : uint8_t {
   kSessionBatched,
 };
 const char* ServeModeName(ServeMode mode);
+
+/// Overload-control knobs (DESIGN.md §13). All default-off: a
+/// default-constructed OverloadOptions leaves every legacy code path — and
+/// every legacy report byte — unchanged.
+struct OverloadOptions {
+  /// Per-class completion targets (ms from arrival). A classed request meets
+  /// its SLO when it finishes (ok or degraded) within the target; targets
+  /// also feed the predictive shed decision at admission.
+  double gold_slo_ms = 50.0;
+  double silver_slo_ms = 200.0;
+  double bronze_slo_ms = 1000.0;
+  /// Master switch for SLO-aware admission on the sharded router: predictive
+  /// shed-early (queue-wait + service estimate vs the class target) plus the
+  /// class-ordered fallbacks when every queue is full. Classless requests are
+  /// unaffected even when set.
+  bool slo_admission = false;
+  /// Backlog (ms of estimated queued work on the least-loaded live shard) at
+  /// which pressure shedding engages, class-ordered: bronze sheds first,
+  /// silver at the higher threshold, gold never. 0 disables a rung.
+  double shed_bronze_backlog_ms = 0;
+  double shed_silver_backlog_ms = 0;
+  /// Brownout ladder thresholds on the same backlog estimate: at level 1
+  /// bronze is served by the CPU fallback (kDegraded), at level 2 silver
+  /// too. 0 disables a level.
+  double brownout_bronze_backlog_ms = 0;
+  double brownout_silver_backlog_ms = 0;
+  /// Hysteresis for both ladders: a level entered at threshold T is left
+  /// only when the backlog drops below T * hysteresis.
+  double hysteresis = 0.5;
+  /// Fleet-wide retry budget: token-bucket refill rate (tokens per simulated
+  /// second) capping fault retries and session rebuilds across all shards.
+  /// 0 leaves the legacy unbounded behavior.
+  double retry_tokens_per_s = 0;
+  /// Bucket depth (burst allowance) for the retry budget.
+  double retry_burst = 8.0;
+  /// Circuit breaker: after a dispatch-level device failure a shard is held
+  /// out of routing for this cooldown, then half-opened with a single probe
+  /// dispatch; each consecutive failure multiplies the cooldown by
+  /// breaker_backoff. 0 disables the breaker.
+  double breaker_cooldown_ms = 0;
+  double breaker_backoff = 2.0;
+};
+/// The completion target for a class (infinite for kNone).
+double SloTargetMs(const OverloadOptions& options, SloClass slo);
 
 struct ServeOptions {
   ServeMode mode = ServeMode::kSessionBatched;
@@ -110,6 +179,8 @@ struct ServeOptions {
   /// models a ~0.1 GTEPS host — deliberately far below the simulated GPU,
   /// so degradation is visible in the latency histograms.
   double cpu_fallback_units_per_ms = 100000.0;
+  /// Overload control (arrivals/SLO/brownout/budget/breaker); default-off.
+  OverloadOptions overload{};
 };
 
 }  // namespace eta::serve

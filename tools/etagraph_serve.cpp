@@ -68,8 +68,35 @@
 //                   the async dispatcher (test gate for etaverify): one of
 //                   drop-ready-wait, swap-record-wait, double-prestage.
 //                   Answers stay bit-identical; the DAG carries the bug.
+//   --arrivals      replace the generated trace with a seeded open-loop
+//                   arrival process (DESIGN.md section 13):
+//                   profile:key=value,... with profile one of poisson,
+//                   bursty, diurnal. Keys: rate (avg qps), n, on, off,
+//                   offscale, period, trough, hot, tenants, slo (0/1),
+//                   gold, silver, gd/sd/bd (per-class deadlines ms), seed.
+//                   e.g. --arrivals=poisson:rate=2000,n=512,gold=0.25
+//                   The catalog size (--catalog) supplies the graph count;
+//                   graph 0 is hot. Incompatible with --trace.
+//   --slo-shed      with --shards: enable the SLO admission controller —
+//                   predictively shed classed requests that provably cannot
+//                   meet their class target (gold is never shed)
+//   --slo-targets   gold[,silver[,bronze]] class targets in ms
+//                   (default 50,200,1000)
+//   --shed-backlog  bronze[,silver] backlog thresholds in ms for
+//                   class-ordered pressure shedding (hysteretic; 0=off)
+//   --brownout      bronze[,silver] backlog thresholds in ms for the
+//                   brownout ladder: past level 1 bronze is served degraded
+//                   from the CPU fallback, past level 2 silver too (0=off)
+//   --retry-budget  rate[,burst]: fleet-wide retry/rebuild token bucket,
+//                   tokens per simulated second (0=unbounded, the legacy
+//                   behavior)
+//   --breaker       cooldown_ms[,backoff]: per-shard circuit breaker —
+//                   a failed dispatch quarantines the shard for the
+//                   cooldown, then a single half-open probe decides
+//                   between closing and re-opening with backoff
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -78,6 +105,7 @@
 #include "graph/io.hpp"
 #include "prof/trace_export.hpp"
 #include "sanitizer/config.hpp"
+#include "serve/arrivals.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
 #include "sim/fault.hpp"
@@ -94,6 +122,25 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "etagraph_serve: %s\n", message.c_str());
   return 2;
+}
+
+// Parses "A" or "A,B[,C...]" into the given slots; values beyond those
+// supplied keep their presets. At least one value is required and trailing
+// garbage is an error.
+bool ParseDoubleList(const std::string& s, std::vector<double*> out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t comma = s.find(',', pos);
+    const std::string token =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    *out[i] = value;
+    if (comma == std::string::npos) return true;
+    pos = comma + 1;
+  }
+  return pos >= s.size();
 }
 
 }  // namespace
@@ -132,6 +179,13 @@ int main(int argc, char** argv) {
   const bool verify_dag = cl->GetBool("verify-dag", false);
   const std::string verify_json = cl->GetString("verify-json", "");
   const std::string plant_name = cl->GetString("plant", "");
+  const std::string arrivals_spec = cl->GetString("arrivals", "");
+  const bool slo_shed = cl->GetBool("slo-shed", false);
+  const std::string slo_targets = cl->GetString("slo-targets", "");
+  const std::string shed_backlog = cl->GetString("shed-backlog", "");
+  const std::string brownout_spec = cl->GetString("brownout", "");
+  const std::string retry_budget_spec = cl->GetString("retry-budget", "");
+  const std::string breaker_spec = cl->GetString("breaker", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -209,6 +263,39 @@ int main(int argc, char** argv) {
   if (async && shards == 0) {
     return Fail("--async requires --shards");
   }
+  // Overload control (DESIGN.md section 13). The admission controller,
+  // ladders, and breaker live in the sharded router; the retry budget also
+  // applies to the single-session engine.
+  if (shards == 0 && (slo_shed || !shed_backlog.empty() || !brownout_spec.empty() ||
+                      !breaker_spec.empty())) {
+    return Fail("--slo-shed/--shed-backlog/--brownout/--breaker require --shards");
+  }
+  if (!arrivals_spec.empty() && !trace_path.empty()) {
+    return Fail("--arrivals and --trace are mutually exclusive");
+  }
+  serve::OverloadOptions& ov = options.overload;
+  ov.slo_admission = slo_shed;
+  if (!slo_targets.empty() &&
+      !ParseDoubleList(slo_targets, {&ov.gold_slo_ms, &ov.silver_slo_ms, &ov.bronze_slo_ms})) {
+    return Fail("bad --slo-targets '" + slo_targets + "' (want gold[,silver[,bronze]] ms)");
+  }
+  if (!shed_backlog.empty() &&
+      !ParseDoubleList(shed_backlog, {&ov.shed_bronze_backlog_ms, &ov.shed_silver_backlog_ms})) {
+    return Fail("bad --shed-backlog '" + shed_backlog + "' (want bronze[,silver] ms)");
+  }
+  if (!brownout_spec.empty() &&
+      !ParseDoubleList(brownout_spec,
+                       {&ov.brownout_bronze_backlog_ms, &ov.brownout_silver_backlog_ms})) {
+    return Fail("bad --brownout '" + brownout_spec + "' (want bronze[,silver] ms)");
+  }
+  if (!retry_budget_spec.empty() &&
+      !ParseDoubleList(retry_budget_spec, {&ov.retry_tokens_per_s, &ov.retry_burst})) {
+    return Fail("bad --retry-budget '" + retry_budget_spec + "' (want rate[,burst])");
+  }
+  if (!breaker_spec.empty() &&
+      !ParseDoubleList(breaker_spec, {&ov.breaker_cooldown_ms, &ov.breaker_backoff})) {
+    return Fail("bad --breaker '" + breaker_spec + "' (want cooldown_ms[,backoff])");
+  }
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
   options.max_batch = max_batch;
@@ -269,6 +356,20 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("trace: %zu request(s) from %s\n", trace.size(), trace_path.c_str());
+  } else if (!arrivals_spec.empty()) {
+    serve::ArrivalOptions arrival_options;
+    std::string arrival_error;
+    if (!serve::ParseArrivalSpec(arrivals_spec, &arrival_options, &arrival_error)) {
+      return Fail("bad --arrivals: " + arrival_error);
+    }
+    // The loaded catalog is the ground truth for valid graph ids; the
+    // spec's own `graphs` key cannot exceed it.
+    arrival_options.num_graphs = static_cast<uint32_t>(graphs.size());
+    trace = serve::GenerateArrivals(min_vertices, arrival_options);
+    std::printf("arrivals: %s, %zu request(s), %.6g qps average, seed %llu\n",
+                serve::ArrivalProfileName(arrival_options.profile), trace.size(),
+                arrival_options.rate_qps,
+                static_cast<unsigned long long>(arrival_options.seed));
   } else {
     serve::TraceOptions trace_options;
     trace_options.num_requests = requests;
