@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Snapshot bench results into the repo root.
+#
+# Every bench binary writes its BENCH_*.json next to wherever it ran
+# (usually the build tree, which is disposable). This copies any such
+# files found under the given build directory to the repository root, so
+# a checked-out tree keeps the latest numbers after a gate run.
+#
+#   scripts/bench_snapshot.sh [build-dir]
+#
+# Invoked automatically at the end of the bench-running check.sh gates;
+# a run that produced no BENCH_*.json is not an error.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "bench_snapshot.sh: no build directory '$BUILD_DIR'" >&2
+  exit 1
+fi
+
+count=0
+while IFS= read -r -d '' json; do
+  cp "$json" "$REPO_ROOT/$(basename "$json")"
+  echo "bench_snapshot.sh: $json -> $(basename "$json")"
+  count=$((count + 1))
+done < <(find "$BUILD_DIR" -maxdepth 3 -name 'BENCH_*.json' -print0)
+
+echo "bench_snapshot.sh: snapshotted $count file(s) into $REPO_ROOT"

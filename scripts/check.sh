@@ -15,6 +15,7 @@
 #   scripts/check.sh --async [build-dir]
 #   scripts/check.sh --verify [build-dir]
 #   scripts/check.sh --overload [build-dir]
+#   scripts/check.sh --trace [build-dir]
 #
 # --sanitize builds into a second build tree (default build-asan) with
 # AddressSanitizer + UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
@@ -66,6 +67,16 @@
 # goodput >= 95% at 2x offered load, queues bounded, byte-identical
 # double runs).
 #
+# --trace builds normally and then exercises etatrace end to end
+# (DESIGN.md section 14): the trace/flight-recorder test binary, a traced
+# open-loop matrix (shards x faults x arrivals with --trace-requests,
+# --blackbox-out, and --slo-alerts on) whose trace JSON, flight-recorder
+# dumps, and replays must be byte-identical across double runs, a
+# legacy-leak check (no trace/alert/exemplar vocabulary in untraced
+# output), the bench_trace_overhead zero-cost contract (sim-identical
+# replays with tracing on), and a bench_snapshot.sh pass that copies the
+# fresh BENCH_*.json into the repo root.
+#
 # --profile builds normally and then exercises etaprof end to end
 # (DESIGN.md section 9): the prof/metrics test binaries, a profiled CLI run
 # and a profiled 64-query serve replay (trace JSON round-trip validated,
@@ -82,6 +93,7 @@ SHARD=0
 ASYNC=0
 VERIFY=0
 OVERLOAD=0
+TRACE=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   SANITIZE=1
   shift
@@ -105,6 +117,9 @@ elif [[ "${1:-}" == "--verify" ]]; then
   shift
 elif [[ "${1:-}" == "--overload" ]]; then
   OVERLOAD=1
+  shift
+elif [[ "${1:-}" == "--trace" ]]; then
+  TRACE=1
   shift
 fi
 
@@ -513,6 +528,97 @@ if [[ "$OVERLOAD" == "1" ]]; then
   # byte-identical double runs at every multiple.
   "$BUILD_DIR/bench/bench_overload" --requests=240 \
     --json="$OV_DIR/BENCH_overload.json"
+  exit 0
+fi
+
+if [[ "$TRACE" == "1" ]]; then
+  # etatrace gate: the trace/flight-recorder/alert test binary first
+  # (exact), then the end-to-end traced matrix through etagraph_serve.
+  "$BUILD_DIR/tests/trace_test"
+
+  TRACE_DIR="$(mktemp -d)"
+  trap 'rm -f "$LOG"; rm -rf "$TRACE_DIR"' EXIT
+
+  echo "== traced matrix (shards x faults x arrivals) + double-run identity =="
+  # Every cell runs overloaded with the full stack on plus tracing, the
+  # flight recorder, and burn-rate alerts. The per-request trace JSON, the
+  # blackbox dumps, and the replay must all come back byte-identical on a
+  # second run — causality that does not replay is not causality.
+  REQS=48
+  for shards in 1 4; do
+    for spec in "none" "uecc=0.03,hang=0.02,lost=0.002,alloc=0.05,watchdog=5"; do
+      args=(--dataset=slashdot --shards="$shards" --queue-cap="$REQS"
+            --arrivals="poisson:rate=4000,n=$REQS,gold=0.2,silver=0.3"
+            --slo-shed --slo-targets=50,200,1000 --shed-backlog=20,40
+            --brownout=10,30 --trace-requests --slo-alerts)
+      label="shards=$shards faults=$spec"
+      if [[ "$spec" != "none" ]]; then
+        args+=(--faults="seed=3,$spec")
+      fi
+      safe="${label//[^a-zA-Z0-9]/_}"
+      for i in 1 2; do
+        "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+          --trace-request-out="$TRACE_DIR/$safe.$i.trace.json" \
+          --blackbox-out="$TRACE_DIR/$safe.$i.blackbox.txt" \
+          --replay-out="$TRACE_DIR/$safe.$i.replay.txt" > /dev/null
+      done
+      for artifact in trace.json blackbox.txt replay.txt; do
+        if ! diff -u "$TRACE_DIR/$safe.1.$artifact" "$TRACE_DIR/$safe.2.$artifact"; then
+          echo "check.sh: $artifact diverged across runs for $label" >&2
+          exit 1
+        fi
+      done
+      if command -v python3 > /dev/null; then
+        python3 -m json.tool "$TRACE_DIR/$safe.1.trace.json" > /dev/null
+      fi
+      # One span tree per generated request, and the always-on recorder
+      # left at least the end-of-replay snapshot.
+      traces="$(grep -c '"id":' "$TRACE_DIR/$safe.1.trace.json")"
+      if [[ "$traces" != "$REQS" ]]; then
+        echo "check.sh: $label: $traces span trees for $REQS requests" >&2
+        exit 1
+      fi
+      grep -q "# flight-recorder dump:" "$TRACE_DIR/$safe.1.blackbox.txt"
+      echo "-- $label: trace/blackbox/replay identical, $traces span trees"
+    done
+  done
+
+  echo "== traced CLI retry timeline + double-run identity =="
+  for i in 1 2; do
+    "$BUILD_DIR/src/etagraph_cli" --dataset=rmat --scale=0.1 --algo=bfs \
+      --framework=etagraph --faults="seed=3,uecc=0.05" \
+      --trace-requests --trace-request-out="$TRACE_DIR/cli.$i.json" \
+      --blackbox-out="$TRACE_DIR/cli.$i.blackbox.txt" |
+      grep -v "$TRACE_DIR" > "$TRACE_DIR/cli.$i.txt"
+  done
+  for artifact in json blackbox.txt txt; do
+    if ! diff -u "$TRACE_DIR/cli.1.$artifact" "$TRACE_DIR/cli.2.$artifact"; then
+      echo "check.sh: CLI trace artifact .$artifact diverged across runs" >&2
+      exit 1
+    fi
+  done
+  grep -q "etatrace attempt timeline" "$TRACE_DIR/cli.1.txt"
+  echo "-- CLI attempt timeline deterministic"
+
+  echo "== legacy-leak check (features off => no trace vocabulary) =="
+  "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=32 \
+    --metrics-out="$TRACE_DIR/legacy.prom" > "$TRACE_DIR/legacy.txt"
+  if grep -Eq "traced|exemplar|serve_alert|blackbox|burn-rate|burn_rate" \
+      "$TRACE_DIR/legacy.txt" "$TRACE_DIR/legacy.prom"; then
+    echo "check.sh: trace output leaked into an untraced run:" >&2
+    grep -En "traced|exemplar|serve_alert|blackbox|burn-rate|burn_rate" \
+      "$TRACE_DIR/legacy.txt" "$TRACE_DIR/legacy.prom" >&2
+    exit 1
+  fi
+  echo "-- legacy run clean"
+
+  echo "== zero-cost contract =="
+  # The bench's own exit gates enforce sim-identical replays with tracing
+  # on (replay text, makespan, fault counters, Prometheus prefix) and
+  # byte-identical traces across double runs.
+  "$BUILD_DIR/bench/bench_trace_overhead" --datasets=rmat --scale=0.1 \
+    --requests=64 --json="$BUILD_DIR/BENCH_trace_overhead.json"
+  scripts/bench_snapshot.sh "$BUILD_DIR"
   exit 0
 fi
 

@@ -646,6 +646,10 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
   // shadows; charge exponential backoff to the simulated clock; run again.
   // Device loss is terminal for the session.
   FaultStats faults;
+  // etatrace: per-attempt records, filled only under trace_requests (the
+  // vector stays empty and untouched otherwise — zero-cost contract).
+  std::vector<AttemptRecord> attempt_log;
+  const bool trace = options_.trace_requests;
   const uint32_t max_attempts = 1 + options_.recovery.max_retries;
   for (uint32_t attempt = 0;; ++attempt) {
     AttemptFailure failure;
@@ -653,27 +657,46 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
         ExecuteAttempt(algo, init_labels, initial_active, copy_label, attribute_sources,
                        start_clock, &faults, &failure);
     if (!failure.failed) {
+      if (trace) {
+        AttemptRecord rec;
+        rec.attempt = attempt;
+        rec.succeeded = true;
+        attempt_log.push_back(rec);
+      }
       report = std::move(attempt_report);
       break;
     }
+    AttemptRecord rec;  // written only when trace is on
+    rec.attempt = attempt;
     // The aborted attempt may have stamped vertices up to its failing
     // iteration; start the next epoch above them so stale stamps never
     // suppress appends.
     stamp_base_ += failure.iter + 2;
     ++faults.launch_failures;
     switch (failure.status) {
-      case sim::LaunchStatus::kEccUncorrectable: ++faults.ecc_uncorrectable; break;
-      case sim::LaunchStatus::kKernelTimeout: ++faults.hangs; break;
-      case sim::LaunchStatus::kDeviceLost: faults.device_lost = true; break;
+      case sim::LaunchStatus::kEccUncorrectable:
+        ++faults.ecc_uncorrectable;
+        rec.fault = 1;
+        break;
+      case sim::LaunchStatus::kKernelTimeout:
+        ++faults.hangs;
+        rec.fault = 2;
+        break;
+      case sim::LaunchStatus::kDeviceLost:
+        faults.device_lost = true;
+        rec.fault = 3;
+        break;
       case sim::LaunchStatus::kOk: break;
     }
     if (failure.status == sim::LaunchStatus::kDeviceLost) {
       device_lost_ = true;
+      if (trace) attempt_log.push_back(rec);
       report = std::move(attempt_report);
       break;
     }
     if (attempt + 1 >= max_attempts) {
       faults.exhausted = true;
+      if (trace) attempt_log.push_back(rec);
       report = std::move(attempt_report);
       break;
     }
@@ -683,23 +706,34 @@ RunReport ResidentGraph::Execute(Algo algo, std::vector<Weight> init_labels,
     // so a sticky-fault storm cannot multiply offered load.
     if (options_.recovery.budget != nullptr && !options_.recovery.budget->TryAcquireRetry()) {
       faults.exhausted = true;
+      if (trace) {
+        rec.budget_denied = true;
+        attempt_log.push_back(rec);
+      }
       report = std::move(attempt_report);
       break;
     }
     if (failure.status == sim::LaunchStatus::kEccUncorrectable) {
+      const uint64_t restaged_before = faults.restaged_buffers;
       RestageCorrupted(&faults);
+      rec.restaged = faults.restaged_buffers > restaged_before;
     }
     const double delay = options_.recovery.backoff_base_ms *
                          std::pow(options_.recovery.backoff_multiplier, attempt);
     device.ChargeDelay(delay, "fault-backoff");
     faults.backoff_ms += delay;
     ++faults.retries;
+    if (trace) {
+      rec.backoff_ms = delay;
+      attempt_log.push_back(rec);
+    }
   }
 
   report.framework = std::string("EtaGraph[") + ModeNameImpl(options_.memory_mode) +
                      (options_.use_smp ? "" : ",no-smp") + "]";
   report.algo = algo;
   report.faults = faults;
+  if (trace) report.attempts = std::move(attempt_log);
   report.device_bytes_peak = device_bytes_peak_;
   report.total_ms = device.NowMs();
   report.query_ms = device.NowMs() - start_clock;

@@ -51,6 +51,14 @@ struct EtaGraphOptions {
   /// simulated counter and timestamp stays bit-identical to an unprofiled
   /// run (bench_profiler_overhead enforces this).
   bool profile = false;
+  /// etatrace per-request causal tracing (DESIGN.md section 14). Off by
+  /// default: no tracer is attached and the serve/attempt paths do zero
+  /// extra work beyond one untaken branch, so every simulated counter and
+  /// timestamp stays bit-identical to an untraced run
+  /// (bench_trace_overhead enforces this). On, the attempt loop records
+  /// one AttemptRecord per device attempt into RunReport::attempts and
+  /// the serving layer emits typed TraceEvents at each lifecycle edge.
+  bool trace_requests = false;
   /// etacheck instrumentation (memcheck / racecheck / synccheck). Off by
   /// default: no observer is attached and every simulated counter and
   /// timestamp is identical to an unchecked run. Findings land in

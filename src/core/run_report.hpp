@@ -60,6 +60,23 @@ struct FaultStats {
   }
 };
 
+/// One device attempt of the retry loop (DESIGN.md section 8), recorded
+/// only when EtaGraphOptions::trace_requests is on. The serving layer's
+/// batcher converts these into per-request kFault/kRetry trace events so
+/// a span tree can show exactly which fault class hit which attempt and
+/// what backoff it was charged.
+struct AttemptRecord {
+  uint32_t attempt = 0;        // 0-based attempt index
+  bool succeeded = false;      // this attempt produced the answer
+  /// Fault class of a failed attempt: 0 = none/other, 1 = uncorrectable
+  /// ECC, 2 = kernel timeout (hang), 3 = device lost. Matches
+  /// trace::FaultClass.
+  uint8_t fault = 0;
+  double backoff_ms = 0;       // backoff charged before the next retry
+  bool budget_denied = false;  // the fleet retry budget refused the retry
+  bool restaged = false;       // corrupted buffers were re-shipped
+};
+
 struct RunReport {
   std::string framework;
   std::string dataset;
@@ -108,6 +125,10 @@ struct RunReport {
   /// unless EtaGraphOptions::profile is on. Failed launches appear with
   /// their fault status and all-zero counters.
   std::vector<sim::KernelProfile> kernel_profiles;
+
+  /// etatrace per-attempt records for this query's retry loop, in attempt
+  /// order; empty unless EtaGraphOptions::trace_requests is on.
+  std::vector<AttemptRecord> attempts;
 
   // Unified-memory migration record (empty for explicit-copy frameworks).
   std::vector<uint64_t> migration_sizes;

@@ -14,7 +14,7 @@ bool Batchable(core::Algo algo) {
 }
 
 BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms,
-                          const BatchStreamContext* ctx) {
+                          const BatchStreamContext* ctx, const BatchTraceContext* tctx) {
   ETA_CHECK(!batch.requests.empty());
   if (ctx != nullptr) {
     ETA_CHECK(ctx->streams != nullptr);
@@ -22,6 +22,59 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
   }
   BatchOutcome out;
   out.results.reserve(batch.requests.size());
+
+  trace::EventSink* sink = tctx != nullptr ? tctx->sink : nullptr;
+  const int16_t trace_shard = tctx != nullptr ? tctx->shard : int16_t{-1};
+  // One kWave event per request the wave carried; the op id links the
+  // span tree to the stream-DAG node etaverify reasons about.
+  auto emit_wave = [&](size_t begin, size_t count, double wave_start, double wave_end,
+                       bool failed, int64_t op_id) {
+    if (sink == nullptr) return;
+    for (size_t i = begin; i < begin + count; ++i) {
+      trace::TraceEvent e;
+      e.request_id = batch.requests[i].id;
+      e.kind = trace::EventKind::kWave;
+      e.at_ms = wave_start;
+      e.a = static_cast<double>(count);
+      e.b = wave_end - wave_start;
+      e.c = failed ? 1 : 0;
+      e.op_id = op_id;
+      e.shard = trace_shard;
+      sink->Emit(e);
+    }
+  };
+  // Surfaces the retry loop's failures: per-attempt records when the core
+  // layer collected them (trace_requests on), otherwise one aggregate
+  // event so the always-on flight recorder still sees the fault.
+  auto emit_faults = [&](const core::RunReport& report, uint64_t head_id, double at_ms) {
+    if (sink == nullptr || report.faults.launch_failures == 0) return;
+    if (!report.attempts.empty()) {
+      for (const core::AttemptRecord& rec : report.attempts) {
+        if (rec.succeeded) continue;
+        trace::TraceEvent e;
+        e.request_id = head_id;
+        e.kind = trace::EventKind::kFault;
+        e.status = rec.fault;
+        e.at_ms = at_ms;
+        e.a = static_cast<double>(rec.attempt);
+        e.b = rec.backoff_ms;
+        e.c = rec.budget_denied ? 1 : 0;
+        e.shard = trace_shard;
+        sink->Emit(e);
+      }
+      return;
+    }
+    trace::TraceEvent e;
+    e.request_id = head_id;
+    e.kind = trace::EventKind::kFault;
+    e.status = report.faults.device_lost ? 3 : (report.faults.ecc_uncorrectable > 0 ? 1 : 2);
+    e.at_ms = at_ms;
+    e.a = static_cast<double>(report.faults.launch_failures);
+    e.b = report.faults.backoff_ms;
+    e.c = report.faults.exhausted ? 1 : 0;
+    e.shard = trace_shard;
+    sink->Emit(e);
+  };
 
   auto base_result = [&](const Request& r) {
     QueryResult q;
@@ -101,9 +154,17 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
       const bool ran = run_wave(
           wave_label, [&] { return session.RunBatch(batch.algo, sources); }, &report,
           &wave_start);
+      const int64_t op_id =
+          ctx != nullptr ? static_cast<int64_t>(ctx->streams->Ops().size()) - 1 : -1;
+      const uint64_t head_id = batch.requests[begin].id;
       if (ran) {
         out.faults.Merge(report.faults);
         out.cycles += report.query_counters.elapsed_cycles;
+        if (tctx != nullptr && tctx->tag_ops && ctx != nullptr) {
+          ctx->streams->TagLastOp(head_id);
+        }
+        emit_wave(begin, count, wave_start, t, report.DeviceFailed(), op_id);
+        emit_faults(report, head_id, wave_start);
       }
       if (!ran || report.DeviceFailed()) {
         // All-or-nothing per wave: a folded launch that died answers
@@ -138,9 +199,16 @@ BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double star
     const bool ran = run_wave(
         std::string(core::AlgoName(r.algo)),
         [&] { return session.RunQuery(r.algo, r.source); }, &report, &wave_start);
+    const int64_t op_id =
+        ctx != nullptr ? static_cast<int64_t>(ctx->streams->Ops().size()) - 1 : -1;
     if (ran) {
       out.faults.Merge(report.faults);
       out.cycles += report.query_counters.elapsed_cycles;
+      if (tctx != nullptr && tctx->tag_ops && ctx != nullptr) {
+        ctx->streams->TagLastOp(r.id);
+      }
+      emit_wave(i, 1, wave_start, t, report.DeviceFailed(), op_id);
+      emit_faults(report, r.id, wave_start);
     }
     if (!ran || report.DeviceFailed()) {
       // This request and everything behind it goes back to the engine; a

@@ -18,6 +18,7 @@
 #include "serve/session.hpp"
 #include "serve/types.hpp"
 #include "sim/stream.hpp"
+#include "trace/sink.hpp"
 
 namespace eta::serve {
 
@@ -79,6 +80,21 @@ struct BatchStreamContext {
   uint32_t state_alloc = sim::DagAccess::kNoAlloc;
 };
 
+/// etatrace emission context (DESIGN.md section 14). When passed, every
+/// launch wave emits one kWave event per folded request (op_id = the
+/// wave's stream-DAG op index under async dispatch, -1 sync) and the
+/// retry loop's failures surface as kFault events attributed to the
+/// wave's head request. With tag_ops set (trace_requests on), async
+/// launch waves are additionally tagged with the head request id via
+/// sim::StreamScheduler::TagLastOp so etaverify findings can name their
+/// victim request. All host-side bookkeeping: the simulated schedule is
+/// untouched.
+struct BatchTraceContext {
+  trace::EventSink* sink = nullptr;
+  int16_t shard = -1;   // stamped into every emitted event
+  bool tag_ops = false;
+};
+
 /// Executes `batch` on `session` starting at simulated time `start_ms`.
 /// Multi-request batches run as one attributed multi-source launch and are
 /// demultiplexed; size-one or non-batchable batches run sequentially (the
@@ -91,6 +107,7 @@ struct BatchStreamContext {
 /// requests are returned unserved rather than half-answered.
 /// With `ctx`, waves are scheduled as stream ops (see BatchStreamContext).
 BatchOutcome ExecuteBatch(GraphSession& session, const Batch& batch, double start_ms,
-                          const BatchStreamContext* ctx = nullptr);
+                          const BatchStreamContext* ctx = nullptr,
+                          const BatchTraceContext* tctx = nullptr);
 
 }  // namespace eta::serve

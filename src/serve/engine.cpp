@@ -11,9 +11,11 @@
 #include "prof/trace_export.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/observe.hpp"
 #include "serve/overload.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
+#include "trace/sink.hpp"
 #include "util/check.hpp"
 
 namespace eta::serve {
@@ -54,6 +56,29 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   report.mode = options_.mode;
   report.total_requests = trace.size();
   report.results.reserve(trace.size());
+
+  // etatrace (DESIGN.md section 14): the flight recorder runs always (a
+  // bounded host-side ring); the per-request tracer only when
+  // trace_requests armed it. Both feed off the same emission points.
+  trace::RequestTracer tracer(options_.graph.trace_requests);
+  trace::FlightRecorder recorder;
+  trace::EventSink sink{&tracer, &recorder};
+  auto make_event = [](uint64_t id, trace::EventKind kind, double at) {
+    trace::TraceEvent e;
+    e.request_id = id;
+    e.kind = kind;
+    e.at_ms = at;
+    return e;
+  };
+  // Terminal edge shared by every outcome path.
+  auto emit_complete = [&](const QueryResult& q) {
+    trace::TraceEvent e = make_event(q.id, trace::EventKind::kComplete, q.finish_ms);
+    e.status = static_cast<uint8_t>(q.status);
+    e.a = q.LatencyMs();
+    e.b = static_cast<double>(q.reached_vertices);
+    e.c = static_cast<double>(q.batch_size);
+    sink.Emit(e);
+  };
 
   const bool use_session = options_.mode != ServeMode::kNaivePerQuery;
   std::unique_ptr<GraphSession> session;
@@ -162,6 +187,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
 
   QueryScheduler sched(options_.queue_capacity);
   size_t next = 0;  // first trace entry that has not yet arrived
+  bool unhealthy_dumped = false;  // one unhealthy-exit dump per replay
 
   auto reject = [&](const Request& r) {
     QueryResult q;
@@ -174,6 +200,11 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     report.results.push_back(q);
     ++report.rejected;
     count_query(r.algo, QueryStatus::kRejected);
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kReject, r.arrival_ms);
+    e.a = static_cast<double>(sched.Depth());
+    e.b = static_cast<double>(options_.queue_capacity);
+    sink.Emit(e);
+    emit_complete(q);
   };
   auto time_out = [&](const Request& r, double when_ms) {
     QueryResult q;
@@ -191,10 +222,21 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     observe_ms("serve_queue_wait_ms",
                "Time from arrival to dispatch (or expiry) per request.", r.algo,
                q.QueueMs());
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kTimeout, when_ms);
+    e.a = r.StartDeadline();
+    sink.Emit(e);
+    emit_complete(q);
   };
   auto admit_until = [&](double t) {
     while (next < trace.size() && trace[next].arrival_ms <= t) {
-      if (!sched.Admit(trace[next])) reject(trace[next]);
+      if (!sched.Admit(trace[next])) {
+        reject(trace[next]);
+      } else {
+        trace::TraceEvent e = make_event(trace[next].id, trace::EventKind::kAdmit,
+                                         trace[next].arrival_ms);
+        e.a = static_cast<double>(sched.Depth());
+        sink.Emit(e);
+      }
       ++next;
     }
   };
@@ -224,8 +266,23 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       span.args.push_back({"request", std::to_string(r.id), /*number=*/true});
       report.trace_spans.push_back(std::move(span));
     }
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kCpuFallback, start);
+    e.a = cpu_query_ms;
+    sink.Emit(e);
     return q;
   };
+  // One kDispatch per request leaving the queue for the device; repeated
+  // dispatches after a session rebuild are separate attempts.
+  auto emit_dispatch = [&](const std::vector<Request>& reqs, double at, double estimate) {
+    for (const Request& r : reqs) {
+      trace::TraceEvent e = make_event(r.id, trace::EventKind::kDispatch, at);
+      e.a = static_cast<double>(reqs.size());
+      e.b = at - r.arrival_ms;
+      e.c = estimate;
+      sink.Emit(e);
+    }
+  };
+  const BatchTraceContext batch_trace{&sink, -1, tracer.enabled()};
 
   while (true) {
     if (budget != nullptr) budget->Advance(now);
@@ -316,14 +373,20 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       if (session != nullptr) {
         const double dispatch_start = now;
         const double device_before = session->NowMs();
-        BatchOutcome out =
-            ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending}, now);
+        emit_dispatch(pending, now, estimate_ms);
+        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending},
+                                        now, nullptr, &batch_trace);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
         dispatch_cycles += out.cycles;
         capture_device_slice(dispatch_start, device_before);
         outcomes = std::move(out.results);
         pending = std::move(out.unserved);
+        // Flight-recorder trigger: the device fell off the bus mid-batch.
+        if (out.faults.device_lost && !pending.empty()) {
+          report.blackbox.push_back({"device-lost", now, pending.front().id,
+                                     recorder.Dump("device-lost", now, pending.front().id)});
+        }
       }
       // Quarantine-and-rebuild: an unhealthy session (device lost, or never
       // staged) is torn down and re-staged, then the leftover requests are
@@ -335,15 +398,29 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         // A rebuild re-stages the whole graph — the most expensive recovery
         // step there is; the fleet-wide budget gates it first. Denial falls
         // through to the CPU fallback without burning a rebuild.
-        if (budget != nullptr && !budget->TryAcquireRebuild()) break;
+        if (budget != nullptr && !budget->TryAcquireRebuild()) {
+          trace::TraceEvent e =
+              make_event(pending.front().id, trace::EventKind::kRebuild, now);
+          e.a = static_cast<double>(rebuilds_left);
+          e.c = 1;  // rebuild budget denied — recovery abandoned
+          sink.Emit(e);
+          break;
+        }
         --rebuilds_left;
         ++report.session_rebuilds;
         retire_session();
+        {
+          trace::TraceEvent e =
+              make_event(pending.front().id, trace::EventKind::kRebuild, now);
+          e.a = static_cast<double>(rebuilds_left);
+          sink.Emit(e);
+        }
         if (!build_session()) continue;
         const double dispatch_start = now;
         const double device_before = session->NowMs();
-        BatchOutcome out =
-            ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending}, now);
+        emit_dispatch(pending, now, estimate_ms);
+        BatchOutcome out = ExecuteBatch(*session, Batch{batch.algo, batch.graph_id, pending},
+                                        now, nullptr, &batch_trace);
         report.faults.Merge(out.faults);
         now += out.duration_ms;
         dispatch_cycles += out.cycles;
@@ -351,10 +428,20 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         for (QueryResult& q : out.results) outcomes.push_back(std::move(q));
         pending = std::move(out.unserved);
       }
+      // Flight-recorder trigger: the device path is gone for good — the
+      // rebuild budget is spent (or denied) and requests are falling
+      // through to the CPU from here on. Dump once.
+      if (!pending.empty() && (session == nullptr || !session->Healthy()) &&
+          !unhealthy_dumped) {
+        unhealthy_dumped = true;
+        report.blackbox.push_back({"unhealthy-exit", now, pending.front().id,
+                                   recorder.Dump("unhealthy-exit", now, pending.front().id)});
+      }
     } else {
       // Naive strawman: a fresh device per query — allocate, stage the full
       // topology, run, tear down. total_ms is that query's whole bill.
       for (const Request& r : pending) {
+        emit_dispatch({r}, now, estimate_ms);
         core::EtaGraph engine(graph_options);
         core::RunReport run = engine.Run(csr, r.algo, r.source);
         report.faults.Merge(run.faults);
@@ -443,6 +530,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
         span.args.push_back({"request", std::to_string(q.id), /*number=*/true});
         report.trace_spans.push_back(std::move(span));
       }
+      emit_complete(q);
       report.results.push_back(q);
     }
   }
@@ -481,6 +569,8 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
   FinalizeOverloadReport(options_.overload, budget.get(), &report);
+  EvaluateSloAlerts(options_.overload, options_.slo_alerts, &report);
+  FinalizeTraceReport(options_, tracer, recorder, now, &report);
   ETA_CHECK(report.results.size() == trace.size());
   return report;
 }

@@ -70,12 +70,15 @@ class FixedHistogram {
   /// i == bounds.size() for the +Inf bucket (== Count()).
   uint64_t CumulativeCount(size_t bucket) const;
 
-  /// Nearest-rank percentile (p in [0,100]); returns 0 on an empty
+  /// Nearest-rank percentile (p in [0,100]; fractional ranks like 99.9
+  /// are fine — p99.9 is Percentile(99.9)); returns 0 on an empty
   /// histogram — never NaN. Exact over the raw samples while Count() is at
-  /// most kMaxRawSamples; beyond the cap it degrades to nearest-rank over
-  /// the fixed buckets — the inclusive upper bound of the bucket holding
-  /// the ranked observation, or the exact observed maximum when the rank
-  /// lands in the +Inf bucket. Deterministic either way.
+  /// most kMaxRawSamples; beyond the cap every quantile — the tail p99.9
+  /// included — degrades to nearest-rank over the fixed buckets: the
+  /// inclusive upper bound of the bucket holding the ranked observation,
+  /// or the exact observed maximum when the rank lands in the +Inf bucket
+  /// (which is where a beyond-cap p99.9 usually lands, so the extreme
+  /// tail stays exact even past the cap). Deterministic either way.
   double Percentile(double p) const;
 
   double Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }

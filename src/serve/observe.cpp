@@ -1,0 +1,135 @@
+#include "serve/observe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/traversal.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace eta::serve {
+
+void FinalizeTraceReport(const ServeOptions& options, const trace::RequestTracer& tracer,
+                         const trace::FlightRecorder& recorder, double end_ms,
+                         ServeReport* report) {
+  ETA_CHECK(report != nullptr);
+  report->traced = tracer.enabled();
+
+  // The black box always closes with an end-of-replay snapshot, so
+  // --blackbox-out is meaningful (and byte-deterministic) even when no
+  // trigger fired mid-replay.
+  report->blackbox.push_back(
+      {"end-of-replay", end_ms, 0, recorder.Dump("end-of-replay", end_ms, 0)});
+
+  // Exact-tail gauge; registered unconditionally so a traced and an
+  // untraced run expose identical families (zero-cost contract).
+  report->metrics
+      .GetGauge("serve_latency_p999_ms", "Exact p99.9 end-to-end latency (simulated ms)")
+      .Set(report->LatencyPercentileMs(0.999));
+
+  if (!tracer.enabled()) return;
+  report->request_traces = tracer.Traces();
+
+  // Trace exemplars: the slowest completed request per algo — the trace
+  // id behind the per-algo tail percentiles. Results are id-sorted and
+  // the comparison is strict, so ties resolve to the lowest id.
+  std::map<std::string, std::pair<double, uint64_t>> best;  // algo -> (latency, id)
+  for (const QueryResult& r : report->results) {
+    if (r.status != QueryStatus::kOk && r.status != QueryStatus::kDegraded) continue;
+    auto [it, inserted] = best.try_emplace(core::AlgoName(r.algo), r.LatencyMs(), r.id);
+    if (!inserted && r.LatencyMs() > it->second.first) it->second = {r.LatencyMs(), r.id};
+  }
+  for (const auto& [algo, entry] : best) report->latency_exemplars[algo] = entry.second;
+  for (const auto& [algo, id] : report->latency_exemplars) {
+    report->metrics
+        .GetGauge("serve_latency_exemplar_request",
+                  "Trace id of the slowest completed request per algo", {{"algo", algo}})
+        .Set(static_cast<double>(id));
+  }
+
+  // Chrome-trace request tracks, merged onto the serve clock next to the
+  // existing queue/device tracks. Only when the replay also profiled —
+  // --trace-json requires --profile, and an unprofiled trace stays empty.
+  if (options.graph.profile) {
+    for (const QueryResult& r : report->results) {
+      if (r.status != QueryStatus::kOk && r.status != QueryStatus::kDegraded) continue;
+      prof::TraceSpan span;
+      span.track = "trace/requests";
+      span.name = "req " + std::to_string(r.id);
+      span.start_ms = r.arrival_ms;
+      span.end_ms = r.finish_ms;
+      span.args.push_back({"status", QueryStatusName(r.status), false});
+      span.args.push_back({"algo", core::AlgoName(r.algo), false});
+      span.args.push_back({"latency_ms", util::FormatDouble(r.LatencyMs(), 4), true});
+      report->trace_spans.push_back(std::move(span));
+    }
+    // Causal decision marks: zero-length spans so shed/route/fault edges
+    // line up against the request and device tracks.
+    for (const auto& [id, events] : report->request_traces) {
+      for (const trace::TraceEvent& e : events) {
+        if (e.kind == trace::EventKind::kAdmit || e.kind == trace::EventKind::kComplete) {
+          continue;
+        }
+        prof::TraceSpan span;
+        span.track = "trace/decisions";
+        span.name = std::string(trace::EventKindName(e.kind)) + " req " + std::to_string(id);
+        span.start_ms = e.at_ms;
+        span.end_ms = e.at_ms;
+        if (e.shard >= 0) {
+          span.args.push_back({"shard", std::to_string(e.shard), true});
+        }
+        const char* status = trace::EventStatusName(e.kind, e.status);
+        if (status[0] != '\0') span.args.push_back({"reason", status, false});
+        if (e.op_id >= 0) {
+          span.args.push_back({"op", std::to_string(e.op_id), true});
+        }
+        report->trace_spans.push_back(std::move(span));
+      }
+    }
+  }
+}
+
+void EvaluateSloAlerts(const OverloadOptions& options,
+                       const trace::AlertOptions& alert_options, ServeReport* report) {
+  ETA_CHECK(report != nullptr);
+  if (!alert_options.enabled) return;
+  for (SloClass cls : {SloClass::kBronze, SloClass::kSilver, SloClass::kGold}) {
+    const double target = SloTargetMs(options, cls);
+    std::vector<trace::AlertSample> samples;
+    for (const QueryResult& r : report->results) {
+      if (r.slo != cls) continue;
+      const bool completed =
+          r.status == QueryStatus::kOk || r.status == QueryStatus::kDegraded;
+      // Every classed outcome is a budget observation: a shed, timeout,
+      // or rejection burns budget exactly like a late completion.
+      samples.push_back({r.finish_ms, completed && r.LatencyMs() <= target});
+    }
+    if (samples.empty()) continue;
+    // Results are id-sorted; the alert series runs on the sim clock.
+    // stable_sort keeps id order within a tie, so the series (and the
+    // rendered transitions) are byte-deterministic.
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const trace::AlertSample& a, const trace::AlertSample& b) {
+                       return a.at_ms < b.at_ms;
+                     });
+    report->alerts.push_back(
+        trace::EvaluateBurnRate(SloClassName(cls), samples, alert_options));
+  }
+  MetricsRegistry& m = report->metrics;
+  for (const trace::AlertSeries& a : report->alerts) {
+    m.GetGauge("serve_alert_firing", "Burn-rate alert state at end of replay (1 = firing)",
+               {{"class", a.name}})
+        .Set(a.firing_at_end ? 1 : 0);
+    m.GetCounter("serve_alert_fired_total", "Transitions into the firing state",
+                 {{"class", a.name}})
+        .Inc(static_cast<double>(a.fired));
+    m.GetGauge("serve_alert_max_fast_burn", "Worst fast-window error-budget burn rate",
+               {{"class", a.name}})
+        .Set(a.max_fast_burn);
+  }
+}
+
+}  // namespace eta::serve

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "trace/tracer.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +26,7 @@ std::string ServeReport::Render(const std::string& title) const {
   };
   row("mode", ServeModeName(mode));
   if (async_dispatch) row("dispatch", "async (streams)");
+  if (traced) row("traced requests", std::to_string(request_traces.size()));
   row("requests", std::to_string(total_requests));
   row("completed", std::to_string(completed));
   row("rejected", std::to_string(rejected));
@@ -69,6 +71,7 @@ std::string ServeReport::Render(const std::string& title) const {
   row("latency p50 (ms)", util::FormatDouble(LatencyPercentileMs(0.50), 3));
   row("latency p95 (ms)", util::FormatDouble(LatencyPercentileMs(0.95), 3));
   row("latency p99 (ms)", util::FormatDouble(LatencyPercentileMs(0.99), 3));
+  row("latency p99.9 (ms)", util::FormatDouble(LatencyPercentileMs(0.999), 3));
   row("mean queue wait (ms)", util::FormatDouble(queue_wait_us.Mean() / 1000.0, 3));
   row("max queue depth", std::to_string(queue_depth.Max()));
   row("mean batch occupancy", util::FormatDouble(MeanBatchOccupancy(), 2));
@@ -86,20 +89,34 @@ std::string ServeReport::Render(const std::string& title) const {
   std::vector<std::string> algos;
   for (const CostObservation& c : cost_observations) algos.push_back(c.algo);
   if (!algos.empty()) {
-    util::Table split({"Algo", "Queue p50", "Queue p95", "Queue p99", "Service p50",
-                       "Service p95", "Service p99"});
+    // The exemplar column (trace id of the slowest request, linking the
+    // p99 row to its span tree) appears only on traced runs, keeping
+    // untraced output byte-identical.
+    std::vector<std::string> split_header = {"Algo",        "Queue p50",   "Queue p95",
+                                             "Queue p99",   "Queue p99.9", "Service p50",
+                                             "Service p95", "Service p99", "Service p99.9"};
+    if (traced) split_header.push_back("Exemplar req");
+    util::Table split(split_header);
     for (const std::string& algo : algos) {
       const FixedHistogram* queue =
           metrics.FindHistogram("serve_queue_wait_ms", {{"algo", algo}});
       const FixedHistogram* service =
           metrics.FindHistogram("serve_service_ms", {{"algo", algo}});
       if (queue == nullptr || service == nullptr) continue;
-      split.AddRow({algo, util::FormatDouble(queue->Percentile(50), 3),
-                    util::FormatDouble(queue->Percentile(95), 3),
-                    util::FormatDouble(queue->Percentile(99), 3),
-                    util::FormatDouble(service->Percentile(50), 3),
-                    util::FormatDouble(service->Percentile(95), 3),
-                    util::FormatDouble(service->Percentile(99), 3)});
+      std::vector<std::string> cells = {algo,
+                                        util::FormatDouble(queue->Percentile(50), 3),
+                                        util::FormatDouble(queue->Percentile(95), 3),
+                                        util::FormatDouble(queue->Percentile(99), 3),
+                                        util::FormatDouble(queue->Percentile(99.9), 3),
+                                        util::FormatDouble(service->Percentile(50), 3),
+                                        util::FormatDouble(service->Percentile(95), 3),
+                                        util::FormatDouble(service->Percentile(99), 3),
+                                        util::FormatDouble(service->Percentile(99.9), 3)};
+      if (traced) {
+        auto it = latency_exemplars.find(algo);
+        cells.push_back(it == latency_exemplars.end() ? "-" : std::to_string(it->second));
+      }
+      split.AddRow(cells);
     }
     out += "\n";
     out += split.Render("Latency split (ms)");
@@ -129,6 +146,19 @@ std::string ServeReport::Render(const std::string& title) const {
     }
     out += "\n";
     out += slo.Render("SLO classes");
+  }
+
+  // Burn-rate alert evaluations; present only under --slo-alerts, so
+  // legacy output never carries an alert row.
+  if (!alerts.empty()) {
+    util::Table alert({"Class", "Samples", "Bad", "Fired", "Max fast burn", "State"});
+    for (const trace::AlertSeries& a : alerts) {
+      alert.AddRow({a.name, std::to_string(a.samples), std::to_string(a.bad),
+                    std::to_string(a.fired), util::FormatDouble(a.max_fast_burn, 2),
+                    a.firing_at_end ? "FIRING" : "ok"});
+    }
+    out += "\n";
+    out += alert.Render("SLO burn-rate alerts");
   }
 
   if (!shard_stats.empty()) {
@@ -172,7 +202,16 @@ template <typename... Args>
 void Appendf(std::string& out, const char* fmt, Args... args) {
   char buf[512];
   int n = std::snprintf(buf, sizeof(buf), fmt, args...);
-  if (n > 0) out.append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+  if (n <= 0) return;
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<size_t>(n));
+    return;
+  }
+  // Rare long chunk: retry into the string itself rather than truncate.
+  const size_t base = out.size();
+  out.resize(base + static_cast<size_t>(n) + 1);
+  std::snprintf(out.data() + base, static_cast<size_t>(n) + 1, fmt, args...);
+  out.resize(base + static_cast<size_t>(n));
 }
 
 }  // namespace
@@ -186,6 +225,7 @@ std::string ServeReport::Json() const {
           ",\"dispatches\":%" PRIu64 ",\"session_rebuilds\":%" PRIu64
           ",\"load_ms\":%.4f,\"makespan_ms\":%.4f,\"throughput_qps\":%.3f"
           ",\"latency_p50_ms\":%.4f,\"latency_p95_ms\":%.4f,\"latency_p99_ms\":%.4f"
+          ",\"latency_p999_ms\":%.4f"
           ",\"mean_batch_occupancy\":%.3f,\"reached_total\":%" PRIu64
           ",\"launch_failures\":%" PRIu64 ",\"query_retries\":%" PRIu64
           ",\"ecc_corrected\":%" PRIu64 ",\"restaged_buffers\":%" PRIu64
@@ -195,7 +235,8 @@ std::string ServeReport::Json() const {
           util::JsonEscape(ServeModeName(mode)).c_str(), total_requests, completed,
           rejected, timed_out, degraded, batches, session_rebuilds, load_ms, makespan_ms,
           ThroughputQps(), LatencyPercentileMs(0.50), LatencyPercentileMs(0.95),
-          LatencyPercentileMs(0.99), MeanBatchOccupancy(), reached_total,
+          LatencyPercentileMs(0.99), LatencyPercentileMs(0.999), MeanBatchOccupancy(),
+          reached_total,
           faults.launch_failures, faults.retries, faults.ecc_corrected,
           faults.restaged_buffers, faults.restaged_bytes, faults.backoff_ms,
           faults.device_lost ? "true" : "false", check.launches_checked,
@@ -203,6 +244,11 @@ std::string ServeReport::Json() const {
           static_cast<uint64_t>(check.WarningCount()));
   // Emitted only on async replays so sync JSON stays byte-identical.
   if (async_dispatch) out += ",\"async_dispatch\":true";
+  // Emitted only on traced replays (same contract).
+  if (traced) {
+    Appendf(out, ",\"traced\":true,\"traced_requests\":%" PRIu64,
+            static_cast<uint64_t>(request_traces.size()));
+  }
   // Overload-control block: emitted only when an overload feature was
   // configured or the trace carried SLO classes, so legacy JSON stays
   // byte-identical (same contract as async_dispatch).
@@ -254,10 +300,18 @@ std::string ServeReport::Json() const {
     if (queue != nullptr && service != nullptr) {
       Appendf(out,
               ",\"queue_wait_p50_ms\":%.4f,\"queue_wait_p95_ms\":%.4f"
-              ",\"queue_wait_p99_ms\":%.4f,\"service_p50_ms\":%.4f"
-              ",\"service_p95_ms\":%.4f,\"service_p99_ms\":%.4f",
+              ",\"queue_wait_p99_ms\":%.4f,\"queue_wait_p999_ms\":%.4f"
+              ",\"service_p50_ms\":%.4f,\"service_p95_ms\":%.4f"
+              ",\"service_p99_ms\":%.4f,\"service_p999_ms\":%.4f",
               queue->Percentile(50), queue->Percentile(95), queue->Percentile(99),
-              service->Percentile(50), service->Percentile(95), service->Percentile(99));
+              queue->Percentile(99.9), service->Percentile(50), service->Percentile(95),
+              service->Percentile(99), service->Percentile(99.9));
+    }
+    if (traced) {
+      auto it = latency_exemplars.find(c.algo);
+      if (it != latency_exemplars.end()) {
+        Appendf(out, ",\"exemplar_request\":%" PRIu64, it->second);
+      }
     }
     out += "}";
   }
@@ -285,7 +339,57 @@ std::string ServeReport::Json() const {
     }
     out += "]";
   }
+  // Burn-rate alert block: present only under --slo-alerts.
+  if (!alerts.empty()) {
+    out += ",\"alerts\":[";
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      const trace::AlertSeries& a = alerts[i];
+      if (i > 0) out += ",";
+      Appendf(out,
+              "{\"class\":\"%s\",\"samples\":%" PRIu64 ",\"bad\":%" PRIu64
+              ",\"fired\":%" PRIu64 ",\"firing\":%s,\"max_fast_burn\":%.4f"
+              ",\"transitions\":[",
+              util::JsonEscape(a.name).c_str(), a.samples, a.bad, a.fired,
+              a.firing_at_end ? "true" : "false", a.max_fast_burn);
+      for (size_t t = 0; t < a.transitions.size(); ++t) {
+        const trace::AlertTransition& tr = a.transitions[t];
+        if (t > 0) out += ",";
+        Appendf(out,
+                "{\"at_ms\":%.4f,\"firing\":%s,\"fast_burn\":%.4f,\"slow_burn\":%.4f}",
+                tr.at_ms, tr.firing ? "true" : "false", tr.fast_burn, tr.slow_burn);
+      }
+      out += "]}";
+    }
+    out += "]";
+  }
   out += "}";
+  return out;
+}
+
+std::string ServeReport::RenderRequestTraceJson() const {
+  if (!traced) return "";
+  std::string out = "{\"traces\":[";
+  bool first_trace = true;
+  for (const auto& [id, events] : request_traces) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    Appendf(out, "\n {\"id\":%" PRIu64 ",\"events\":[", id);
+    bool first_event = true;
+    for (const trace::TraceEvent& e : events) {
+      if (!first_event) out += ",";
+      first_event = false;
+      out += "\n  ";
+      out += trace::RenderTraceEventJson(e);
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ServeReport::RenderBlackbox() const {
+  std::string out;
+  for (const trace::FlightDump& d : blackbox) out += d.text;
   return out;
 }
 

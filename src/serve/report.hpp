@@ -11,10 +11,15 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "core/run_report.hpp"
 #include "prof/trace_export.hpp"
 #include "sanitizer/report.hpp"
 #include "serve/metrics.hpp"
+#include "trace/alerts.hpp"
+#include "trace/events.hpp"
+#include "trace/flight_recorder.hpp"
 #include "verify/verify.hpp"
 #include "serve/types.hpp"
 #include "util/histogram.hpp"
@@ -195,6 +200,29 @@ struct ServeReport {
   /// prof::RenderChromeTrace for --trace-json.
   std::vector<prof::TraceSpan> trace_spans;
 
+  /// etatrace (DESIGN.md section 14). `traced` is set when the replay ran
+  /// with EtaGraphOptions::trace_requests; the per-request causal traces
+  /// (request id -> events in emission order) are then populated and
+  /// rendered by RenderRequestTraceJson(). Empty and unrendered otherwise,
+  /// so legacy output stays byte-identical.
+  bool traced = false;
+  std::map<uint64_t, std::vector<trace::TraceEvent>> request_traces;
+
+  /// Trace exemplars (traced runs only): per algo name, the request id of
+  /// the slowest completed request — the trace id behind the per-algo p99
+  /// row, so a percentile links straight to its span tree.
+  std::map<std::string, uint64_t> latency_exemplars;
+
+  /// Always-on flight-recorder dumps: one per trigger (device loss,
+  /// breaker open, shard death), plus one end-of-replay snapshot appended
+  /// by the engines, all on the simulated clock. Only rendered on demand
+  /// (--blackbox-out), never by Render()/Json().
+  std::vector<trace::FlightDump> blackbox;
+
+  /// SLO burn-rate alert evaluations, class order; empty unless
+  /// ServeOptions::slo_alerts.enabled, so legacy output is unchanged.
+  std::vector<trace::AlertSeries> alerts;
+
   /// etacheck findings over every device the replay touched (the session
   /// device, or each naive per-query device, merged); empty with
   /// launches_checked == 0 unless ServeOptions::graph.check enabled a
@@ -217,6 +245,13 @@ struct ServeReport {
   std::string Render(const std::string& title) const;
   /// One JSON object (for BENCH_serve.json).
   std::string Json() const;
+  /// The per-request causal traces as one JSON document
+  /// ({"traces":[{"id":..,"events":[..]},..]}, request-id order); "" when
+  /// the replay was not traced.
+  std::string RenderRequestTraceJson() const;
+  /// All flight-recorder dumps concatenated (trigger order, then the
+  /// end-of-replay snapshot) — the --blackbox-out payload.
+  std::string RenderBlackbox() const;
 };
 
 }  // namespace eta::serve

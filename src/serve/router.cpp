@@ -17,10 +17,12 @@
 #include "prof/trace_export.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/observe.hpp"
 #include "serve/overload.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "sim/stream.hpp"
+#include "trace/sink.hpp"
 #include "util/check.hpp"
 #include "verify/verify.hpp"
 
@@ -152,6 +154,29 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   report.async_dispatch = async;
   report.total_requests = trace.size();
   report.results.reserve(trace.size());
+
+  // etatrace (DESIGN.md section 14): the flight recorder runs always (a
+  // bounded host-side ring); the per-request tracer only when
+  // trace_requests armed it. Both feed off the same emission points.
+  trace::RequestTracer tracer(base.graph.trace_requests);
+  trace::FlightRecorder recorder;
+  trace::EventSink sink{&tracer, &recorder};
+  auto make_event = [](uint64_t id, trace::EventKind kind, double at) {
+    trace::TraceEvent e;
+    e.request_id = id;
+    e.kind = kind;
+    e.at_ms = at;
+    return e;
+  };
+  // Terminal edge shared by every outcome path.
+  auto emit_complete = [&](const QueryResult& q) {
+    trace::TraceEvent e = make_event(q.id, trace::EventKind::kComplete, q.finish_ms);
+    e.status = static_cast<uint8_t>(q.status);
+    e.a = q.LatencyMs();
+    e.b = static_cast<double>(q.reached_vertices);
+    e.c = static_cast<double>(q.batch_size);
+    sink.Emit(e);
+  };
 
   const bool profiling = base.graph.profile;
   MetricsRegistry& metrics = report.metrics;
@@ -386,12 +411,22 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     report.results.push_back(q);
     ++report.rejected;
     count_query(r.algo, QueryStatus::kRejected);
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kReject, r.arrival_ms);
+    double queued = 0;
+    for (const Shard& s : shards) {
+      if (!s.dead) queued += static_cast<double>(s.queue.Depth());
+    }
+    e.a = queued;
+    e.b = static_cast<double>(base.queue_capacity);
+    sink.Emit(e);
+    emit_complete(q);
   };
   /// Shed at admission: a terminal answer stamped at the decision time —
   /// the request never queues, so no device (or deadline-sweep) work is
   /// wasted on it. report.shedded is tallied from results in
   /// FinalizeOverloadReport.
-  auto shed = [&](const Request& r, double when_ms) {
+  auto shed = [&](const Request& r, double when_ms, trace::ShedReason reason,
+                  double backlog, double estimate, double target) {
     QueryResult q;
     q.id = r.id;
     q.status = QueryStatus::kShedded;
@@ -403,6 +438,15 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     q.slo = r.slo;
     report.results.push_back(q);
     count_query(r.algo, QueryStatus::kShedded);
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kShed, when_ms);
+    e.status = static_cast<uint8_t>(reason);
+    // An unroutable fleet has an infinite backlog estimate; the rendered
+    // JSON carries -1 (no Inf literals in JSON).
+    e.a = backlog == kInf ? -1 : backlog;
+    e.b = estimate;
+    e.c = target;
+    sink.Emit(e);
+    emit_complete(q);
   };
   auto time_out = [&](const Request& r, double when_ms) {
     QueryResult q;
@@ -420,8 +464,12 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     observe_ms("serve_queue_wait_ms",
                "Time from arrival to dispatch (or expiry) per request.", r.algo,
                q.QueueMs());
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kTimeout, when_ms);
+    e.a = r.StartDeadline();
+    sink.Emit(e);
+    emit_complete(q);
   };
-  auto serve_cpu = [&](const Request& r, double start) {
+  auto serve_cpu = [&](const Request& r, double start, bool fleet_wide = false) {
     std::vector<graph::Weight> labels =
         core::CpuReference(*graphs[r.graph_id], r.algo, r.source);
     QueryResult q;
@@ -442,6 +490,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       span.args.push_back({"request", std::to_string(r.id), /*number=*/true});
       report.trace_spans.push_back(std::move(span));
     }
+    trace::TraceEvent e = make_event(r.id, trace::EventKind::kCpuFallback, start);
+    e.a = cpu_query_ms[r.graph_id];
+    e.b = fleet_wide ? 1 : 0;
+    sink.Emit(e);
     return q;
   };
 
@@ -487,6 +539,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       report.trace_spans.push_back(std::move(span));
     }
     max_finish = std::max(max_finish, q.finish_ms);
+    emit_complete(q);
     report.results.push_back(q);
   };
 
@@ -505,7 +558,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   /// a re-route).
   auto serve_cpu_global = [&](const Request& r, double now) {
     cpu_free_at = std::max(cpu_free_at, now);
-    QueryResult q = serve_cpu(r, cpu_free_at);
+    QueryResult q = serve_cpu(r, cpu_free_at, /*fleet_wide=*/true);
     cpu_free_at = q.finish_ms;
     record_result(q, cost[r.algo].EstimateMs(), 0);
   };
@@ -524,15 +577,42 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       if (s.dead) continue;
       if (!s.breaker.AllowRoute(now, s.queue.Empty())) {
         if (breaker_blocked != nullptr) *breaker_blocked = true;
+        // A breaker-held shard is still a considered candidate (c=0), so
+        // the span tree shows why the router looked past it.
+        trace::TraceEvent e = make_event(r.id, trace::EventKind::kRouteCandidate, now);
+        e.shard = static_cast<int16_t>(s.index);
+        e.b = static_cast<double>(s.queue.Depth());
+        sink.Emit(e);
         continue;
       }
-      order.emplace_back(backlog_ms(s, now), s.queue.Depth(), s.index);
+      const double b = backlog_ms(s, now);
+      trace::TraceEvent e = make_event(r.id, trace::EventKind::kRouteCandidate, now);
+      e.shard = static_cast<int16_t>(s.index);
+      e.a = b;
+      e.b = static_cast<double>(s.queue.Depth());
+      e.c = 1;  // routable
+      sink.Emit(e);
+      order.emplace_back(b, s.queue.Depth(), s.index);
     }
     std::sort(order.begin(), order.end());
     for (const auto& [backlog, depth, index] : order) {
       Shard& s = shards[index];
       if (!s.queue.Admit(r)) continue;
       ++s.queued_by_algo[r.algo];
+      {
+        trace::TraceEvent e = make_event(r.id, trace::EventKind::kRoute, now);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = backlog;
+        e.b = std::get<0>(order.front());  // the fleet-wide minimum estimate
+        sink.Emit(e);
+      }
+      {
+        trace::TraceEvent e = make_event(r.id, trace::EventKind::kAdmit, now);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = static_cast<double>(s.queue.Depth());
+        e.b = backlog;
+        sink.Emit(e);
+      }
       return &s;
     }
     return nullptr;
@@ -633,15 +713,33 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       const double dispatch_start = t;
       const double device_before = rs.session->NowMs();
       const BatchStreamContext ctx = execute_ctx(rs, dstream);
+      // One kDispatch per request per attempt: a rebuild-then-retry shows
+      // up as a second dispatch edge in the span tree.
+      for (const Request& r : pending) {
+        trace::TraceEvent e = make_event(r.id, trace::EventKind::kDispatch, t);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = static_cast<double>(pending.size());
+        e.b = t - r.arrival_ms;
+        e.c = estimate_ms;
+        sink.Emit(e);
+      }
+      const BatchTraceContext tctx{&sink, static_cast<int16_t>(s.index),
+                                   tracer.enabled()};
       BatchOutcome out =
           ExecuteBatch(*rs.session, Batch{batch.algo, batch.graph_id, pending}, t,
-                       async ? &ctx : nullptr);
+                       async ? &ctx : nullptr, &tctx);
       report.faults.Merge(out.faults);
       s.stat.launch_failures += out.faults.launch_failures;
       t += out.duration_ms;
       dispatch_cycles += out.cycles;
       capture_device_slice(s, rs, dispatch_start, device_before);
       if (async) rs.busy_until = std::max(rs.busy_until, t);
+      // Flight-recorder trigger: the device fell off the bus mid-batch.
+      if (out.faults.device_lost && !out.unserved.empty()) {
+        report.blackbox.push_back(
+            {"device-lost", t, out.unserved.front().id,
+             recorder.Dump("device-lost", t, out.unserved.front().id)});
+      }
       pending = std::move(out.unserved);
       return out.results;
     };
@@ -663,12 +761,25 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       // the shard keeps its (fast-failing) session and its rebuild budget,
       // the remainder of this dispatch degrades to the CPU, and a later
       // dispatch rebuilds once tokens refill.
-      if (retry_budget != nullptr && !retry_budget->TryAcquireRebuild()) break;
+      if (retry_budget != nullptr && !retry_budget->TryAcquireRebuild()) {
+        trace::TraceEvent e = make_event(pending.front().id, trace::EventKind::kRebuild, t);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = static_cast<double>(s.rebuilds_left);
+        e.c = 1;  // rebuild budget denied — recovery abandoned
+        sink.Emit(e);
+        break;
+      }
       drain_queue(s, t);
       --s.rebuilds_left;
       ++s.stat.rebuilds;
       ++report.session_rebuilds;
       retire_all_sessions(s);
+      {
+        trace::TraceEvent e = make_event(pending.front().id, trace::EventKind::kRebuild, t);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = static_cast<double>(s.rebuilds_left);
+        sink.Emit(e);
+      }
       dstream = new_dispatch_stream();
       rs = ensure_session(s, batch.graph_id, t, dstream);
       if (rs == nullptr) continue;
@@ -680,6 +791,9 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       // after the last drain and route around it for good.
       s.dead = true;
       s.stat.dead = true;
+      // Flight-recorder trigger: a shard just left the fleet for good.
+      report.blackbox.push_back({"shard-dead", t, pending.front().id,
+                                 recorder.Dump("shard-dead", t, pending.front().id)});
       drain_queue(s, t);
       retire_all_sessions(s);
     }
@@ -690,7 +804,15 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     // quarantine. No-ops entirely when the breaker is unconfigured.
     if (s.breaker.Enabled() && !s.dead) {
       if (rs == nullptr || !rs->session->Healthy()) {
+        const uint64_t opens_before = s.breaker.opens();
         s.breaker.OnDispatchFailure(t);
+        // Flight-recorder trigger: dump once per open transition (not on
+        // every failed dispatch while already open).
+        if (s.breaker.opens() > opens_before) {
+          const uint64_t victim = pending.empty() ? 0 : pending.front().id;
+          report.blackbox.push_back(
+              {"breaker-open", t, victim, recorder.Dump("breaker-open", t, victim)});
+        }
         drain_queue(s, t);
       } else {
         s.breaker.OnDispatchSuccess();
@@ -857,6 +979,11 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       if ((brownout_level >= 1 && r.slo == SloClass::kBronze) ||
           (brownout_level >= 2 && r.slo == SloClass::kSilver)) {
         ++report.overload.brownout_degraded;
+        trace::TraceEvent e = make_event(r.id, trace::EventKind::kBrownout, at);
+        e.a = b == kInf ? -1 : b;
+        e.b = static_cast<double>(brownout_level);
+        e.c = SloTargetMs(ov, r.slo);
+        sink.Emit(e);
         serve_cpu_global(r, at);
         return nullptr;
       }
@@ -864,7 +991,8 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         // (2) Pressure shed: class-ordered (bronze first), hysteretic.
         if ((shed_level >= 1 && r.slo == SloClass::kBronze) ||
             (shed_level >= 2 && r.slo == SloClass::kSilver)) {
-          shed(r, at);
+          shed(r, at, trace::ShedReason::kPressure, b, cost[r.algo].EstimateMs(),
+               SloTargetMs(ov, r.slo));
           return nullptr;
         }
         // (3) Predictive shed: when even the least-loaded routable shard's
@@ -875,7 +1003,8 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         // target is still admitted (the ExpiredAt boundary rule).
         const double target = SloTargetMs(ov, r.slo);
         if (b == kInf || at + b + cost[r.algo].EstimateMs() > r.arrival_ms + target) {
-          shed(r, at);
+          shed(r, at, trace::ShedReason::kPredictive, b, cost[r.algo].EstimateMs(),
+               target);
           return nullptr;
         }
       }
@@ -888,7 +1017,8 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       if (r.slo == SloClass::kGold) {
         serve_cpu_global(r, at);
       } else {
-        shed(r, at);
+        shed(r, at, trace::ShedReason::kQueueFull, b, cost[r.algo].EstimateMs(),
+             SloTargetMs(ov, r.slo));
       }
       return nullptr;
     }
@@ -927,7 +1057,13 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       });
       for (const Deferred& d : ready) {
         Shard* target = admit_one(d.request, now, /*rerouted=*/true);
-        if (target != nullptr) ++target->stat.rerouted_in;
+        if (target != nullptr) {
+          ++target->stat.rerouted_in;
+          trace::TraceEvent e =
+              make_event(d.request.id, trace::EventKind::kReroute, now);
+          e.shard = static_cast<int16_t>(target->index);
+          sink.Emit(e);
+        }
       }
     }
     // Sweep expired deadlines everywhere before dispatching.
@@ -1056,6 +1192,8 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     report.overload.breaker_probe_failures += s.breaker.probe_failures();
   }
   FinalizeOverloadReport(ov, retry_budget.get(), &report);
+  EvaluateSloAlerts(ov, base.slo_alerts, &report);
+  FinalizeTraceReport(base, tracer, recorder, report.makespan_ms, &report);
   ETA_CHECK(report.results.size() == trace.size());
   return report;
 }

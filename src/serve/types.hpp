@@ -15,6 +15,7 @@
 #include "core/options.hpp"
 #include "core/traversal.hpp"
 #include "graph/types.hpp"
+#include "trace/alerts.hpp"
 
 namespace eta::serve {
 
@@ -181,6 +182,12 @@ struct ServeOptions {
   double cpu_fallback_units_per_ms = 100000.0;
   /// Overload control (arrivals/SLO/brownout/budget/breaker); default-off.
   OverloadOptions overload{};
+  /// SLO burn-rate alerting (DESIGN.md section 14): multi-window
+  /// error-budget burn evaluated per class over the completed replay, on
+  /// the simulated clock. Default-off (enabled = false): no evaluation
+  /// runs and no alert rows/keys/families are rendered, so legacy output
+  /// stays byte-identical.
+  trace::AlertOptions slo_alerts{};
 };
 
 }  // namespace eta::serve

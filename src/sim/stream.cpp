@@ -83,6 +83,11 @@ void StreamScheduler::AnnotateLastOp(const std::vector<DagAccess>& accesses) {
   }
 }
 
+void StreamScheduler::TagLastOp(uint64_t tag) {
+  ETA_CHECK(!ops_.empty());
+  ops_.back().tag = tag;
+}
+
 void StreamScheduler::HostJoin(Stream s) {
   if (dag_ == nullptr) return;
   ETA_CHECK(s.valid && s.id < streams_.size());

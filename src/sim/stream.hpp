@@ -88,6 +88,11 @@ struct StreamOp {
   double start_ms = 0;
   double end_ms = 0;
   uint64_t bytes = 0;  // copy ops only
+  /// Caller-attached identity (etatrace, DESIGN.md section 14): the serve
+  /// dispatcher tags each launch wave with the head request id via
+  /// TagLastOp, so a per-request span tree and an etaverify finding can
+  /// name the same op — and the op can name its victim request. 0 = untagged.
+  uint64_t tag = 0;
 
   double DurationMs() const { return end_ms - start_ms; }
 };
@@ -227,6 +232,12 @@ class StreamScheduler {
   /// after the enqueue that produced the op; kNoAlloc entries are dropped,
   /// and the call is a no-op when the log is disabled.
   void AnnotateLastOp(const std::vector<DagAccess>& accesses);
+
+  /// Tags the most recently enqueued op with a caller identity (request
+  /// id). Pure host-side bookkeeping on the already-recorded op: no
+  /// simulated cost, no effect on the schedule. Call directly after the
+  /// enqueue that produced the op.
+  void TagLastOp(uint64_t tag);
 
   /// Records that the enqueueing code observed stream `s` complete before
   /// proceeding (e.g. the serve loop dispatching only once free_at was

@@ -1,0 +1,67 @@
+// SLO burn-rate alerts over the simulated serve clock.
+//
+// Classic multi-window burn-rate alerting (an SRE-workbook pattern)
+// evaluated deterministically after the replay: for every SLO class, the
+// per-completion good/bad series is scanned once, and at each completion
+// time the error-budget burn rate is computed over a fast and a slow
+// trailing window. The alert fires when BOTH windows burn faster than
+// the threshold (fast window = responsive, slow window = suppresses
+// blips), and resolves when either drops back below it. burn = 1.0 means
+// the class is consuming its error budget exactly at the rate that
+// exhausts it by design; burn >= threshold (default 2x) pages.
+//
+// Everything runs on the simulated clock over an already-sorted series,
+// so transitions are byte-identical across double runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eta::trace {
+
+struct AlertOptions {
+  bool enabled = false;
+  double objective = 0.999;     // target good fraction (error budget = 1-objective)
+  double fast_window_ms = 50;   // trailing fast window on the sim clock
+  double slow_window_ms = 500;  // trailing slow window
+  double burn_threshold = 2;    // fire when both windows burn >= this
+};
+
+/// One observation: a completion at `at_ms` that did (good) or did not
+/// meet its SLO.
+struct AlertSample {
+  double at_ms = 0;
+  bool good = true;
+};
+
+/// One alert state change, on the simulated clock.
+struct AlertTransition {
+  double at_ms = 0;
+  bool firing = false;   // state after the transition
+  double fast_burn = 0;  // burn rates at the transition point
+  double slow_burn = 0;
+};
+
+/// Burn-rate evaluation of one series (one SLO class).
+struct AlertSeries {
+  std::string name;          // class name ("gold", ...)
+  uint64_t samples = 0;
+  uint64_t bad = 0;
+  uint64_t fired = 0;        // transitions into the firing state
+  bool firing_at_end = false;
+  double max_fast_burn = 0;  // worst fast-window burn seen
+  std::vector<AlertTransition> transitions;
+};
+
+/// Evaluates the burn-rate alert over `samples` (must be sorted by
+/// at_ms; ties allowed). Pure function of its inputs.
+AlertSeries EvaluateBurnRate(const std::string& name, const std::vector<AlertSample>& samples,
+                             const AlertOptions& options);
+
+/// Parses "objective[,fast_ms[,slow_ms[,burn]]]" (the --slo-alerts flag
+/// value; empty string = defaults). Returns false and fills *error on a
+/// malformed spec.
+bool ParseAlertSpec(const std::string& spec, AlertOptions* options, std::string* error);
+
+}  // namespace eta::trace

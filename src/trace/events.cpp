@@ -1,0 +1,58 @@
+#include "trace/events.hpp"
+
+namespace eta::trace {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kReject: return "reject";
+    case EventKind::kShed: return "shed";
+    case EventKind::kBrownout: return "brownout";
+    case EventKind::kRouteCandidate: return "route-candidate";
+    case EventKind::kRoute: return "route";
+    case EventKind::kTimeout: return "timeout";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kWave: return "wave";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRebuild: return "rebuild";
+    case EventKind::kReroute: return "reroute";
+    case EventKind::kCpuFallback: return "cpu-fallback";
+    case EventKind::kComplete: return "complete";
+  }
+  return "?";
+}
+
+const char* EventStatusName(EventKind kind, uint8_t status) {
+  switch (kind) {
+    case EventKind::kShed:
+      switch (static_cast<ShedReason>(status)) {
+        case ShedReason::kPredictive: return "predictive";
+        case ShedReason::kPressure: return "pressure";
+        case ShedReason::kQueueFull: return "queue-full";
+      }
+      return "?";
+    case EventKind::kFault:
+      switch (static_cast<FaultClass>(status)) {
+        case FaultClass::kOther: return "other";
+        case FaultClass::kEccUncorrectable: return "uecc";
+        case FaultClass::kKernelTimeout: return "hang";
+        case FaultClass::kDeviceLost: return "device-lost";
+      }
+      return "?";
+    case EventKind::kComplete:
+      // Mirrors serve::QueryStatusName (the trace library sits below
+      // serve and cannot include it).
+      switch (status) {
+        case 0: return "ok";
+        case 1: return "rejected";
+        case 2: return "timed-out";
+        case 3: return "degraded";
+        case 4: return "shedded";
+      }
+      return "?";
+    default:
+      return "";
+  }
+}
+
+}  // namespace eta::trace

@@ -1,0 +1,44 @@
+#include "trace/flight_recorder.hpp"
+
+#include <cstdio>
+
+namespace eta::trace {
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    // Not yet wrapped: insertion order is oldest-to-newest.
+    out = ring_;
+  } else {
+    // Wrapped: next_ points at the oldest slot.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason, double at_ms,
+                                 uint64_t victim_request) const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "# flight-recorder dump: reason=%s at=%.4fms victim=%llu "
+                "events=%zu recorded=%llu\n",
+                reason.c_str(), at_ms, static_cast<unsigned long long>(victim_request),
+                ring_.size(), static_cast<unsigned long long>(total_));
+  out += buf;
+  for (const TraceEvent& e : Snapshot()) {
+    const char* status = EventStatusName(e.kind, e.status);
+    std::snprintf(buf, sizeof(buf),
+                  "%12.4f req=%-8llu %-15s shard=%-3d a=%.4f b=%.4f c=%.4f op=%lld%s%s\n",
+                  e.at_ms, static_cast<unsigned long long>(e.request_id),
+                  EventKindName(e.kind), static_cast<int>(e.shard), e.a, e.b, e.c,
+                  static_cast<long long>(e.op_id), status[0] != '\0' ? " " : "", status);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace eta::trace

@@ -1,0 +1,71 @@
+// FlightRecorder — always-on bounded ring buffer of trace events.
+//
+// The black box: a fixed-capacity ring of POD TraceEvents that every
+// emission point writes into unconditionally (a bounded memcpy, no
+// allocation after construction, no effect on the simulated clock).
+// When something goes badly wrong mid-replay — device loss, a circuit
+// breaker opening, a shard dying for good — Dump() snapshots the last N
+// events in oldest-to-newest order so the postmortem does not need a
+// re-run with tracing enabled.
+//
+// Determinism: events carry only simulated-clock timestamps, so two runs
+// of the same replay produce byte-identical dumps (tested by
+// trace_test's double-run assertions and the check.sh --trace gate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace eta::trace {
+
+/// One dump taken at a trigger point, already rendered to text.
+struct FlightDump {
+  std::string reason;       // "device-lost" | "breaker-open" | "shard-dead" | ...
+  double at_ms = 0;         // serve clock at the trigger
+  uint64_t victim_request = 0;  // request being served when it tripped
+  std::string text;         // rendered last-N event window
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  /// Events ever recorded (monotonic; >= Size() once wrapped).
+  uint64_t total_recorded() const { return total_; }
+  size_t Size() const { return ring_.size(); }
+
+  void Record(const TraceEvent& event) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;  // overwrite the oldest
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_;
+  }
+
+  /// Ring contents, oldest to newest.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Text rendering of Snapshot() with a trigger header: one fixed-width
+  /// line per event, oldest first.
+  std::string Dump(const std::string& reason, double at_ms, uint64_t victim_request) const;
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;   // slot the next Record() overwrites once full
+  uint64_t total_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace eta::trace

@@ -1,0 +1,24 @@
+// EventSink — the single emission path shared by every serve-layer
+// trace point: the always-on flight recorder records unconditionally,
+// the per-request tracer only when --trace-requests armed it. Engines
+// hold one sink and call Emit() at each lifecycle edge; with neither
+// consumer attached Emit() is two untaken branches.
+#pragma once
+
+#include "trace/events.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/tracer.hpp"
+
+namespace eta::trace {
+
+struct EventSink {
+  RequestTracer* tracer = nullptr;
+  FlightRecorder* recorder = nullptr;
+
+  void Emit(const TraceEvent& event) {
+    if (recorder != nullptr) recorder->Record(event);
+    if (tracer != nullptr) tracer->Record(event);
+  }
+};
+
+}  // namespace eta::trace

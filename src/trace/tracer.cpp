@@ -1,0 +1,59 @@
+#include "trace/tracer.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace eta::trace {
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t RequestTracer::TotalEvents() const {
+  uint64_t n = 0;
+  for (const auto& [id, events] : traces_) n += events.size();
+  return n;
+}
+
+std::string RenderTraceEventJson(const TraceEvent& e) {
+  std::string out = "{";
+  Appendf(&out, "\"kind\":\"%s\"", EventKindName(e.kind));
+  Appendf(&out, ",\"at_ms\":%.4f", e.at_ms);
+  const char* status = EventStatusName(e.kind, e.status);
+  if (status[0] != '\0') Appendf(&out, ",\"status\":\"%s\"", status);
+  if (e.shard >= 0) Appendf(&out, ",\"shard\":%d", static_cast<int>(e.shard));
+  Appendf(&out, ",\"a\":%.4f,\"b\":%.4f,\"c\":%.4f", e.a, e.b, e.c);
+  if (e.op_id >= 0) Appendf(&out, ",\"op\":%lld", static_cast<long long>(e.op_id));
+  out += "}";
+  return out;
+}
+
+std::string RequestTracer::RenderJson() const {
+  std::string out = "{\"traces\":[";
+  bool first_trace = true;
+  for (const auto& [id, events] : traces_) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    Appendf(&out, "\n {\"id\":%llu,\"events\":[", static_cast<unsigned long long>(id));
+    bool first_event = true;
+    for (const TraceEvent& e : events) {
+      if (!first_event) out += ",";
+      first_event = false;
+      out += "\n  ";
+      out += RenderTraceEventJson(e);
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace eta::trace

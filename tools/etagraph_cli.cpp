@@ -48,6 +48,16 @@
 //                 for unordered conflicting accesses, use-before-ready
 //                 consumers, unbound waits, wait cycles, and orphan
 //                 streams. Exit 1 on any finding.
+//   --trace-requests  etatrace (DESIGN.md section 14): record the query's
+//                 per-attempt fault/retry/rebuild timeline and print it.
+//                 etagraph framework traversals and cc only. Off by
+//                 default; with it off the run's output is byte-identical.
+//   --trace-request-out  with --trace-requests: write the attempt timeline
+//                 as JSON to this path (self-validated before writing).
+//   --blackbox-out  with --trace-requests: write a flight-recorder style
+//                 dump of the attempt events to this path. (SLO burn-rate
+//                 alerts — --slo-alerts — live in etagraph_serve, which
+//                 has per-class completion series to evaluate.)
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -68,6 +78,8 @@
 #include "sanitizer/report.hpp"
 #include "sim/fault.hpp"
 #include "sim/stream.hpp"
+#include "trace/events.hpp"
+#include "trace/flight_recorder.hpp"
 #include "util/cli.hpp"
 #include "verify/verify.hpp"
 #include "util/json.hpp"
@@ -164,6 +176,67 @@ int EmitProfile(const core::RunReport& r, const std::string& dataset_label,
   return 0;
 }
 
+/// etatrace (DESIGN.md section 14), single-query form: prints the per-attempt
+/// fault/retry timeline the core retry loop recorded under --trace-requests,
+/// and writes the optional JSON / flight-recorder artifacts. Returns 0, or 2
+/// on a write/validation failure.
+int EmitRequestTrace(const core::RunReport& r, const std::string& json_path,
+                     const std::string& blackbox_path) {
+  std::printf("etatrace attempt timeline (%zu attempt(s)):\n", r.attempts.size());
+  for (const core::AttemptRecord& a : r.attempts) {
+    std::printf("  attempt %-2u %-9s fault=%-6s backoff=%7.3f ms%s%s\n", a.attempt,
+                a.succeeded ? "ok" : "failed",
+                a.succeeded ? "-"
+                            : trace::EventStatusName(trace::EventKind::kFault, a.fault),
+                a.backoff_ms, a.budget_denied ? " BUDGET-DENIED" : "",
+                a.restaged ? " restaged" : "");
+  }
+  if (!json_path.empty()) {
+    std::string json = "{\"attempts\":[";
+    for (size_t i = 0; i < r.attempts.size(); ++i) {
+      const core::AttemptRecord& a = r.attempts[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"attempt\":%u,\"succeeded\":%s,\"fault\":\"%s\""
+                    ",\"backoff_ms\":%.4f,\"budget_denied\":%s,\"restaged\":%s}",
+                    i > 0 ? "," : "", a.attempt, a.succeeded ? "true" : "false",
+                    a.succeeded
+                        ? ""
+                        : trace::EventStatusName(trace::EventKind::kFault, a.fault),
+                    a.backoff_ms, a.budget_denied ? "true" : "false",
+                    a.restaged ? "true" : "false");
+      json += buf;
+    }
+    json += "]}\n";
+    std::string parse_error;
+    if (!util::JsonParse(json, &parse_error)) {
+      return Fail("request-trace JSON failed self-validation: " + parse_error);
+    }
+    std::ofstream out(json_path);
+    out << json;
+    if (!out) return Fail("cannot write --trace-request-out file '" + json_path + "'");
+    std::printf("attempt timeline written to %s\n", json_path.c_str());
+  }
+  if (!blackbox_path.empty()) {
+    trace::FlightRecorder recorder;
+    for (const core::AttemptRecord& a : r.attempts) {
+      trace::TraceEvent e;
+      e.request_id = 0;
+      e.kind = trace::EventKind::kFault;
+      e.status = a.fault;
+      e.a = static_cast<double>(a.attempt);
+      e.b = a.backoff_ms;
+      e.c = a.budget_denied ? 1 : 0;
+      if (!a.succeeded) recorder.Record(e);
+    }
+    std::ofstream out(blackbox_path);
+    out << recorder.Dump("cli-exit", r.total_ms, 0);
+    if (!out) return Fail("cannot write --blackbox-out file '" + blackbox_path + "'");
+    std::printf("flight-recorder dump written to %s\n", blackbox_path.c_str());
+  }
+  return 0;
+}
+
 /// Prints the etacheck block and writes --check-json if asked. Returns the
 /// process exit code contribution: 1 when any error finding fired.
 int EmitCheck(const sanitizer::SanitizerReport& check, const std::string& json_path) {
@@ -201,6 +274,9 @@ int main(int argc, char** argv) {
   const std::string trace_json = cl->GetString("trace-json", "");
   const bool async = cl->GetBool("async", false);
   const bool verify_dag = cl->GetBool("verify-dag", false);
+  const bool trace_requests = cl->GetBool("trace-requests", false);
+  const std::string trace_request_out = cl->GetString("trace-request-out", "");
+  const std::string blackbox_out = cl->GetString("blackbox-out", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
   }
@@ -209,6 +285,12 @@ int main(int argc, char** argv) {
   }
   if (verify_dag && !async) {
     return Fail("--verify-dag requires --async");
+  }
+  if (!trace_request_out.empty() && !trace_requests) {
+    return Fail("--trace-request-out requires --trace-requests");
+  }
+  if (!blackbox_out.empty() && !trace_requests) {
+    return Fail("--blackbox-out requires --trace-requests");
   }
 
   sanitizer::Config check_cfg{};
@@ -264,6 +346,9 @@ int main(int argc, char** argv) {
     if (profile) {
       return Fail("--profile supports etagraph traversals and cc only");
     }
+    if (trace_requests) {
+      return Fail("--trace-requests supports etagraph traversals and cc only");
+    }
     core::PageRankOptions options;
     options.use_smp = smp;
     options.degree_limit = k;
@@ -288,12 +373,18 @@ int main(int argc, char** argv) {
     options.check = check_cfg;
     options.faults = fault_cfg;
     options.profile = profile;
+    options.trace_requests = trace_requests;
     auto report = core::EtaGraph(options).RunConnectedComponents(csr);
     PrintReport(report, timeline);
     if (profile) {
       if (int rc = EmitProfile(report, !dataset.empty() ? dataset : graph_path,
                                trace_json);
           rc != 0) {
+        return rc;
+      }
+    }
+    if (trace_requests) {
+      if (int rc = EmitRequestTrace(report, trace_request_out, blackbox_out); rc != 0) {
         return rc;
       }
     }
@@ -307,6 +398,9 @@ int main(int argc, char** argv) {
     }
     if (profile) {
       return Fail("--profile supports etagraph traversals and cc only");
+    }
+    if (trace_requests) {
+      return Fail("--trace-requests supports etagraph traversals and cc only");
     }
     core::HybridBfsOptions options;
     options.use_smp = smp;
@@ -340,6 +434,9 @@ int main(int argc, char** argv) {
   if (async && framework != "etagraph") {
     return Fail("--async supports --framework=etagraph only");
   }
+  if (trace_requests && framework != "etagraph") {
+    return Fail("--trace-requests supports --framework=etagraph only");
+  }
 
   core::RunReport report;
   bool dag_clean = true;
@@ -350,6 +447,7 @@ int main(int argc, char** argv) {
     options.check = check_cfg;
     options.faults = fault_cfg;
     options.profile = profile;
+    options.trace_requests = trace_requests;
     if (mode_name == "um+prefetch") {
       options.memory_mode = core::MemoryMode::kUnifiedPrefetch;
     } else if (mode_name == "um") {
@@ -427,6 +525,11 @@ int main(int argc, char** argv) {
     if (int rc = EmitProfile(report, !dataset.empty() ? dataset : graph_path,
                              trace_json);
         rc != 0) {
+      return rc;
+    }
+  }
+  if (trace_requests) {
+    if (int rc = EmitRequestTrace(report, trace_request_out, blackbox_out); rc != 0) {
       return rc;
     }
   }

@@ -94,6 +94,22 @@
 //                   a failed dispatch quarantines the shard for the
 //                   cooldown, then a single half-open probe decides
 //                   between closing and re-opening with backoff
+//   --trace-requests  etatrace (DESIGN.md section 14): record a per-request
+//                   causal span tree — admit/shed/brownout decisions, route
+//                   choices with per-shard backlog estimates, dispatch
+//                   attempts with stream-DAG op ids, faults/retries/
+//                   rebuilds, CPU fallbacks, completion. Off by default;
+//                   with it off every legacy output is byte-identical
+//   --trace-request-out  with --trace-requests: write the per-request span
+//                   trees as JSON (one entry per request id) to this path
+//   --blackbox-out  write the always-on flight recorder's event ring
+//                   (last ~4096 lifecycle events, plus any device-loss /
+//                   breaker-open / shard-death dumps) as text to this path
+//   --slo-alerts    evaluate multi-window SLO burn-rate alerts over the
+//                   replay: objective[,fast_ms[,slow_ms[,burn]]], e.g.
+//                   --slo-alerts=0.999,50,500,2 — alert fires when both
+//                   trailing windows burn error budget >= `burn`x. Adds an
+//                   alert table/JSON block and serve_alert_* metrics
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -111,6 +127,7 @@
 #include "sim/fault.hpp"
 #include "serve/trace.hpp"
 #include "serve/trace_file.hpp"
+#include "trace/alerts.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/units.hpp"
@@ -186,8 +203,16 @@ int main(int argc, char** argv) {
   const std::string brownout_spec = cl->GetString("brownout", "");
   const std::string retry_budget_spec = cl->GetString("retry-budget", "");
   const std::string breaker_spec = cl->GetString("breaker", "");
+  const bool trace_requests = cl->GetBool("trace-requests", false);
+  const std::string trace_request_out = cl->GetString("trace-request-out", "");
+  const std::string blackbox_out = cl->GetString("blackbox-out", "");
+  const bool slo_alerts = cl->Has("slo-alerts");
+  const std::string slo_alerts_spec = cl->GetString("slo-alerts", "");
   if (auto unused = cl->UnusedFlags(); !unused.empty()) {
     return Fail("unknown flag --" + unused.front());
+  }
+  if (!trace_request_out.empty() && !trace_requests) {
+    return Fail("--trace-request-out requires --trace-requests");
   }
   if (!trace_json.empty() && !profile) {
     return Fail("--trace-json requires --profile");
@@ -296,6 +321,14 @@ int main(int argc, char** argv) {
       !ParseDoubleList(breaker_spec, {&ov.breaker_cooldown_ms, &ov.breaker_backoff})) {
     return Fail("bad --breaker '" + breaker_spec + "' (want cooldown_ms[,backoff])");
   }
+  if (slo_alerts) {
+    // Bare --slo-alerts keeps the evaluator defaults (0.999,50,500,2).
+    const std::string spec = slo_alerts_spec == "true" ? "" : slo_alerts_spec;
+    std::string alert_error;
+    if (!trace::ParseAlertSpec(spec, &options.slo_alerts, &alert_error)) {
+      return Fail("bad --slo-alerts: " + alert_error);
+    }
+  }
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
   options.max_batch = max_batch;
@@ -303,6 +336,7 @@ int main(int argc, char** argv) {
   options.graph.faults = fault_cfg;
   options.graph.profile = profile;
   options.graph.verify_dag = verify_dag;
+  options.graph.trace_requests = trace_requests;
 
   graph::Csr csr;
   if (!graph_path.empty()) {
@@ -425,6 +459,29 @@ int main(int argc, char** argv) {
     out << serve::RenderReplayText(report.results);
     if (!out) return Fail("cannot write --replay-out file '" + replay_out + "'");
     std::printf("replay outcomes written to %s\n", replay_out.c_str());
+  }
+
+  if (!trace_request_out.empty()) {
+    const std::string json = report.RenderRequestTraceJson();
+    std::string parse_error;
+    if (!util::JsonParse(json, &parse_error)) {
+      return Fail("request-trace JSON failed self-validation: " + parse_error);
+    }
+    std::ofstream out(trace_request_out);
+    out << json;
+    if (!out) {
+      return Fail("cannot write --trace-request-out file '" + trace_request_out + "'");
+    }
+    std::printf("request traces: %zu request(s) -> %s\n",
+                report.request_traces.size(), trace_request_out.c_str());
+  }
+
+  if (!blackbox_out.empty()) {
+    std::ofstream out(blackbox_out);
+    out << report.RenderBlackbox();
+    if (!out) return Fail("cannot write --blackbox-out file '" + blackbox_out + "'");
+    std::printf("flight-recorder dump(s): %zu -> %s\n", report.blackbox.size(),
+                blackbox_out.c_str());
   }
 
   if (!trace_json.empty()) {
