@@ -12,6 +12,7 @@
 //
 // Emits BENCH_overload.json (one report object per load multiple).
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -119,11 +120,88 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               table.Render("Overload control — Poisson load vs calibrated capacity")
                   .c_str());
+
+  // EDF vs FIFO+priority at 1.2x calibrated capacity: the same trace on the
+  // same control stack (whole-graph memo window and backlog autoscaling
+  // armed on both), only the pop order differs. Gates: EDF meets at least
+  // as many per-class deadlines as FIFO+priority, keeps gold goodput
+  // >= 95%, and its memo hits and scale events replay deterministically.
+  {
+    const double multiple = 1.2;
+    serve::ArrivalOptions arrivals;
+    arrivals.profile = serve::ArrivalProfile::kPoisson;
+    arrivals.rate_qps = capacity_qps * multiple;
+    arrivals.num_requests = requests;
+    arrivals.gold_fraction = 0.2;
+    arrivals.silver_fraction = 0.3;
+    arrivals.cc_fraction = 0.1;  // whole-graph traffic the memo can absorb
+    arrivals.seed = seed;
+    const auto trace = serve::GenerateArrivals(csr.NumVertices(), arrivals);
+
+    serve::ShardedOptions edf_fleet = fleet;
+    edf_fleet.base.edf = true;
+    edf_fleet.base.memo_window_ms = 50;
+    if (shards > 1) {
+      edf_fleet.autoscale.min_shards = 1;
+      edf_fleet.autoscale.backlog_ms = 20;
+    }
+    serve::ShardedOptions fifo_fleet = edf_fleet;
+    fifo_fleet.base.edf = false;
+
+    serve::ServeReport fifo = serve::ShardedEngine(fifo_fleet).Serve(csr, trace);
+    serve::ServeReport edf = serve::ShardedEngine(edf_fleet).Serve(csr, trace);
+    serve::ServeReport replay = serve::ShardedEngine(edf_fleet).Serve(csr, trace);
+    if (edf.Render("r") != replay.Render("r") || edf.Json() != replay.Json() ||
+        edf.metrics.RenderPrometheus() != replay.metrics.RenderPrometheus()) {
+      fail("EDF double run is not byte-identical", multiple);
+    }
+    if (edf.memo_hits != replay.memo_hits ||
+        edf.scale_events.size() != replay.scale_events.size()) {
+      fail("memo/scale accounting is not deterministic across runs", multiple);
+    }
+    if (edf.completed + edf.rejected + edf.timed_out + edf.shedded != trace.size()) {
+      fail("request unaccounted for under EDF", multiple);
+    }
+
+    util::Table edf_table(
+        {"Sched", "Class", "Offered", "Deadlines met", "Goodput %"});
+    auto add_rows = [&](const char* sched, const serve::ServeReport& r) {
+      for (const serve::SloStat& s : r.slo_stats) {
+        edf_table.AddRow({sched, serve::SloClassName(s.slo), std::to_string(s.offered),
+                          std::to_string(s.slo_met),
+                          util::FormatDouble(100.0 * s.Goodput(), 1)});
+      }
+    };
+    add_rows("fifo", fifo);
+    add_rows("edf", edf);
+    std::printf("%s\n",
+                edf_table.Render("EDF vs FIFO+priority at 1.2x calibrated capacity")
+                    .c_str());
+
+    for (const serve::SloStat& f : fifo.slo_stats) {
+      for (const serve::SloStat& e : edf.slo_stats) {
+        if (e.slo == f.slo && e.slo_met < f.slo_met) {
+          fail("EDF met fewer deadlines than FIFO+priority in a class", multiple);
+        }
+        if (e.slo == serve::SloClass::kGold && e.Goodput() < 0.95) {
+          fail("EDF gold goodput below 95%", multiple);
+        }
+      }
+    }
+    std::printf("1.2x edf: memo hits %llu, scale events %llu, shards active %u\n\n",
+                static_cast<unsigned long long>(edf.memo_hits),
+                static_cast<unsigned long long>(edf.scale_events.size()),
+                edf.shards_active);
+    reports.push_back(std::move(edf));
+  }
   for (size_t i = 0; i < reports.size(); ++i) {
     const serve::ServeReport& r = reports[i];
-    std::printf("%.1fx: makespan %.1f ms, served %.1f qps, shed %llu, degraded %llu, "
+    const std::string load = i < std::size(multiples)
+                                 ? util::FormatDouble(multiples[i], 1) + "x"
+                                 : std::string("1.2x-edf");
+    std::printf("%s: makespan %.1f ms, served %.1f qps, shed %llu, degraded %llu, "
                 "brownout max level %u\n",
-                multiples[i], r.makespan_ms, r.ThroughputQps(),
+                load.c_str(), r.makespan_ms, r.ThroughputQps(),
                 static_cast<unsigned long long>(r.shedded),
                 static_cast<unsigned long long>(r.degraded),
                 r.overload.brownout_max_level);

@@ -63,9 +63,11 @@
 # CLI matrix (arrivals x shards x faults with the full control stack on:
 # SLO admission, brownout, retry budget, breaker), a double-run
 # replay-determinism diff with a no-request-lost completeness check on
-# every cell, and the calibrated-capacity gates in bench_overload (gold
-# goodput >= 95% at 2x offered load, queues bounded, byte-identical
-# double runs).
+# every cell, an edf x memo x autoscale matrix (DESIGN.md section 15)
+# under the same gates, and the calibrated-capacity gates in
+# bench_overload (gold goodput >= 95% at 2x offered load, queues bounded,
+# byte-identical double runs, and EDF meeting at least as many per-class
+# deadlines as FIFO+priority at 1.2x).
 #
 # --trace builds normally and then exercises etatrace end to end
 # (DESIGN.md section 14): the trace/flight-recorder test binary, a traced
@@ -507,16 +509,49 @@ if [[ "$OVERLOAD" == "1" ]]; then
     done
   done
 
+  echo "== edf x memo x autoscale matrix + replay determinism =="
+  # The million-user scheduler additions obey the same accounting contract:
+  # EDF pop order, the whole-graph memo, and backlog autoscaling (fleets
+  # only — a single shard has nothing to scale) must replay byte-identically
+  # and never lose a request.
+  for shards in 1 4; do
+    for profile in "poisson:rate=4000" "bursty:rate=4000,on=5,off=10"; do
+      args=(--dataset=slashdot --shards="$shards" --queue-cap="$REQS"
+            --arrivals="$profile,n=$REQS,gold=0.2,silver=0.3,cc=0.15,pr=0.1"
+            --slo-shed --slo-targets=50,200,1000 --shed-backlog=20,40
+            --brownout=10,30 --edf --memo-window=50)
+      if [[ "$shards" -gt 1 ]]; then
+        args+=(--autoscale=1,20)
+      fi
+      label="edf+memo shards=$shards profile=${profile%%:*}"
+      safe="${label//[^a-zA-Z0-9]/_}"
+      for i in 1 2; do
+        "$BUILD_DIR/src/etagraph_serve" "${args[@]}" \
+          --replay-out="$OV_DIR/$safe.$i.txt" > /dev/null
+      done
+      if ! diff -u "$OV_DIR/$safe.1.txt" "$OV_DIR/$safe.2.txt"; then
+        echo "check.sh: edf/memo/autoscale replay diverged for $label" >&2
+        exit 1
+      fi
+      outcomes="$(grep -cv '^#' "$OV_DIR/$safe.1.txt")"
+      if [[ "$outcomes" != "$REQS" ]]; then
+        echo "check.sh: $label: $outcomes outcomes for $REQS requests" >&2
+        exit 1
+      fi
+      echo "-- $label: replays identical, all $REQS requests accounted for"
+    done
+  done
+
   echo "== legacy byte-stability (no overload flags => no overload output) =="
   # A classless run must not mention the overload machinery anywhere: the
   # new report rows, JSON keys, and metric families appear only when the
   # feature is active.
   "$BUILD_DIR/src/etagraph_serve" --dataset=rmat --scale=0.1 --requests=32 \
     --metrics-out="$OV_DIR/legacy.prom" > "$OV_DIR/legacy.txt"
-  if grep -Eiq "slo|shed|brownout|breaker|retry_budget" \
+  if grep -Eiq "slo|shed|brownout|breaker|retry_budget|memo|edf|autoscale|scale_event|shards_active|deadline" \
       "$OV_DIR/legacy.txt" "$OV_DIR/legacy.prom"; then
     echo "check.sh: overload output leaked into a legacy run:" >&2
-    grep -Ein "slo|shed|brownout|breaker|retry_budget" \
+    grep -Ein "slo|shed|brownout|breaker|retry_budget|memo|edf|autoscale|scale_event|shards_active|deadline" \
       "$OV_DIR/legacy.txt" "$OV_DIR/legacy.prom" >&2
     exit 1
   fi

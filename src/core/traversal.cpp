@@ -10,6 +10,8 @@ const char* AlgoName(Algo algo) {
     case Algo::kBfs: return "BFS";
     case Algo::kSssp: return "SSSP";
     case Algo::kSswp: return "SSWP";
+    case Algo::kCc: return "CC";
+    case Algo::kPr: return "PR";
   }
   return "?";
 }
@@ -20,6 +22,15 @@ std::vector<graph::Weight> CpuReference(const graph::Csr& csr, Algo algo,
     case Algo::kBfs: return cpu::BfsLevels(csr, source);
     case Algo::kSssp: return cpu::SsspDistances(csr, source);
     case Algo::kSswp: return cpu::SswpWidths(csr, source);
+    // Whole-graph: the source is ignored. CC's ground truth is the
+    // min-label fixpoint; PageRank's ranks are real-valued (see
+    // cpu::PageRankReference) and have no Weight-label form, so callers
+    // handle kPr before dispatching here.
+    case Algo::kCc: {
+      (void)source;
+      return cpu::MinLabelPropagation(csr);
+    }
+    case Algo::kPr: break;
   }
   ETA_CHECK(false);
   return {};

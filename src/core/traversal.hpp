@@ -17,12 +17,21 @@ namespace eta::core {
 
 inline constexpr graph::Weight kInf = 0xffffffffu;
 
-enum class Algo { kBfs, kSssp, kSswp };
+/// kBfs/kSssp/kSswp are the paper's per-source traversals. kCc (connected
+/// components via min-label propagation) and kPr (PageRank) are whole-graph
+/// analytics served through the same request plumbing (DESIGN.md section
+/// 15): their answer depends only on (algo, graph), never on the request
+/// source — which is exactly what makes them memoizable.
+enum class Algo { kBfs, kSssp, kSswp, kCc, kPr };
 
 const char* AlgoName(Algo algo);
 
-inline bool IsWeighted(Algo algo) { return algo != Algo::kBfs; }
+inline bool IsWeighted(Algo algo) { return algo == Algo::kSssp || algo == Algo::kSswp; }
 inline bool IsWidest(Algo algo) { return algo == Algo::kSswp; }
+/// True for algorithms whose answer is a whole-graph property (no per-source
+/// attribution): identical requests inside a memo window can be answered
+/// from a memo table at zero device cost.
+inline bool IsWholeGraph(Algo algo) { return algo == Algo::kCc || algo == Algo::kPr; }
 
 /// Initial label value.
 inline graph::Weight InitLabel(Algo algo, bool is_source) {
@@ -37,6 +46,12 @@ inline graph::Weight Propagate(Algo algo, graph::Weight src_label, graph::Weight
     case Algo::kBfs: return src_label + 1;
     case Algo::kSssp: return src_label + w;
     case Algo::kSswp: return src_label < w ? src_label : w;  // min along path
+    // Min-label propagation: the label travels unchanged; Improves() (min)
+    // keeps the smallest reachable label. kPr never runs on the frontier
+    // engine (it lowers to core::RunPageRank), but the case keeps the
+    // switch total.
+    case Algo::kCc: return src_label;
+    case Algo::kPr: return src_label;
   }
   return 0;
 }

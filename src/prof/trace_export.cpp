@@ -30,10 +30,24 @@ void Appendf(std::string* out, const char* fmt, ...) __attribute__((format(print
 void Appendf(std::string* out, const char* fmt, ...) {
   char buf[512];
   va_list args;
+  va_list retry;
   va_start(args, fmt);
+  va_copy(retry, args);
   int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+  if (n > 0) {
+    if (static_cast<size_t>(n) < sizeof(buf)) {
+      out->append(buf, static_cast<size_t>(n));
+    } else {
+      // Long chunk (e.g. a pathological span label): retry into the string
+      // itself instead of silently truncating.
+      const size_t base = out->size();
+      out->resize(base + static_cast<size_t>(n) + 1);
+      std::vsnprintf(out->data() + base, static_cast<size_t>(n) + 1, fmt, retry);
+      out->resize(base + static_cast<size_t>(n));
+    }
+  }
+  va_end(retry);
 }
 
 }  // namespace

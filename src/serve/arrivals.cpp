@@ -65,6 +65,8 @@ std::vector<Request> GenerateArrivals(graph::VertexId num_vertices,
   ETA_CHECK(options.num_graphs >= 1);
   ETA_CHECK(options.hot_graph_fraction >= 0 && options.hot_graph_fraction <= 1.0);
   ETA_CHECK(options.gold_fraction + options.silver_fraction <= 1.0 + 1e-9);
+  ETA_CHECK(options.cc_fraction >= 0 && options.pr_fraction >= 0);
+  ETA_CHECK(options.cc_fraction + options.pr_fraction <= 1.0 + 1e-9);
   if (options.profile == ArrivalProfile::kBursty) {
     ETA_CHECK(options.on_ms > 0 && options.off_ms >= 0 && options.off_rate_scale >= 0);
     ETA_CHECK(options.on_ms + options.off_ms * options.off_rate_scale > 0);
@@ -135,10 +137,21 @@ std::vector<Request> GenerateArrivals(graph::VertexId num_vertices,
     }
     r.tenant = tenant;
     const TenantMix& mix = tenants[tenant];
+    // One draw decides both the whole-graph carve-out and the per-source
+    // mix: with cc+pr == 0 the rescaled v equals u and the legacy algo
+    // stream is byte-identical.
     const double u = algos.NextDouble();
-    r.algo = u < mix.bfs_fraction ? core::Algo::kBfs
-             : u < mix.bfs_fraction + mix.sssp_fraction ? core::Algo::kSssp
-                                                        : core::Algo::kSswp;
+    const double whole = options.cc_fraction + options.pr_fraction;
+    if (u < options.cc_fraction) {
+      r.algo = core::Algo::kCc;
+    } else if (u < whole) {
+      r.algo = core::Algo::kPr;
+    } else {
+      const double v = whole > 0 ? (u - whole) / (1.0 - whole) : u;
+      r.algo = v < mix.bfs_fraction ? core::Algo::kBfs
+               : v < mix.bfs_fraction + mix.sssp_fraction ? core::Algo::kSssp
+                                                          : core::Algo::kSswp;
+    }
 
     if (options.assign_slo) {
       const double c = slos.NextDouble();
@@ -222,6 +235,10 @@ bool ParseArrivalSpec(const std::string& spec, ArrivalOptions* options,
       }
     } else if (key == "slo" && (num == 0 || num == 1)) {
       options->assign_slo = num != 0;
+    } else if (key == "cc" && num >= 0 && num <= 1) {
+      options->cc_fraction = num;
+    } else if (key == "pr" && num >= 0 && num <= 1) {
+      options->pr_fraction = num;
     } else if (key == "gold" && num >= 0 && num <= 1) {
       options->gold_fraction = num;
     } else if (key == "silver" && num >= 0 && num <= 1) {
@@ -241,6 +258,10 @@ bool ParseArrivalSpec(const std::string& spec, ArrivalOptions* options,
   }
   if (options->gold_fraction + options->silver_fraction > 1.0 + 1e-9) {
     *error = "gold + silver fractions exceed 1";
+    return false;
+  }
+  if (options->cc_fraction + options->pr_fraction > 1.0 + 1e-9) {
+    *error = "cc + pr fractions exceed 1";
     return false;
   }
   return true;

@@ -57,6 +57,13 @@ struct ArrivalOptions {
   double hot_graph_fraction = 0.8;
   /// Tenant set; empty means one default tenant (TenantMix{}).
   std::vector<TenantMix> tenants;
+  /// Whole-graph query mix (DESIGN.md section 15): each request first draws
+  /// connected-components / PageRank with these fleet-wide fractions; the
+  /// per-source remainder then follows the tenant's bfs/sssp/sswp mix.
+  /// Both default 0 — the legacy trace shape (and its RNG consumption) is
+  /// byte-identical when no whole-graph traffic is requested.
+  double cc_fraction = 0;
+  double pr_fraction = 0;
   /// SLO class mix: gold + silver fractions, remainder bronze. When
   /// assign_slo is false, requests are classless (legacy trace shape) and
   /// the deadline fields below are ignored.

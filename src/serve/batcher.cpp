@@ -10,6 +10,12 @@
 namespace eta::serve {
 
 bool Batchable(core::Algo algo) {
+  // Multi-source folding needs per-source attribution, which only the
+  // frontier traversals with attributed waves provide (SSWP's widest-path
+  // semiring lacks attributed multi-source support; whole-graph CC/PageRank
+  // answers have no per-source dimension at all — they go through the
+  // sequential RunQuery path, where the memo table is their amortization
+  // lever instead).
   return algo == core::Algo::kBfs || algo == core::Algo::kSssp;
 }
 

@@ -185,7 +185,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
     }
   }
 
-  QueryScheduler sched(options_.queue_capacity);
+  QueryScheduler sched(options_.queue_capacity, options_.edf);
   size_t next = 0;  // first trace entry that has not yet arrived
   bool unhealthy_dumped = false;  // one unhealthy-exit dump per replay
 
@@ -229,7 +229,9 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   };
   auto admit_until = [&](double t) {
     while (next < trace.size() && trace[next].arrival_ms <= t) {
-      if (!sched.Admit(trace[next])) {
+      // The EDF key (when armed) freezes at admission off the running-mean
+      // service estimate for the request's algorithm.
+      if (!sched.Admit(trace[next], cost[trace[next].algo].EstimateMs())) {
         reject(trace[next]);
       } else {
         trace::TraceEvent e = make_event(trace[next].id, trace::EventKind::kAdmit,
@@ -247,14 +249,13 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
   /// The answer is exact (same labels the device would converge to); only
   /// the latency is worse.
   auto serve_cpu = [&](const Request& r, double start) {
-    std::vector<graph::Weight> labels = core::CpuReference(csr, r.algo, r.source);
     QueryResult q;
     q.id = r.id;
     q.status = QueryStatus::kDegraded;
     q.algo = r.algo;
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
-    q.reached_vertices = cpu::CountReached(labels, core::IsWidest(r.algo));
+    q.reached_vertices = CpuAnswer(csr, r.algo, r.source);
     q.batch_size = 0;
     q.start_ms = start;
     q.finish_ms = start + cpu_query_ms;
@@ -443,7 +444,15 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       for (const Request& r : pending) {
         emit_dispatch({r}, now, estimate_ms);
         core::EtaGraph engine(graph_options);
-        core::RunReport run = engine.Run(csr, r.algo, r.source);
+        core::RunReport run;
+        if (r.algo == core::Algo::kCc) {
+          run = engine.RunConnectedComponents(csr);
+          if (!run.DeviceFailed()) run.activated = CountComponents(run.labels);
+        } else if (r.algo == core::Algo::kPr) {
+          run = RunPageRankAsQuery(csr);
+        } else {
+          run = engine.Run(csr, r.algo, r.source);
+        }
         report.faults.Merge(run.faults);
         report.check.Merge(run.check);
         if (run.DeviceFailed()) {
@@ -503,7 +512,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
                  q.algo, q.finish_ms - q.start_ms);
       observe_ms("serve_latency_ms", "End-to-end time from arrival to completion.",
                  q.algo, q.LatencyMs());
-      if (q.status == QueryStatus::kOk) {
+      if (q.status == QueryStatus::kOk && q.batch_size > 0) {
         // Cost-model observation: the running-mean estimate made before
         // this dispatch versus the service time and device cycles the
         // query actually cost.
@@ -568,6 +577,7 @@ ServeReport ServeEngine::Serve(const graph::Csr& csr,
       .Set(report.load_ms);
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  report.edf = options_.edf;
   FinalizeOverloadReport(options_.overload, budget.get(), &report);
   EvaluateSloAlerts(options_.overload, options_.slo_alerts, &report);
   FinalizeTraceReport(options_, tracer, recorder, now, &report);

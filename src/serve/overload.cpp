@@ -38,8 +38,12 @@ bool CircuitBreaker::AllowRoute(double now_ms, bool queue_empty) {
     case State::kClosed: return true;
     case State::kOpen:
       if (now_ms < open_until_ms_) return false;
+      // Transition only; the probe is counted by OnProbeAdmitted() when a
+      // request actually enters the shard's queue. The old code counted
+      // here, so a denied route (queue not empty) still showed up in
+      // serve_breaker_probes while a probe admitted later from the
+      // half-open state never did.
       state_ = State::kHalfOpen;
-      ++probes_;
       return queue_empty;
     case State::kHalfOpen:
       // One probe in flight at a time: admit only into an empty queue.
@@ -56,6 +60,11 @@ bool CircuitBreaker::WouldAllow(double now_ms, bool queue_empty) const {
     case State::kHalfOpen: return queue_empty;
   }
   return true;
+}
+
+void CircuitBreaker::OnProbeAdmitted() {
+  if (!Enabled()) return;
+  if (state_ == State::kHalfOpen) ++probes_;
 }
 
 void CircuitBreaker::OnDispatchSuccess() {

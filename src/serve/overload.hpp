@@ -25,6 +25,13 @@ namespace eta::serve {
 /// non-positive threshold disables that level and all above it. Both the
 /// brownout ladder and the class-ordered pressure-shed ladder are
 /// instances; every level change is recorded with its simulated timestamp.
+///
+/// Multi-level jumps: a single observation that crosses two or more
+/// thresholds records exactly ONE transition ({from, to} spanning the whole
+/// jump), not one per level — a transition is "the level changed at this
+/// observation", and consumers (report renderers, burn-rate/trace readers,
+/// the autoscaler) count transitions, not levels crossed. Pinned by
+/// OverloadTest.LadderMultiLevelJumpRecordsOneTransition.
 class HysteresisLadder {
  public:
   HysteresisLadder(std::vector<double> enter_thresholds, double hysteresis);
@@ -70,6 +77,11 @@ class CircuitBreaker {
   /// Side-effect-free preview of AllowRoute, for backlog estimation passes
   /// that must not consume the half-open transition or count probes.
   bool WouldAllow(double now_ms, bool queue_empty) const;
+
+  /// Called by the router when a request is actually admitted into a shard
+  /// whose breaker is half-open: that admission IS the probe dispatch, so
+  /// this is the single place probes are counted (AllowRoute only gates).
+  void OnProbeAdmitted();
 
   void OnDispatchSuccess();
   void OnDispatchFailure(double now_ms);

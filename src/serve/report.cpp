@@ -26,6 +26,7 @@ std::string ServeReport::Render(const std::string& title) const {
   };
   row("mode", ServeModeName(mode));
   if (async_dispatch) row("dispatch", "async (streams)");
+  if (edf) row("queue order", "edf (deadline - service estimate)");
   if (traced) row("traced requests", std::to_string(request_traces.size()));
   row("requests", std::to_string(total_requests));
   row("completed", std::to_string(completed));
@@ -34,6 +35,11 @@ std::string ServeReport::Render(const std::string& title) const {
   if (overload.Active()) row("shedded", std::to_string(shedded));
   row("degraded (cpu fallback)", std::to_string(degraded));
   row("dispatches", std::to_string(batches));
+  if (memo_configured) row("memo hits", std::to_string(memo_hits));
+  if (autoscale_configured) {
+    row("shards active (final)", std::to_string(shards_active));
+    row("scale events", std::to_string(scale_events.size()));
+  }
   if (session_rebuilds > 0) row("session rebuilds", std::to_string(session_rebuilds));
   if (overload.brownout_configured) {
     row("brownout level (final/max)", std::to_string(overload.brownout_level) + "/" +
@@ -244,6 +250,20 @@ std::string ServeReport::Json() const {
           static_cast<uint64_t>(check.WarningCount()));
   // Emitted only on async replays so sync JSON stays byte-identical.
   if (async_dispatch) out += ",\"async_dispatch\":true";
+  // Same contract for the million-user scheduler features (section 15):
+  // keys appear only when the feature was configured.
+  if (edf) out += ",\"edf\":true";
+  if (memo_configured) Appendf(out, ",\"memo_hits\":%" PRIu64, memo_hits);
+  if (autoscale_configured) {
+    Appendf(out, ",\"autoscale\":{\"shards_active\":%u,\"scale_events\":[", shards_active);
+    for (size_t i = 0; i < scale_events.size(); ++i) {
+      const LadderTransition& tr = scale_events[i];
+      if (i > 0) out += ",";
+      Appendf(out, "{\"at_ms\":%.4f,\"from\":%u,\"to\":%u}", tr.at_ms, tr.from_level,
+              tr.to_level);
+    }
+    out += "]}";
+  }
   // Emitted only on traced replays (same contract).
   if (traced) {
     Appendf(out, ",\"traced\":true,\"traced_requests\":%" PRIu64,

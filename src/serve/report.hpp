@@ -135,6 +135,27 @@ struct ServeReport {
   /// report output is byte-identical with or without the stream layer.
   bool async_dispatch = false;
 
+  /// True when the scheduler popped in earliest-effective-deadline order
+  /// (ServeOptions::edf). Rendered only when set (same byte-stability
+  /// contract as async_dispatch).
+  bool edf = false;
+
+  /// Whole-graph memoization (DESIGN.md section 15): configured when
+  /// ServeOptions::memo_window_ms > 0. A hit is an identical whole-graph
+  /// (CC/PageRank) request answered from the per-shard memo table at zero
+  /// simulated device cost. Rendered only when configured.
+  bool memo_configured = false;
+  uint64_t memo_hits = 0;
+
+  /// Backlog autoscaling (DESIGN.md section 15): configured when
+  /// ShardedOptions::autoscale is armed. `scale_events` are the
+  /// active-shard-count changes (from/to in shard-count units) on the
+  /// simulated clock; `shards_active` is the count at end of replay.
+  /// Rendered only when configured.
+  bool autoscale_configured = false;
+  uint32_t shards_active = 0;
+  std::vector<LadderTransition> scale_events;
+
   uint64_t total_requests = 0;
   uint64_t completed = 0;
   uint64_t rejected = 0;

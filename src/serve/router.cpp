@@ -81,8 +81,16 @@ struct ResidentSession {
   sim::Stream prestage_stream{};
 };
 
+/// One memoized whole-graph answer (DESIGN.md section 15): CC/PageRank
+/// results carry no per-source attribution, so an identical request inside
+/// the memo window is answered from here at zero simulated device cost.
+struct MemoEntry {
+  double computed_at = 0;  // finish time of the computing dispatch
+  uint64_t reached = 0;    // the memoized whole-graph answer
+};
+
 struct Shard {
-  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  Shard(size_t queue_capacity, bool edf) : queue(queue_capacity, edf) {}
 
   uint32_t index = 0;
   core::EtaGraphOptions graph_options{};
@@ -101,6 +109,14 @@ struct Shard {
   /// Overload control (DESIGN.md §13): a disabled breaker (the default)
   /// always allows routing, keeping the legacy path byte-identical.
   CircuitBreaker breaker{CircuitBreaker::Options{}};
+  /// Backlog autoscaling (DESIGN.md section 15): an inactive shard is a
+  /// warm standby — routed around, never dispatching, sessions resident.
+  /// Always true on a fixed fleet (autoscaling off).
+  bool active = true;
+  /// Whole-graph memo table, keyed (graph_id, algo). Filled only when
+  /// ServeOptions::memo_window_ms > 0; invalidated with the session (a
+  /// re-staged graph is a new staging epoch).
+  std::map<std::pair<uint32_t, core::Algo>, MemoEntry> memo;
   ShardStat stat{};
   /// Async dispatch only: the shard's stream scheduler (one compute engine
   /// + one copy engine per direction), a dense name counter for the
@@ -217,12 +233,28 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   HysteresisLadder shed_ladder({ov.shed_bronze_backlog_ms, ov.shed_silver_backlog_ms},
                                ov.hysteresis);
 
+  // Backlog autoscaling (DESIGN.md section 15): the fleet starts with
+  // min_shards active and scales the active count through a hysteresis
+  // ladder over the mean backlog of active live shards — one level per
+  // standby shard, thresholds at backlog_ms * 1, * 2, ...
+  const bool autoscaling = options_.AutoscaleEnabled();
+  const uint32_t min_active = autoscaling ? options_.autoscale.min_shards : options_.shards;
+  std::vector<double> scale_thresholds;
+  if (autoscaling) {
+    for (uint32_t k = 1; k <= options_.shards - min_active; ++k) {
+      scale_thresholds.push_back(options_.autoscale.backlog_ms * k);
+    }
+  }
+  HysteresisLadder scale_ladder(scale_thresholds, ov.hysteresis);
+  std::vector<LadderTransition> scale_events;
+
   std::vector<Shard> shards;
   shards.reserve(options_.shards);
   for (uint32_t i = 0; i < options_.shards; ++i) {
-    shards.emplace_back(base.queue_capacity);
+    shards.emplace_back(base.queue_capacity, base.edf);
     Shard& s = shards.back();
     s.index = i;
+    s.active = i < min_active;
     s.graph_options = base.graph;
     s.graph_options.recovery.budget = retry_budget;  // nullptr when unconfigured
     s.breaker = CircuitBreaker(
@@ -291,6 +323,11 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
       report.check.Merge(*c);
     }
     s.resident_bytes -= rs.resident_bytes;
+    // The memoized whole-graph answers rode on this staging epoch; a
+    // rebuilt/re-staged session must recompute them.
+    for (auto it = s.memo.begin(); it != s.memo.end();) {
+      it = it->first.first == rs.graph_id ? s.memo.erase(it) : std::next(it);
+    }
     s.sessions.erase(s.sessions.begin() + static_cast<long>(idx));
   };
 
@@ -470,8 +507,6 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     emit_complete(q);
   };
   auto serve_cpu = [&](const Request& r, double start, bool fleet_wide = false) {
-    std::vector<graph::Weight> labels =
-        core::CpuReference(*graphs[r.graph_id], r.algo, r.source);
     QueryResult q;
     q.id = r.id;
     q.status = QueryStatus::kDegraded;
@@ -479,7 +514,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     q.source = r.source;
     q.arrival_ms = r.arrival_ms;
     q.slo = r.slo;
-    q.reached_vertices = cpu::CountReached(labels, core::IsWidest(r.algo));
+    q.reached_vertices = CpuAnswer(*graphs[r.graph_id], r.algo, r.source);
     q.batch_size = 0;
     q.start_ms = start;
     q.finish_ms = start + cpu_query_ms[r.graph_id];
@@ -514,7 +549,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
                q.algo, q.finish_ms - q.start_ms);
     observe_ms("serve_latency_ms", "End-to-end time from arrival to completion.",
                q.algo, q.LatencyMs());
-    if (q.status == QueryStatus::kOk) {
+    // batch_size == 0 means no device launch produced this answer (a memo
+    // hit): feeding its zero latency into the running mean would drag the
+    // estimator — and every routing/EDF/shed decision built on it — to 0.
+    if (q.status == QueryStatus::kOk && q.batch_size > 0) {
       const double actual_ms = q.finish_ms - q.start_ms;
       CostAgg& agg = cost[q.algo];
       ++agg.queries;
@@ -574,7 +612,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     std::vector<std::tuple<double, size_t, uint32_t>> order;
     order.reserve(shards.size());
     for (Shard& s : shards) {
-      if (s.dead) continue;
+      if (s.dead || !s.active) continue;
       if (!s.breaker.AllowRoute(now, s.queue.Empty())) {
         if (breaker_blocked != nullptr) *breaker_blocked = true;
         // A breaker-held shard is still a considered candidate (c=0), so
@@ -597,8 +635,14 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     std::sort(order.begin(), order.end());
     for (const auto& [backlog, depth, index] : order) {
       Shard& s = shards[index];
-      if (!s.queue.Admit(r)) continue;
+      // The EDF key (when armed) freezes at admission off the same
+      // running-mean estimate the routing decision just used.
+      if (!s.queue.Admit(r, cost[r.algo].EstimateMs())) continue;
       ++s.queued_by_algo[r.algo];
+      // A request entering a half-open shard's queue IS the breaker probe;
+      // this is where probes are counted (not in AllowRoute, which also
+      // answers for candidates the request never routes to).
+      s.breaker.OnProbeAdmitted();
       {
         trace::TraceEvent e = make_event(r.id, trace::EventKind::kRoute, now);
         e.shard = static_cast<int16_t>(s.index);
@@ -625,7 +669,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   auto min_backlog_ms = [&](double now) {
     double b = kInf;
     for (Shard& s : shards) {
-      if (s.dead || !s.breaker.WouldAllow(now, s.queue.Empty())) continue;
+      if (s.dead || !s.active || !s.breaker.WouldAllow(now, s.queue.Empty())) continue;
       b = std::min(b, backlog_ms(s, now));
     }
     return b;
@@ -648,6 +692,36 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     std::optional<Request> head = s.queue.PopNext();
     ETA_CHECK(head.has_value());
     --s.queued_by_algo[head->algo];
+    // Whole-graph memoization (DESIGN.md section 15): a CC/PageRank answer
+    // carries no per-source attribution, so an identical request inside the
+    // memo window replays the memoized answer at zero simulated device cost
+    // — the shard clock is not charged and no batch forms, so the outer
+    // loop immediately dispatches the next queued request at the same
+    // instant. The cost estimator never sees these (batch_size == 0).
+    if (base.memo_window_ms > 0 && core::IsWholeGraph(head->algo)) {
+      const auto it = s.memo.find({head->graph_id, head->algo});
+      if (it != s.memo.end() && now - it->second.computed_at <= base.memo_window_ms) {
+        QueryResult q;
+        q.id = head->id;
+        q.status = QueryStatus::kOk;
+        q.algo = head->algo;
+        q.source = head->source;
+        q.reached_vertices = it->second.reached;
+        q.batch_size = 0;  // no device launch produced this answer
+        q.arrival_ms = head->arrival_ms;
+        q.start_ms = now;
+        q.finish_ms = now;
+        q.slo = head->slo;
+        ++report.memo_hits;
+        trace::TraceEvent e = make_event(head->id, trace::EventKind::kMemo, now);
+        e.shard = static_cast<int16_t>(s.index);
+        e.a = now - it->second.computed_at;
+        e.b = static_cast<double>(it->second.reached);
+        sink.Emit(e);
+        record_result(q, cost[head->algo].EstimateMs(), 0);
+        return;
+      }
+    }
     Batch batch;
     batch.algo = head->algo;
     batch.graph_id = head->graph_id;
@@ -834,6 +908,15 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
         served_on_device > 0 ? dispatch_cycles / static_cast<double>(served_on_device)
                              : 0;
     s.stat.served += served_on_device;
+    // Memo fill: a device-served whole-graph answer becomes this shard's
+    // memoized answer for (graph, algo), stamped at its completion time.
+    if (base.memo_window_ms > 0 && core::IsWholeGraph(batch.algo)) {
+      for (const QueryResult& q : outcomes) {
+        if (q.status == QueryStatus::kOk) {
+          s.memo[{batch.graph_id, batch.algo}] = {q.finish_ms, q.reached_vertices};
+        }
+      }
+    }
     for (const QueryResult& q : outcomes) {
       record_result(q, estimate_ms, cycles_per_query);
     }
@@ -852,7 +935,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   /// catalog the head graph is always resident, so this never fires and
   /// the async replay stays byte-identical to the sync one.
   auto maybe_prestage = [&](Shard& s, double now) {
-    if (!async || s.dead || s.queue.Empty()) return;
+    if (!async || s.dead || !s.active || s.queue.Empty()) return;
     if (s.free_at <= now) return;            // idle shards just dispatch
     if (now < s.no_prestage_until) return;   // backing off a failed build
     const std::optional<Request> head = s.queue.PeekNext();
@@ -958,6 +1041,62 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     return true;
   };
 
+  /// Backlog autoscaling (DESIGN.md section 15), evaluated at the top of
+  /// every event-loop tick. The signal is the mean backlog estimate over
+  /// active live shards (kInf when every active shard is dead — which
+  /// forces the ladder to its top level and activates the standbys).
+  /// Scale-up activates the lowest-index standby immediately; scale-down
+  /// deactivates the highest-index active shard only once it is idle,
+  /// draining any queued requests to peers — so no request is ever lost to
+  /// a scale decision. One scale event per tick that changes the active
+  /// count, in active-shard-count units on the simulated clock.
+  auto update_autoscale = [&](double t) {
+    if (!autoscaling) return;
+    double sum = 0;
+    uint32_t live_active = 0;
+    for (Shard& s : shards) {
+      if (!s.active || s.dead) continue;
+      sum += backlog_ms(s, t);
+      ++live_active;
+    }
+    const double signal = live_active == 0 ? kInf : sum / static_cast<double>(live_active);
+    const uint32_t level = scale_ladder.Update(signal, t);
+    const uint32_t target = min_active + level;
+    uint32_t active_count = 0;
+    for (const Shard& s : shards) {
+      if (s.active && !s.dead) ++active_count;
+    }
+    const uint32_t before = active_count;
+    while (active_count < target) {
+      Shard* standby = nullptr;
+      for (Shard& s : shards) {
+        if (!s.active && !s.dead) { standby = &s; break; }
+      }
+      if (standby == nullptr) break;  // no standby left to wake
+      standby->active = true;
+      ++active_count;
+    }
+    while (active_count > target && active_count > min_active) {
+      Shard* victim = nullptr;
+      for (Shard& s : shards) {
+        if (s.active && !s.dead) victim = &s;  // highest index wins
+      }
+      if (victim == nullptr || victim->free_at > t) break;  // busy: retry next tick
+      drain_queue(*victim, t);
+      victim->active = false;
+      --active_count;
+    }
+    if (active_count != before) {
+      scale_events.push_back({t, before, active_count});
+      trace::TraceEvent e =
+          make_event(trace::kFleetEventId, trace::EventKind::kScale, t);
+      e.a = static_cast<double>(before);
+      e.b = static_cast<double>(active_count);
+      e.c = signal == kInf ? -1 : signal;
+      sink.Emit(e);
+    }
+  };
+
   /// Single admission point for fresh arrivals and quarantine re-routes;
   /// returns the admitting shard, or nullptr when the request reached a
   /// terminal state here. Classless requests keep the legacy path
@@ -1038,6 +1177,10 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
 
   while (true) {
     if (retry_budget != nullptr) retry_budget->Advance(now);
+    // Scale the active fleet off the backlog signal before admitting: an
+    // arrival burst that pushed the estimate over threshold last tick is
+    // routed across the grown fleet this tick.
+    update_autoscale(now);
     // Admit trace arrivals due now.
     while (next < trace.size() && trace[next].arrival_ms <= now) {
       admit_one(trace[next], now, /*rerouted=*/false);
@@ -1075,7 +1218,7 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     }
     bool dispatched = false;
     for (Shard& s : shards) {
-      if (!s.dead && s.free_at <= now && !s.queue.Empty()) {
+      if (!s.dead && s.active && s.free_at <= now && !s.queue.Empty()) {
         dispatch(s, now);
         dispatched = true;
       }
@@ -1089,8 +1232,18 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
     if (next < trace.size()) next_t = std::min(next_t, trace[next].arrival_ms);
     for (const Deferred& d : deferred) next_t = std::min(next_t, d.ready_ms);
     for (const Shard& s : shards) {
-      if (!s.dead && !s.queue.Empty() && s.free_at > now) {
+      if (!s.dead && s.active && !s.queue.Empty() && s.free_at > now) {
         next_t = std::min(next_t, s.free_at);
+      }
+    }
+    // A pending scale-down (busy victim) or scale-up (ladder armed by the
+    // next arrival) re-evaluates when a shard frees up; the free_at wake-up
+    // below already covers the busy-victim case because its queue drained.
+    if (autoscaling) {
+      for (const Shard& s : shards) {
+        if (!s.dead && s.active && s.free_at > now) {
+          next_t = std::min(next_t, s.free_at);
+        }
       }
     }
     if (next_t == kInf) break;
@@ -1183,6 +1336,31 @@ ServeReport ShardedEngine::ServeMany(std::span<const graph::Csr* const> graphs,
   }
   std::sort(report.results.begin(), report.results.end(),
             [](const QueryResult& a, const QueryResult& b) { return a.id < b.id; });
+  report.edf = base.edf;
+  if (base.memo_window_ms > 0) {
+    report.memo_configured = true;
+    metrics
+        .GetCounter("serve_memo_hits",
+                    "Whole-graph requests answered from the memo table.")
+        .Inc(static_cast<double>(report.memo_hits));
+  }
+  if (autoscaling) {
+    report.autoscale_configured = true;
+    uint32_t active_final = 0;
+    for (const Shard& s : shards) {
+      if (s.active && !s.dead) ++active_final;
+    }
+    report.shards_active = active_final;
+    report.scale_events = scale_events;
+    metrics
+        .GetCounter("serve_scale_events_total",
+                    "Autoscaler transitions of the active shard count.")
+        .Inc(static_cast<double>(scale_events.size()));
+    metrics
+        .GetGauge("serve_shards_active",
+                  "Active (non-standby) shards at end of replay.")
+        .Set(static_cast<double>(active_final));
+  }
   report.overload.brownout_level = brownout.level();
   report.overload.brownout_max_level = brownout.max_level();
   report.overload.brownout_transitions = brownout.transitions();

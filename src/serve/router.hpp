@@ -115,6 +115,30 @@ struct ShardedOptions {
     kDoublePrestage,
   };
   DagPlant plant = DagPlant::kNone;
+
+  /// Backlog autoscaling (DESIGN.md section 15). Armed when backlog_ms > 0
+  /// and min_shards < shards: the fleet starts with `min_shards` active
+  /// shards and scales the active count up/down from the mean backlog
+  /// estimate over active live shards — the same signal the brownout
+  /// ladder watches — through a HysteresisLadder with thresholds
+  /// backlog_ms * 1, * 2, ... (one level per standby shard) and
+  /// OverloadOptions::hysteresis. Scale-up activates the lowest-index
+  /// standby; scale-down deactivates the highest-index active shard once
+  /// it is idle, draining its queue to peers. Sessions stay resident on a
+  /// deactivated shard (warm standby). Scale events are recorded on the
+  /// simulated clock in active-shard-count units
+  /// (ServeReport::scale_events). Default-off: the fixed-fleet event loop
+  /// and report bytes are unchanged.
+  struct AutoscaleOptions {
+    uint32_t min_shards = 1;
+    double backlog_ms = 0;
+  };
+  AutoscaleOptions autoscale{};
+
+  /// True when autoscaling is armed for this fleet configuration.
+  bool AutoscaleEnabled() const {
+    return autoscale.backlog_ms > 0 && autoscale.min_shards < shards;
+  }
 };
 
 class ShardedEngine {

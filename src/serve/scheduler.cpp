@@ -9,19 +9,28 @@ namespace {
 constexpr uint32_t kNoIndex = UINT32_MAX;
 }  // namespace
 
-bool QueryScheduler::PopsAfter(uint32_t a, uint32_t b) const {
-  const Entry& ea = entries_[a];
-  const Entry& eb = entries_[b];
+bool QueryScheduler::EntryPopsAfter(const Entry& ea, const Entry& eb) const {
   if (ea.request.priority != eb.request.priority) {
     return ea.request.priority < eb.request.priority;
   }
+  // EDF (DESIGN.md section 15): earliest effective deadline first within a
+  // priority class. Off, this branch never reads the key, so the order is
+  // byte-identical to the legacy (priority desc, seq asc).
+  if (edf_ && ea.edf_key != eb.edf_key) return ea.edf_key > eb.edf_key;
   return ea.seq > eb.seq;
 }
 
-bool QueryScheduler::Admit(const Request& request) {
+bool QueryScheduler::PopsAfter(uint32_t a, uint32_t b) const {
+  return EntryPopsAfter(entries_[a], entries_[b]);
+}
+
+bool QueryScheduler::Admit(const Request& request, double service_estimate_ms) {
   if (live_ >= capacity_) return false;
   const uint32_t index = static_cast<uint32_t>(entries_.size());
-  entries_.push_back({request, next_seq_++, true});
+  // StartDeadline() is +inf for deadline-free requests, so their key stays
+  // +inf and they order FIFO behind every deadlined peer of their class.
+  entries_.push_back(
+      {request, next_seq_++, request.StartDeadline() - service_estimate_ms, true});
   ++live_;
   peek_valid_ = false;
   std::vector<uint32_t>& lane = lanes_[LaneKey(request.algo, request.graph_id)];
@@ -92,17 +101,14 @@ std::optional<Request> QueryScheduler::PopNext() {
 
 std::optional<Request> QueryScheduler::PeekNext() const {
   // Const scan instead of the lane heaps (whose tops may be tombstones
-  // that only a mutating prune can drop); same (priority desc, seq asc)
-  // total order as PopsAfter. The result is memoized until the live set
+  // that only a mutating prune can drop); same total order as PopsAfter
+  // (EntryPopsAfter, EDF-aware). The result is memoized until the live set
   // mutates, so repeated idle-tick peeks are O(1).
   if (peek_valid_) return peek_cache_;
   const Entry* best = nullptr;
   for (const Entry& e : entries_) {
     if (!e.live) continue;
-    if (best == nullptr || e.request.priority > best->request.priority ||
-        (e.request.priority == best->request.priority && e.seq < best->seq)) {
-      best = &e;
-    }
+    if (best == nullptr || EntryPopsAfter(*best, e)) best = &e;
   }
   peek_cache_ = best == nullptr ? std::nullopt : std::optional<Request>(best->request);
   peek_valid_ = true;

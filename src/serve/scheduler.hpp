@@ -16,6 +16,16 @@
 // fleet drains into one scheduler. The (priority, seq) order is a total
 // order (seqs are unique), so pop order is exactly the order the previous
 // scan-and-erase implementation produced.
+//
+// EDF mode (DESIGN.md section 15): with `edf` on, the order within a
+// priority class becomes earliest effective deadline first — the request's
+// start deadline minus the caller-supplied running-mean service estimate
+// for its algorithm, frozen at admission so heap invariants (and double
+// runs) hold. Priority-class precedence is preserved: gold never starves
+// behind an earlier-deadline bronze. Requests without a deadline carry an
+// infinite key and fall back to FIFO behind every deadlined peer of their
+// class. With `edf` off the comparator never reads the key, so pop order
+// is byte-identical to the legacy (priority desc, seq asc) order.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +39,14 @@ namespace eta::serve {
 
 class QueryScheduler {
  public:
-  explicit QueryScheduler(size_t capacity) : capacity_(capacity) {}
+  explicit QueryScheduler(size_t capacity, bool edf = false)
+      : capacity_(capacity), edf_(edf) {}
 
   /// Enqueues `request`; returns false (reject) if the queue is full.
-  bool Admit(const Request& request);
+  /// `service_estimate_ms` is the caller's running-mean service estimate
+  /// for the request's algorithm at admission time — only read in EDF mode,
+  /// where the effective deadline is StartDeadline() - estimate.
+  bool Admit(const Request& request, double service_estimate_ms = 0);
 
   bool Empty() const { return live_ == 0; }
   size_t Depth() const { return live_; }
@@ -60,6 +74,9 @@ class QueryScheduler {
   struct Entry {
     Request request;
     uint64_t seq = 0;  // admission order, the FIFO tiebreaker
+    /// Effective deadline (StartDeadline - service estimate), frozen at
+    /// admission; +inf for deadline-free requests. Ignored unless edf_.
+    double edf_key = 0;
     bool live = false;
   };
 
@@ -73,6 +90,9 @@ class QueryScheduler {
   /// Heap comparator: true when entry `a` must pop *after* entry `b`
   /// (std::push_heap keeps the best-to-pop entry at the front).
   bool PopsAfter(uint32_t a, uint32_t b) const;
+  /// The same total order on entry references — shared by the lane heaps
+  /// and PeekNext's const scan so every consumer agrees on pop order.
+  bool EntryPopsAfter(const Entry& ea, const Entry& eb) const;
 
   /// Drops dead indices off the lane's top; returns the live top index or
   /// UINT32_MAX when the lane is empty (empty lanes are erased by callers).
@@ -86,6 +106,7 @@ class QueryScheduler {
   void MaybeCompact();
 
   size_t capacity_;
+  bool edf_ = false;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
   std::vector<Entry> entries_;

@@ -37,6 +37,10 @@ bool ParseAlgoTok(std::string tok, core::Algo* out) {
     *out = core::Algo::kSssp;
   } else if (tok == "sswp") {
     *out = core::Algo::kSswp;
+  } else if (tok == "cc") {
+    *out = core::Algo::kCc;
+  } else if (tok == "pr") {
+    *out = core::Algo::kPr;
   } else {
     return false;
   }
@@ -82,7 +86,7 @@ std::optional<std::vector<Request>> ParseTraceText(std::string_view text,
     }
     if (!ParseAlgoTok(tok[1], &r.algo)) {
       return Fail(error, line_no,
-                  "unknown algo '" + tok[1] + "' (want bfs, sssp, or sswp)");
+                  "unknown algo '" + tok[1] + "' (want bfs, sssp, sswp, cc, or pr)");
     }
     long long source = 0;
     if (!ParseI64Tok(tok[2], &source) || source < 0) {
@@ -119,7 +123,9 @@ std::string RenderReplayText(const std::vector<QueryResult>& results) {
   for (const QueryResult& q : results) {
     const char* algo = q.algo == core::Algo::kBfs    ? "bfs"
                        : q.algo == core::Algo::kSssp ? "sssp"
-                                                     : "sswp";
+                       : q.algo == core::Algo::kSswp ? "sswp"
+                       : q.algo == core::Algo::kCc   ? "cc"
+                                                     : "pr";
     std::snprintf(buf, sizeof(buf),
                   "%llu %s %s %llu %llu %u %.4f %.4f\n",
                   static_cast<unsigned long long>(q.id), QueryStatusName(q.status),

@@ -180,6 +180,18 @@ struct ServeOptions {
   /// models a ~0.1 GTEPS host — deliberately far below the simulated GPU,
   /// so degradation is visible in the latency histograms.
   double cpu_fallback_units_per_ms = 100000.0;
+  /// EDF pop order (DESIGN.md section 15): within a priority class the
+  /// scheduler pops earliest effective deadline first (start deadline minus
+  /// the running-mean service estimate for the request's algorithm, frozen
+  /// at admission). Priority-class precedence is preserved. Default-off:
+  /// the legacy (priority, seq) order is byte-identical when false.
+  bool edf = false;
+  /// Whole-graph memoization window (DESIGN.md section 15): identical
+  /// whole-graph (CC/PageRank) requests against the same graph answered
+  /// within this many simulated ms of the computed answer are served from a
+  /// per-shard memo table at zero device cost (counted as memo hits,
+  /// invalidated on session retirement/rebuild). 0 disables memoization.
+  double memo_window_ms = 0;
   /// Overload control (arrivals/SLO/brownout/budget/breaker); default-off.
   OverloadOptions overload{};
   /// SLO burn-rate alerting (DESIGN.md section 14): multi-window

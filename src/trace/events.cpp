@@ -18,6 +18,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kReroute: return "reroute";
     case EventKind::kCpuFallback: return "cpu-fallback";
     case EventKind::kComplete: return "complete";
+    case EventKind::kMemo: return "memo";
+    case EventKind::kScale: return "scale";
   }
   return "?";
 }

@@ -64,7 +64,20 @@ enum class EventKind : uint8_t {
   /// Terminal edge. status = QueryStatus, a = end-to-end latency ms,
   /// b = reached vertices, c = batch size.
   kComplete,
+  /// Served from the whole-graph memo table (DESIGN.md section 15), at
+  /// zero device cost. shard = serving shard, a = memo entry age ms,
+  /// b = memoized reached count.
+  kMemo,
+  /// Fleet scale event (backlog autoscaling). Not tied to a request:
+  /// request_id = kFleetEventId. a = active shards before, b = active
+  /// shards after, c = the backlog signal that drove the transition.
+  kScale,
 };
+
+/// Sentinel request id for fleet-level events (kScale): the flight
+/// recorder keeps them, the per-request tracer ignores them (they belong
+/// to no request's span tree).
+inline constexpr uint64_t kFleetEventId = UINT64_MAX;
 
 /// kShed sub-reasons (TraceEvent::status).
 enum class ShedReason : uint8_t {

@@ -9,10 +9,24 @@ namespace {
 void Appendf(std::string* out, const char* fmt, ...) {
   char buf[256];
   va_list args;
+  va_list retry;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_copy(retry, args);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  *out += buf;
+  if (n > 0) {
+    if (static_cast<size_t>(n) < sizeof(buf)) {
+      *out += buf;
+    } else {
+      // Long chunk: retry into the string itself instead of silently
+      // truncating at the stack-buffer size.
+      const size_t base = out->size();
+      out->resize(base + static_cast<size_t>(n) + 1);
+      std::vsnprintf(out->data() + base, static_cast<size_t>(n) + 1, fmt, retry);
+      out->resize(base + static_cast<size_t>(n));
+    }
+  }
+  va_end(retry);
 }
 
 }  // namespace

@@ -29,6 +29,9 @@ class RequestTracer {
 
   void Record(const TraceEvent& event) {
     if (!enabled_) return;
+    // Fleet-level events (kScale) belong to no request's span tree; the
+    // flight recorder keeps them, the per-request tracer drops them.
+    if (event.request_id == kFleetEventId) return;
     traces_[event.request_id].push_back(event);
   }
 

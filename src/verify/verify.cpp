@@ -14,12 +14,22 @@ namespace eta::verify {
 
 namespace {
 
-/// snprintf into a std::string, matching the sanitizer-report style.
+/// snprintf into a std::string, matching the sanitizer-report style. Long
+/// chunks (e.g. a pathological buffer or stream label) retry into the
+/// string itself instead of silently truncating at the stack-buffer size.
 template <typename... Args>
 void Appendf(std::string& out, const char* fmt, Args... args) {
   char buf[512];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  out += buf;
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n <= 0) return;
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<size_t>(n));
+    return;
+  }
+  const size_t base = out.size();
+  out.resize(base + static_cast<size_t>(n) + 1);
+  std::snprintf(out.data() + base, static_cast<size_t>(n) + 1, fmt, args...);
+  out.resize(base + static_cast<size_t>(n));
 }
 
 const char* KindDescription(DagFindingKind kind) {

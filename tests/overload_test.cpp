@@ -330,6 +330,25 @@ TEST(HysteresisLadder, SpikesCanSkipLevelsInOneUpdate) {
   EXPECT_EQ(ladder.transitions().size(), 2u);
 }
 
+TEST(HysteresisLadder, MultiLevelJumpRecordsOneTransition) {
+  HysteresisLadder ladder({10.0, 20.0, 30.0}, 0.5);
+  // A spike crossing every threshold in one observation records exactly one
+  // transition carrying the whole jump (0 -> 3), timestamped at that
+  // observation — not one synthetic transition per level crossed. Consumers
+  // (brownout_transitions, scale event counts) count observations that
+  // changed the level, so a 2-level jump is one event.
+  EXPECT_EQ(ladder.Update(100.0, 5.0), 3u);
+  ASSERT_EQ(ladder.transitions().size(), 1u);
+  EXPECT_EQ(ladder.transitions()[0].at_ms, 5.0);
+  EXPECT_EQ(ladder.transitions()[0].from_level, 0u);
+  EXPECT_EQ(ladder.transitions()[0].to_level, 3u);
+  // The multi-level collapse back down is likewise a single transition.
+  EXPECT_EQ(ladder.Update(0.0, 6.0), 0u);
+  ASSERT_EQ(ladder.transitions().size(), 2u);
+  EXPECT_EQ(ladder.transitions()[1].from_level, 3u);
+  EXPECT_EQ(ladder.transitions()[1].to_level, 0u);
+}
+
 TEST(HysteresisLadder, NonPositiveThresholdDisablesUpperLevels) {
   HysteresisLadder capped({10.0, 0.0}, 0.5);
   EXPECT_EQ(capped.Update(1e9, 0), 1u);
@@ -350,15 +369,38 @@ TEST(CircuitBreaker, OpensCoolsDownHalfOpensAndCloses) {
   EXPECT_EQ(breaker.opens(), 1u);
   EXPECT_FALSE(breaker.AllowRoute(5, true));
   // Cooldown over: half-open, and exactly one probe may enter (empty queue
-  // required so the probe rides alone).
+  // required so the probe rides alone). AllowRoute only gates; the probe is
+  // counted when the router actually admits it (OnProbeAdmitted), so
+  // serve_breaker_probes equals dispatched probes.
   EXPECT_TRUE(breaker.AllowRoute(10, true));
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.probes(), 0u);
+  breaker.OnProbeAdmitted();
   EXPECT_EQ(breaker.probes(), 1u);
   EXPECT_FALSE(breaker.AllowRoute(10, /*queue_empty=*/false));
 
   breaker.OnDispatchSuccess();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_TRUE(breaker.AllowRoute(11, false));
+}
+
+// Regression: a half-open breaker consulted while the shard's queue is
+// non-empty denies routing — and must count no probe, because nothing was
+// dispatched. Before the fix the half-open *transition* was counted as a
+// probe, so serve_breaker_probes could exceed the probes actually sent.
+TEST(CircuitBreaker, HalfOpenNonEmptyQueueCountsNoProbe) {
+  CircuitBreaker breaker({/*cooldown_ms=*/10.0, /*backoff=*/2.0});
+  breaker.OnDispatchFailure(0);  // open until 10
+  EXPECT_FALSE(breaker.AllowRoute(10, /*queue_empty=*/false));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.probes(), 0u);
+  // Repeated denials while half-open still count nothing.
+  EXPECT_FALSE(breaker.AllowRoute(11, /*queue_empty=*/false));
+  EXPECT_EQ(breaker.probes(), 0u);
+  // The real probe admission is the single counting point.
+  EXPECT_TRUE(breaker.AllowRoute(12, /*queue_empty=*/true));
+  breaker.OnProbeAdmitted();
+  EXPECT_EQ(breaker.probes(), 1u);
 }
 
 TEST(CircuitBreaker, FailedProbeReopensWithBackoff) {

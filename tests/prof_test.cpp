@@ -272,5 +272,25 @@ TEST(TraceExport, ServeReplayMergesQueueBatcherAndDeviceSpans) {
   EXPECT_EQ(unprofiled.completed, report.completed);
 }
 
+// The exporter's snprintf-into-string helper retries past its 512-byte
+// stack buffer: a span name longer than the buffer survives the rendered
+// Chrome trace untruncated, and the document still parses.
+TEST(ChromeTrace, LongSpanNameRendersUntruncated) {
+  const std::string long_name(700, 'k');
+  std::vector<prof::TraceSpan> spans;
+  prof::TraceSpan s;
+  s.track = "device/compute";
+  s.name = long_name;
+  s.start_ms = 0;
+  s.end_ms = 1.5;
+  spans.push_back(s);
+
+  const std::string json = prof::RenderChromeTrace(spans);
+  EXPECT_NE(json.find(long_name), std::string::npos);
+  std::string error;
+  auto doc = util::JsonParse(json, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+}
+
 }  // namespace
 }  // namespace eta

@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
+#include "serve/session.hpp"
 #include "serve/trace.hpp"
 
 namespace eta::serve {
@@ -362,6 +363,158 @@ TEST(ShardedEngine, ServesAMixedGraphCatalogUnlimited) {
     EXPECT_EQ(s.evictions, 0u);
     EXPECT_EQ(s.reloads, 0u);
   }
+}
+
+// --- Whole-graph memoization (DESIGN.md section 15) ---------------------------
+
+TEST(ShardedEngine, MemoHitsAreBitIdenticalAcrossRebuildEpochs) {
+  graph::Csr g0 = RandomGraph(51);
+  graph::Csr g1 = RandomGraph(52);
+  const graph::Csr* catalog[] = {&g0, &g1};
+
+  uint64_t max_estimate = 0;
+  for (const graph::Csr* g : catalog) {
+    max_estimate = std::max(max_estimate, core::ResidentGraph::EstimateDeviceBytes(*g));
+  }
+
+  // Budget fits one resident graph: every graph switch retires the other
+  // graph's session — a fresh staging epoch that invalidates its memo.
+  ShardedOptions options;
+  options.shards = 1;
+  options.device_mem_budget_bytes = max_estimate;
+  options.base.mode = ServeMode::kSession;
+  options.base.memo_window_ms = 1e9;
+
+  // cc g0 (compute), cc g0 (hit), cc g1 (evicts g0: epoch ends), cc g1
+  // (hit), cc g0 (recompute — its memo was invalidated), cc g0 (hit),
+  // pr g0 (compute), pr g0 (hit).
+  struct Spec {
+    core::Algo algo;
+    uint32_t graph;
+  };
+  const std::vector<Spec> specs = {
+      {core::Algo::kCc, 0}, {core::Algo::kCc, 0}, {core::Algo::kCc, 1},
+      {core::Algo::kCc, 1}, {core::Algo::kCc, 0}, {core::Algo::kCc, 0},
+      {core::Algo::kPr, 0}, {core::Algo::kPr, 0},
+  };
+  std::vector<Request> trace;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.algo = specs[i].algo;
+    r.graph_id = specs[i].graph;
+    r.source = 0;
+    r.arrival_ms = static_cast<double>(i) * 500.0;  // one dispatch per request
+    trace.push_back(r);
+  }
+
+  ServeReport report = ShardedEngine(options).ServeMany(catalog, trace);
+
+  ASSERT_EQ(report.results.size(), trace.size());
+  EXPECT_EQ(report.completed, trace.size());
+  for (const QueryResult& q : report.results) {
+    ASSERT_EQ(q.status, QueryStatus::kOk) << "request " << q.id;
+  }
+  // Exactly the four repeats hit the memo (batch_size 0 marks a memo-served
+  // answer: no device launch produced it).
+  EXPECT_EQ(report.memo_hits, 4u);
+  EXPECT_TRUE(report.memo_configured);
+  for (size_t i : {1u, 3u, 5u, 7u}) {
+    EXPECT_EQ(report.results[i].batch_size, 0u) << "request " << i;
+  }
+  for (size_t i : {0u, 2u, 4u, 6u}) {
+    EXPECT_GE(report.results[i].batch_size, 1u) << "request " << i;
+  }
+  // Each memo hit is bit-identical to the answer its epoch computed, and
+  // the post-invalidation recompute (request 4) reproduces request 0's
+  // answer exactly — the deterministic device agrees with itself.
+  EXPECT_EQ(report.results[1].reached_vertices, report.results[0].reached_vertices);
+  EXPECT_EQ(report.results[3].reached_vertices, report.results[2].reached_vertices);
+  EXPECT_EQ(report.results[4].reached_vertices, report.results[0].reached_vertices);
+  EXPECT_EQ(report.results[5].reached_vertices, report.results[4].reached_vertices);
+  EXPECT_EQ(report.results[7].reached_vertices, report.results[6].reached_vertices);
+  // CPU verification: the connected-components answers (memoized or not)
+  // equal the host min-label-propagation component count.
+  EXPECT_EQ(report.results[0].reached_vertices, CpuAnswer(g0, core::Algo::kCc, 0));
+  EXPECT_EQ(report.results[1].reached_vertices, CpuAnswer(g0, core::Algo::kCc, 0));
+  EXPECT_EQ(report.results[2].reached_vertices, CpuAnswer(g1, core::Algo::kCc, 0));
+
+  // The memo hits never feed the cost estimator: only device-served queries
+  // appear in the per-algo observation counts.
+  for (const CostObservation& obs : report.cost_observations) {
+    if (obs.algo == "CC") {
+      EXPECT_EQ(obs.queries, 3u);
+    }
+    if (obs.algo == "PR") {
+      EXPECT_EQ(obs.queries, 1u);
+    }
+  }
+
+  // Determinism: a double run renders byte-identical reports, memo hits
+  // and all.
+  ServeReport again = ShardedEngine(options).ServeMany(catalog, trace);
+  EXPECT_EQ(report.Render("memo"), again.Render("memo"));
+  EXPECT_EQ(report.Json(), again.Json());
+  EXPECT_EQ(report.metrics.RenderPrometheus(), again.metrics.RenderPrometheus());
+  EXPECT_NE(report.metrics.RenderPrometheus().find("serve_memo_hits"),
+            std::string::npos);
+}
+
+// --- Backlog autoscaling (DESIGN.md section 15) -------------------------------
+
+TEST(ShardedEngine, AutoscaleGrowsFleetUnderBacklogAndReportsEvents) {
+  graph::Csr csr = RandomGraph(53);
+
+  TraceOptions trace_options;
+  trace_options.num_requests = 64;
+  trace_options.mean_interarrival_ms = 0.05;  // far faster than service time
+  trace_options.seed = 7;
+  std::vector<Request> trace = GenerateTrace(csr.NumVertices(), trace_options);
+
+  ShardedOptions options;
+  options.shards = 4;
+  options.base.queue_capacity = 128;
+  options.autoscale.min_shards = 1;
+  options.autoscale.backlog_ms = 1.0;
+  ASSERT_TRUE(options.AutoscaleEnabled());
+
+  ServeReport report = ShardedEngine(options).Serve(csr, trace);
+
+  // No request is lost to a scale decision.
+  ASSERT_EQ(report.results.size(), trace.size());
+  EXPECT_EQ(report.completed + report.rejected + report.timed_out, trace.size());
+
+  // The saturating burst grew the fleet past the single seed shard...
+  EXPECT_TRUE(report.autoscale_configured);
+  ASSERT_FALSE(report.scale_events.empty());
+  EXPECT_EQ(report.scale_events.front().from_level, 1u);
+  EXPECT_GT(report.scale_events.front().to_level, 1u);
+  // ...and the woken standbys actually served work.
+  uint64_t standby_dispatches = 0;
+  for (size_t i = 1; i < report.shard_stats.size(); ++i) {
+    standby_dispatches += report.shard_stats[i].dispatches;
+  }
+  EXPECT_GE(standby_dispatches, 1u);
+
+  const std::string metrics = report.metrics.RenderPrometheus();
+  EXPECT_NE(metrics.find("serve_scale_events_total"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_shards_active"), std::string::npos);
+
+  // Determinism: double runs render byte-identical reports, scale events
+  // timestamped on the simulated clock included.
+  ServeReport again = ShardedEngine(options).Serve(csr, trace);
+  EXPECT_EQ(report.Render("autoscale"), again.Render("autoscale"));
+  EXPECT_EQ(report.Json(), again.Json());
+  EXPECT_EQ(report.metrics.RenderPrometheus(), again.metrics.RenderPrometheus());
+
+  // Legacy byte-stability: the fixed fleet never renders the new vocabulary.
+  ShardedOptions fixed = options;
+  fixed.autoscale = {};
+  ServeReport legacy = ShardedEngine(fixed).Serve(csr, trace);
+  EXPECT_FALSE(legacy.autoscale_configured);
+  EXPECT_EQ(legacy.Render("fleet").find("scale"), std::string::npos);
+  EXPECT_EQ(legacy.metrics.RenderPrometheus().find("serve_shards_active"),
+            std::string::npos);
 }
 
 }  // namespace

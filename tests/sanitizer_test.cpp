@@ -708,5 +708,22 @@ TEST(Report, RenderAndJsonCarryTheFinding) {
   EXPECT_NE(empty.Render(/*verbose=*/true).find("0 error(s)"), std::string::npos);
 }
 
+// The report's snprintf-into-string helper retries past its 512-byte stack
+// buffer: a pathological allocation name longer than the buffer survives
+// Message/Render/Json untruncated.
+TEST(SanitizerReport, LongBufferNameRendersUntruncated) {
+  const std::string long_name(700, 'b');
+  Finding f;
+  f.kind = FindingKind::kLeakedBuffer;
+  f.buffer = long_name;
+  EXPECT_NE(f.Message().find(long_name), std::string::npos);
+
+  sanitizer::SanitizerReport report;
+  report.findings.push_back(f);
+  report.launches_checked = 1;
+  EXPECT_NE(report.Render().find(long_name), std::string::npos);
+  EXPECT_NE(report.Json().find(long_name), std::string::npos);
+}
+
 }  // namespace
 }  // namespace eta

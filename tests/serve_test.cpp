@@ -148,6 +148,66 @@ TEST(QueryScheduler, RejectsWhenFullAndExpiresDeadlines) {
   EXPECT_EQ(sched.Depth(), 1u);
 }
 
+// EDF-off contract (DESIGN.md section 15): the comparator never reads the
+// EDF key, so pop order on a randomized deep trace is byte-identical to the
+// legacy (priority desc, seq asc) total order — even when callers pass
+// service estimates at admission.
+TEST(QueryScheduler, EdfOffPopOrderMatchesPrioritySeqOnRandomizedTrace) {
+  constexpr size_t kDepth = 4608;
+  QueryScheduler sched(kDepth, /*edf=*/false);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  struct Key {
+    int32_t priority;
+    uint64_t id;
+  };
+  std::vector<Key> expected;
+  expected.reserve(kDepth);
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    Request r;
+    r.id = i;
+    r.priority = static_cast<int32_t>(next_rand() % 5);
+    r.deadline_ms =
+        next_rand() % 3 == 0 ? kNoDeadline : static_cast<double>(next_rand() % 1000);
+    ASSERT_TRUE(sched.Admit(r, static_cast<double>(next_rand() % 50)));
+    expected.push_back({r.priority, i});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Key& a, const Key& b) { return a.priority > b.priority; });
+  for (const Key& k : expected) {
+    auto popped = sched.PopNext();
+    ASSERT_TRUE(popped.has_value());
+    ASSERT_EQ(popped->id, k.id);
+  }
+  EXPECT_FALSE(sched.PopNext().has_value());
+}
+
+TEST(QueryScheduler, EdfPopsEarliestEffectiveDeadlineWithinPriority) {
+  QueryScheduler sched(8, /*edf=*/true);
+  // Same priority class: effective deadline (StartDeadline - estimate),
+  // frozen at admission, orders the pops.
+  ASSERT_TRUE(sched.Admit({.id = 1, .arrival_ms = 0, .deadline_ms = 100.0}, 10.0));  // 90
+  ASSERT_TRUE(sched.Admit({.id = 2, .arrival_ms = 0, .deadline_ms = 50.0}, 10.0));   // 40
+  ASSERT_TRUE(sched.Admit({.id = 3, .arrival_ms = 0, .deadline_ms = 60.0}, 30.0));   // 30
+  // Deadline-free: an infinite key, FIFO behind every deadlined peer.
+  ASSERT_TRUE(sched.Admit({.id = 4}));
+  // A higher priority class preempts every earlier-deadline peer below —
+  // gold never starves behind an earlier-deadline bronze.
+  ASSERT_TRUE(sched.Admit({.id = 5, .priority = 1}));
+  EXPECT_EQ(sched.PeekNext()->id, 5u);  // peek agrees with pop order
+  EXPECT_EQ(sched.PopNext()->id, 5u);
+  EXPECT_EQ(sched.PopNext()->id, 3u);
+  EXPECT_EQ(sched.PopNext()->id, 2u);
+  EXPECT_EQ(sched.PopNext()->id, 1u);
+  EXPECT_EQ(sched.PopNext()->id, 4u);
+  EXPECT_FALSE(sched.PopNext().has_value());
+}
+
 TEST(QueryScheduler, PopCompatibleFiltersByAlgorithm) {
   QueryScheduler sched(8);
   sched.Admit({.id = 1, .algo = core::Algo::kBfs});
@@ -434,6 +494,65 @@ TEST(ServeEngine, ExpiredDeadlinesBecomeTimeouts) {
   EXPECT_EQ(report.results[0].status, QueryStatus::kOk);
   for (size_t i = 1; i < 4; ++i) {
     EXPECT_EQ(report.results[i].status, QueryStatus::kTimedOut);
+  }
+}
+
+// EDF tentpole claim (DESIGN.md section 15): on a constructed mixed-deadline
+// burst, EDF-on meets strictly more deadlines than the legacy FIFO+priority
+// order, and no request is ever lost either way.
+TEST(ServeEngine, EdfMeetsStrictlyMoreDeadlinesOnMixedBurst) {
+  graph::Csr csr = RandomGraph(21);
+  ServeOptions options;
+  options.mode = ServeMode::kSession;
+  options.queue_capacity = 64;
+
+  // Probe replay: learn the first-dispatch time, the cold (first-touch)
+  // service time, and the warm service time for this source on this graph.
+  std::vector<Request> probe_trace;
+  for (uint64_t i = 0; i < 2; ++i) {
+    probe_trace.push_back(
+        {.id = i, .algo = core::Algo::kBfs, .source = 1, .arrival_ms = 0});
+  }
+  ServeReport probe = ServeEngine(options).Serve(csr, probe_trace);
+  ASSERT_EQ(probe.results.size(), 2u);
+  const double start0 = probe.results[0].start_ms;
+  const double cold_ms = probe.results[0].finish_ms - probe.results[0].start_ms;
+  const double warm_ms = probe.results[1].finish_ms - probe.results[1].start_ms;
+  ASSERT_GT(warm_ms, 0.0);
+
+  // One t=0 burst of 16 identical queries: ids 0..7 deadline-free, ids
+  // 8..15 sharing a tight deadline that fits the first dispatch plus ~9.5
+  // warm services. FIFO admits in id order, so the deadlined tail waits
+  // behind the deadline-free head and part of it must expire; EDF pops the
+  // deadlined half first (deadline-free requests carry an infinite key) and
+  // meets every deadline.
+  const double tight = start0 + cold_ms + 9.5 * warm_ms;
+  std::vector<Request> trace;
+  for (uint64_t i = 0; i < 16; ++i) {
+    Request r;
+    r.id = i;
+    r.algo = core::Algo::kBfs;
+    r.source = 1;
+    r.arrival_ms = 0;
+    if (i >= 8) r.deadline_ms = tight;
+    trace.push_back(r);
+  }
+
+  ServeReport fifo = ServeEngine(options).Serve(csr, trace);
+  options.edf = true;
+  ServeReport edf = ServeEngine(options).Serve(csr, trace);
+
+  EXPECT_GT(fifo.timed_out, 0u);
+  EXPECT_EQ(edf.timed_out, 0u);
+  EXPECT_GT(edf.completed, fifo.completed);
+  // No request lost under either order.
+  EXPECT_EQ(fifo.results.size(), trace.size());
+  EXPECT_EQ(edf.results.size(), trace.size());
+  // Every served answer is bit-identical across orders (same source).
+  for (const QueryResult& q : edf.results) {
+    if (q.status == QueryStatus::kOk) {
+      EXPECT_EQ(q.reached_vertices, probe.results[0].reached_vertices);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -21,6 +22,7 @@
 #include "trace/alerts.hpp"
 #include "trace/events.hpp"
 #include "trace/flight_recorder.hpp"
+#include "trace/tracer.hpp"
 #include "util/json.hpp"
 
 namespace eta {
@@ -444,6 +446,28 @@ TEST(RequestTrace, ExemplarsStampTheSlowestCompletedRequestPerAlgo) {
   }
   EXPECT_NE(report.metrics.RenderPrometheus().find("serve_latency_exemplar_request"),
             std::string::npos);
+}
+
+// The tracer's snprintf-into-string helper retries past its 256-byte stack
+// buffer: one Appendf call renders all three payload doubles, so huge
+// values (~900 formatted characters) must survive untruncated and the
+// event must still close as valid JSON.
+TEST(RequestTrace, HugeEventPayloadRendersUntruncated) {
+  trace::TraceEvent e = Event(1, 0.0, trace::EventKind::kAdmit);
+  e.a = 1e300;
+  e.b = 1e300;
+  e.c = 1e300;
+  const std::string json = trace::RenderTraceEventJson(e);
+
+  std::vector<char> expected(512);
+  const int n = std::snprintf(expected.data(), expected.size(), "\"a\":%.4f", e.a);
+  ASSERT_GT(n, 256);  // a single value alone overflows the stack buffer
+  EXPECT_NE(json.find(expected.data()), std::string::npos);
+  EXPECT_NE(json.find("\"c\":"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+  std::string error;
+  auto doc = util::JsonParse(json, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
 }
 
 }  // namespace

@@ -478,5 +478,31 @@ TEST(EtaVerifyServe, PlantedDoublePrestageIsReported) {
   EXPECT_NE(ww->op.find("dup"), std::string::npos);
 }
 
+// The report's snprintf-into-string helper retries past its 512-byte stack
+// buffer: op and buffer labels longer than the buffer survive
+// Message/Render/Json untruncated.
+TEST(DagReport, LongLabelsRenderUntruncated) {
+  const std::string long_op(700, 'o');
+  const std::string long_buffer(650, 'a');
+  DagFinding f;
+  f.kind = DagFindingKind::kRaceWriteWrite;
+  f.stream = "s0";
+  f.op = long_op;
+  f.op_index = 1;
+  f.buffer = long_buffer;
+  f.peer_stream = "s1";
+  f.peer_op = "peer";
+  f.peer_index = 2;
+  EXPECT_NE(f.Message().find(long_op), std::string::npos);
+  EXPECT_NE(f.Message().find(long_buffer), std::string::npos);
+
+  DagReport report;
+  report.findings.push_back(f);
+  report.ops_checked = 2;
+  EXPECT_NE(report.Render().find(long_op), std::string::npos);
+  EXPECT_NE(report.Json().find(long_op), std::string::npos);
+  EXPECT_NE(report.Json().find(long_buffer), std::string::npos);
+}
+
 }  // namespace
 }  // namespace eta

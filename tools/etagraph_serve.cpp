@@ -73,7 +73,8 @@
 //                   profile:key=value,... with profile one of poisson,
 //                   bursty, diurnal. Keys: rate (avg qps), n, on, off,
 //                   offscale, period, trough, hot, tenants, slo (0/1),
-//                   gold, silver, gd/sd/bd (per-class deadlines ms), seed.
+//                   gold, silver, gd/sd/bd (per-class deadlines ms),
+//                   cc/pr (whole-graph query fractions), seed.
 //                   e.g. --arrivals=poisson:rate=2000,n=512,gold=0.25
 //                   The catalog size (--catalog) supplies the graph count;
 //                   graph 0 is hot. Incompatible with --trace.
@@ -94,6 +95,21 @@
 //                   a failed dispatch quarantines the shard for the
 //                   cooldown, then a single half-open probe decides
 //                   between closing and re-opening with backoff
+//   --edf           EDF pop order (DESIGN.md section 15): within a priority
+//                   class the scheduler pops earliest effective deadline
+//                   (start deadline minus the running-mean service estimate,
+//                   frozen at admission) first. Off: legacy (priority, seq)
+//   --memo-window   with --shards: whole-graph memo window in simulated ms —
+//                   identical CC/PageRank requests against the same graph
+//                   inside the window are answered from the per-shard memo
+//                   table at zero device cost (0 = off). Arrivals gain
+//                   whole-graph traffic via the cc=/pr= arrival keys
+//   --autoscale     with --shards: min_shards,backlog_ms — backlog
+//                   autoscaling (DESIGN.md section 15): start with
+//                   min_shards active, scale the active count through a
+//                   hysteresis ladder over the mean active-shard backlog
+//                   (thresholds backlog_ms * 1, * 2, ...); standbys stay
+//                   warm (sessions resident)
 //   --trace-requests  etatrace (DESIGN.md section 14): record a per-request
 //                   causal span tree — admit/shed/brownout decisions, route
 //                   choices with per-shard backlog estimates, dispatch
@@ -203,6 +219,9 @@ int main(int argc, char** argv) {
   const std::string brownout_spec = cl->GetString("brownout", "");
   const std::string retry_budget_spec = cl->GetString("retry-budget", "");
   const std::string breaker_spec = cl->GetString("breaker", "");
+  const bool edf = cl->GetBool("edf", false);
+  const double memo_window = cl->GetDouble("memo-window", 0);
+  const std::string autoscale_spec = cl->GetString("autoscale", "");
   const bool trace_requests = cl->GetBool("trace-requests", false);
   const std::string trace_request_out = cl->GetString("trace-request-out", "");
   const std::string blackbox_out = cl->GetString("blackbox-out", "");
@@ -295,6 +314,23 @@ int main(int argc, char** argv) {
                       !breaker_spec.empty())) {
     return Fail("--slo-shed/--shed-backlog/--brownout/--breaker require --shards");
   }
+  if (shards == 0 && (memo_window > 0 || !autoscale_spec.empty())) {
+    return Fail("--memo-window/--autoscale require --shards");
+  }
+  if (memo_window < 0) return Fail("--memo-window must be >= 0");
+  serve::ShardedOptions::AutoscaleOptions autoscale{};
+  if (!autoscale_spec.empty()) {
+    double min_shards = 1;
+    if (!ParseDoubleList(autoscale_spec, {&min_shards, &autoscale.backlog_ms}) ||
+        min_shards < 1 || autoscale.backlog_ms <= 0) {
+      return Fail("bad --autoscale '" + autoscale_spec +
+                  "' (want min_shards,backlog_ms)");
+    }
+    autoscale.min_shards = static_cast<uint32_t>(min_shards);
+    if (autoscale.min_shards >= shards) {
+      return Fail("--autoscale min_shards must be < --shards");
+    }
+  }
   if (!arrivals_spec.empty() && !trace_path.empty()) {
     return Fail("--arrivals and --trace are mutually exclusive");
   }
@@ -332,6 +368,8 @@ int main(int argc, char** argv) {
   options.queue_capacity = queue_cap;
   options.batch_window_ms = window;
   options.max_batch = max_batch;
+  options.edf = edf;
+  options.memo_window_ms = memo_window;
   options.graph.check = check_cfg;
   options.graph.faults = fault_cfg;
   options.graph.profile = profile;
@@ -430,6 +468,7 @@ int main(int argc, char** argv) {
     sharded.device_mem_budget_bytes = mem_budget;
     sharded.async_dispatch = async;
     sharded.plant = plant;
+    sharded.autoscale = autoscale;
     report = serve::ShardedEngine(sharded).ServeMany(graphs, trace);
   } else {
     report = serve::ServeEngine(options).Serve(csr, trace);
